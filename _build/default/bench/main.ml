@@ -1,0 +1,298 @@
+(* Benchmark & reproduction harness.
+
+   Part 1 regenerates every table and figure of the paper's §7
+   (Exp-1..Exp-5) through the experiment registry, printing measured
+   numbers next to the paper's reference values.
+
+   Part 2 runs Bechamel micro-benchmarks — one group per paper
+   artifact — over the timed kernels: IsCR (compile and chase),
+   candidate checking, the three top-k algorithms, the truth-
+   discovery baselines, and two ablations (priority-queue choice
+   inside TopKCT's frontier, and the Fig. 4 index vs the naive
+   rescanning chase).
+
+   Usage:
+     bench/main.exe             experiments + micro-benches
+     bench/main.exe --micro     micro-benches only
+     bench/main.exe --exp       experiments only
+     bench/main.exe --full      paper-scale experiment workloads *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------------------------------------------------------- *)
+(* Part 1: experiment reproduction                                   *)
+(* ---------------------------------------------------------------- *)
+
+let run_experiments ~scale ~csv_dir =
+  Format.printf "=================================================@.";
+  Format.printf " Reproduction of the paper's tables and figures@.";
+  Format.printf "=================================================@.@.";
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  List.iter
+    (fun id ->
+      match Experiments.Registry.run ~scale id with
+      | Some report ->
+          Experiments.Report.print report;
+          (match csv_dir with
+          | Some dir ->
+              Format.printf "  (csv: %s)@." (Experiments.Report.write_csv ~dir report)
+          | None -> ());
+          print_newline ()
+      | None -> ())
+    Experiments.Registry.ids
+
+(* ---------------------------------------------------------------- *)
+(* Part 2: micro-benchmarks                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Fixtures are built once, outside the timed region. *)
+
+let mj_spec = Datagen.Mj.specification
+let mj_compiled = Core.Is_cr.compile mj_spec
+let med = Datagen.Med_gen.dataset ~entities:120 ~seed:31 ()
+
+let med_entity =
+  (* A mid-sized Med entity: the per-entity workload of Fig. 6(a). *)
+  List.find
+    (fun (e : Datagen.Entity_gen.entity) ->
+      Relational.Relation.size e.instance >= 4)
+    med.entities
+
+let med_spec = Datagen.Entity_gen.spec_for med med_entity
+let med_compiled = Core.Is_cr.compile med_spec
+let syn = Datagen.Syn_gen.dataset ~ie:300 ~im:100 ~sigma:60 ~seed:7 ()
+let syn_compiled = Core.Is_cr.compile syn.spec
+
+let syn_te =
+  match Core.Is_cr.run_compiled syn_compiled with
+  | Core.Is_cr.Church_rosser inst -> Core.Instance.te inst
+  | Core.Is_cr.Not_church_rosser _ -> failwith "Syn must be Church-Rosser"
+
+let med_te =
+  match Core.Is_cr.run_compiled med_compiled with
+  | Core.Is_cr.Church_rosser inst -> Core.Instance.te inst
+  | Core.Is_cr.Not_church_rosser _ -> failwith "Med must be Church-Rosser"
+
+let med_pref = Topk.Preference.of_occurrences med_entity.instance
+
+let syn_candidate =
+  (* A complete candidate for check(): top-1 of TopKCT. *)
+  match
+    (Topk.Topk_ct.run ~k:1 ~pref:syn.pref syn_compiled syn_te).Topk.Topk_ct.targets
+  with
+  | t :: _ -> t
+  | [] -> failwith "Syn must have a candidate target"
+
+let rest =
+  Datagen.Rest_gen.generate
+    (Datagen.Rest_gen.default_config ~restaurants:120 ~seed:11 ())
+
+let rest_claims = Datagen.Rest_gen.claims rest
+let staged = Staged.stage
+
+(* fig6a/6e kernel: IsCR on one real-life-sized entity. *)
+let bench_iscr =
+  Test.make_grouped ~name:"iscr (fig6a/6e)"
+    [
+      Test.make ~name:"mj-example"
+        (staged (fun () -> Core.Is_cr.run_compiled mj_compiled));
+      Test.make ~name:"med-entity"
+        (staged (fun () -> Core.Is_cr.run_compiled med_compiled));
+      Test.make ~name:"med-compile" (staged (fun () -> Core.Is_cr.compile med_spec));
+      Test.make ~name:"syn300-chase"
+        (staged (fun () -> Core.Is_cr.run_compiled syn_compiled));
+    ]
+
+(* §3/§6 kernel: candidate-target verification. *)
+let bench_check =
+  Test.make_grouped ~name:"check (Thm 3)"
+    [
+      Test.make ~name:"syn300"
+        (staged (fun () -> Core.Is_cr.check syn_compiled syn_candidate));
+    ]
+
+(* fig6i-l / fig7 kernels: the three top-k algorithms. *)
+let bench_topk =
+  Test.make_grouped ~name:"topk (fig6i-l, fig7)"
+    [
+      Test.make ~name:"topkct-syn300-k5"
+        (staged (fun () -> Topk.Topk_ct.run ~k:5 ~pref:syn.pref syn_compiled syn_te));
+      Test.make ~name:"topkcth-syn300-k5"
+        (staged (fun () -> Topk.Topk_ct_h.run ~k:5 ~pref:syn.pref syn_compiled syn_te));
+      Test.make ~name:"rankjoin-syn300-k5"
+        (staged (fun () ->
+             Topk.Rank_join_ct.run ~k:5 ~pref:syn.pref syn_compiled syn_te));
+      Test.make ~name:"topkct-med-k15"
+        (staged (fun () -> Topk.Topk_ct.run ~k:15 ~pref:med_pref med_compiled med_te));
+    ]
+
+(* tbl4 kernels: the truth-discovery methods. *)
+let bench_truth =
+  Test.make_grouped ~name:"truth (tbl4)"
+    [
+      Test.make ~name:"copycef-120rest"
+        (staged (fun () -> Truth.Copy_cef.run ~num_sources:12 rest_claims));
+      Test.make ~name:"voting-med-entity"
+        (staged (fun () -> Truth.Voting.resolve med_entity.instance));
+      Test.make ~name:"deduceorder-med-entity"
+        (staged (fun () ->
+             Truth.Deduce_order.resolve ~ruleset:med.ruleset med_entity.instance));
+    ]
+
+(* Ablation: priority queues backing TopKCT's frontier (Brodal queue
+   vs simpler structures), on the queue's own operation mix. *)
+let bench_pqueue =
+  let ops = 1_000 in
+  let keys = Array.init ops (fun i -> i * 7919 mod ops) in
+  Test.make_grouped ~name:"pqueue ablation"
+    [
+      Test.make ~name:"brodal-insert-pop"
+        (staged (fun () ->
+             let q = ref (Pqueue.Brodal_queue.empty ~cmp:Int.compare) in
+             Array.iter (fun k -> q := Pqueue.Brodal_queue.insert k !q) keys;
+             let rec drain q =
+               match Pqueue.Brodal_queue.pop q with
+               | Some (_, q') -> drain q'
+               | None -> ()
+             in
+             drain !q));
+      Test.make ~name:"pairing-insert-pop"
+        (staged (fun () ->
+             let q = ref (Pqueue.Pairing_heap.empty ~cmp:Int.compare) in
+             Array.iter (fun k -> q := Pqueue.Pairing_heap.insert k !q) keys;
+             let rec drain q =
+               match Pqueue.Pairing_heap.pop q with
+               | Some (_, q') -> drain q'
+               | None -> ()
+             in
+             drain !q));
+      Test.make ~name:"binary-insert-pop"
+        (staged (fun () ->
+             let q = Pqueue.Binary_heap.create ~cmp:Int.compare in
+             Array.iter (fun k -> Pqueue.Binary_heap.add q k) keys;
+             while not (Pqueue.Binary_heap.is_empty q) do
+               ignore (Pqueue.Binary_heap.pop q : int option)
+             done));
+      Test.make ~name:"skew-binomial-insert-pop"
+        (staged (fun () ->
+             let leq a b = a <= b in
+             let q = ref Pqueue.Skew_binomial.empty in
+             Array.iter (fun k -> q := Pqueue.Skew_binomial.insert ~leq k !q) keys;
+             let rec drain q =
+               match Pqueue.Skew_binomial.pop ~leq q with
+               | Some (_, q') -> drain q'
+               | None -> ()
+             in
+             drain !q));
+    ]
+
+(* Ablation: incremental session fills vs re-chasing from scratch
+   (the Fig. 3 loop's per-round cost). *)
+let incomplete_entity =
+  List.find
+    (fun (e : Datagen.Entity_gen.entity) ->
+      match Core.Is_cr.run (Datagen.Entity_gen.spec_for med e) with
+      | Core.Is_cr.Church_rosser inst -> not (Core.Instance.te_complete inst)
+      | Core.Is_cr.Not_church_rosser _ -> false)
+    med.entities
+
+let incomplete_compiled =
+  Core.Is_cr.compile (Datagen.Entity_gen.spec_for med incomplete_entity)
+
+let fill_attr, fill_value =
+  match Core.Is_cr.run_compiled incomplete_compiled with
+  | Core.Is_cr.Church_rosser inst -> (
+      match Core.Instance.null_attrs inst with
+      | a :: _ -> (a, (Datagen.Entity_gen.annotate med incomplete_entity).(a))
+      | [] -> failwith "needs a null attr")
+  | Core.Is_cr.Not_church_rosser _ -> failwith "must be CR"
+
+let bench_session =
+  Test.make_grouped ~name:"incremental session ablation (Fig 3 rounds)"
+    [
+      Test.make ~name:"session-start-plus-fill"
+        (staged (fun () ->
+             match Core.Is_cr.session_start incomplete_compiled with
+             | Ok session ->
+                 ignore
+                   (Core.Is_cr.session_fill session [ (fill_attr, fill_value) ])
+             | Error _ -> failwith "CR expected"));
+      Test.make ~name:"rechase-from-scratch"
+        (staged (fun () ->
+             ignore (Core.Is_cr.run_compiled incomplete_compiled);
+             let template =
+               Array.make
+                 (Relational.Schema.arity
+                    (Core.Specification.schema
+                       (Core.Is_cr.compiled_spec incomplete_compiled)))
+                 Relational.Value.Null
+             in
+             template.(fill_attr) <- fill_value;
+             ignore (Core.Is_cr.run_compiled ~template incomplete_compiled)));
+    ]
+
+(* Ablation: Fig. 4's indexed IsCR vs the naive rescanning chase. *)
+let bench_chase_ablation =
+  Test.make_grouped ~name:"chase ablation (Fig 4 index)"
+    [
+      Test.make ~name:"iscr-indexed-mj"
+        (staged (fun () -> Core.Is_cr.run_compiled mj_compiled));
+      Test.make ~name:"naive-rescan-mj" (staged (fun () -> Core.Chase.run mj_spec));
+      Test.make ~name:"iscr-indexed-med"
+        (staged (fun () -> Core.Is_cr.run_compiled med_compiled));
+      Test.make ~name:"naive-rescan-med" (staged (fun () -> Core.Chase.run med_spec));
+    ]
+
+let all_benches =
+  [
+    bench_iscr; bench_check; bench_topk; bench_truth; bench_pqueue;
+    bench_session; bench_chase_ablation;
+  ]
+
+let run_micro () =
+  Format.printf "=================================================@.";
+  Format.printf " Micro-benchmarks (Bechamel, monotonic clock)@.";
+  Format.printf "=================================================@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Format.printf "@.";
+      let rows = ref [] in
+      Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) ols;
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              let pretty =
+                if est >= 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+                else if est >= 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+                else if est >= 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+                else Printf.sprintf "%8.0f ns" est
+              in
+              Format.printf "  %-48s %s/run@." name pretty
+          | _ -> Format.printf "  %-48s (no estimate)@." name)
+        (List.sort compare !rows))
+    all_benches
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let micro_only = List.mem "--micro" args in
+  let exp_only = List.mem "--exp" args in
+  let scale = if List.mem "--full" args then `Full else `Quick in
+  let rec csv_dir = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> csv_dir rest
+    | [] -> None
+  in
+  if not micro_only then run_experiments ~scale ~csv_dir:(csv_dir args);
+  if not exp_only then run_micro ()

@@ -1,0 +1,468 @@
+(* relacc — command-line front end.
+
+   Subcommands:
+     demo                      run the paper's Michael Jordan example
+     chase  -e CSV -r RULES    deduce a target tuple for a CSV entity instance
+     topk   -e CSV -r RULES    top-k candidate targets
+     generate DATASET          write a synthetic dataset to CSV files
+     experiment [ID..]         reproduce the paper's figures/tables
+     rules  -r RULES           parse, validate and echo a rule file *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+(* ---------------------------------------------------------------- *)
+(* Shared loading                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* Relations are named after their file (stat.csv -> "stat"), so rule
+   files may quantify over them by name ("forall t1, t2 in stat"). *)
+let load_relation path =
+  Relational.Csv.relation_of_rows
+    ~name:(Filename.remove_extension (Filename.basename path))
+    (Relational.Csv.read_file path)
+
+let load_spec ~entity_path ~master_path ~rules_path =
+  let entity = load_relation entity_path in
+  let master = Option.map load_relation master_path in
+  let schema = Relational.Relation.schema entity in
+  let master_schema = Option.map Relational.Relation.schema master in
+  let text =
+    let ic = open_in_bin rules_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Rules.Parser.parse ~schema ?master:master_schema text with
+  | Error e -> Error ("rule parse error: " ^ e)
+  | Ok rules -> (
+      match Rules.Ruleset.make ~schema ?master:master_schema rules with
+      | Error e -> Error ("rule validation error: " ^ e)
+      | Ok ruleset -> (
+          match Core.Specification.make ~entity ?master ruleset with
+          | Error e -> Error ("specification error: " ^ e)
+          | Ok spec -> Ok spec))
+
+let entity_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "e"; "entity" ] ~docv:"CSV" ~doc:"Entity instance (CSV with header).")
+
+let master_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "m"; "master" ] ~docv:"CSV" ~doc:"Master relation (CSV with header).")
+
+let rules_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "r"; "rules" ] ~docv:"FILE" ~doc:"Accuracy rules (relacc syntax).")
+
+let pp_target schema te =
+  Array.iteri
+    (fun i v ->
+      Format.printf "  %-24s %a@."
+        (Relational.Schema.attribute schema i)
+        Relational.Value.pp v)
+    te
+
+(* ---------------------------------------------------------------- *)
+(* demo                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let demo verbose =
+  setup_logs verbose;
+  let spec = Datagen.Mj.specification in
+  Format.printf "%a@." Relational.Relation.pp Datagen.Mj.stat;
+  (match Core.Is_cr.run spec with
+  | Core.Is_cr.Church_rosser inst ->
+      Format.printf "Church-Rosser; deduced target:@.";
+      pp_target Datagen.Mj.stat_schema (Core.Instance.te inst)
+  | Core.Is_cr.Not_church_rosser { rule; reason } ->
+      Format.printf "not Church-Rosser (%s: %s)@." rule reason);
+  0
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's Michael Jordan running example.")
+    Term.(const demo $ verbose_arg)
+
+(* ---------------------------------------------------------------- *)
+(* chase                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let chase verbose entity master rules trace =
+  setup_logs verbose;
+  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok spec -> (
+      let trace_fn =
+        if trace then
+          Some (fun step -> Format.printf "  %a@." Rules.Ground.pp_step step)
+        else None
+      in
+      match Core.Is_cr.run ?trace:trace_fn spec with
+      | Core.Is_cr.Church_rosser inst ->
+          Format.printf "Church-Rosser: yes@.";
+          Format.printf "deduced target (%s):@."
+            (if Core.Instance.te_complete inst then "complete" else "incomplete");
+          pp_target (Core.Specification.schema spec) (Core.Instance.te inst);
+          0
+      | Core.Is_cr.Not_church_rosser { rule; reason } ->
+          Format.printf "Church-Rosser: NO — rule %s: %s@." rule reason;
+          2)
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the chase steps applied.")
+
+let chase_cmd =
+  Cmd.v
+    (Cmd.info "chase"
+       ~doc:"Check Church-Rosser and deduce the target tuple of an entity instance.")
+    Term.(const chase $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ trace_arg)
+
+(* ---------------------------------------------------------------- *)
+(* topk                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let algorithm_conv =
+  Arg.enum [ ("topkct", `Topk_ct); ("topkcth", `Topk_ct_h); ("rankjoin", `Rank_join_ct) ]
+
+let topk verbose entity master rules k algorithm =
+  setup_logs verbose;
+  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok spec -> (
+      let compiled = Core.Is_cr.compile spec in
+      match Core.Is_cr.run_compiled compiled with
+      | Core.Is_cr.Not_church_rosser { rule; reason } ->
+          Format.printf "not Church-Rosser (%s: %s); revise the rules first@." rule
+            reason;
+          2
+      | Core.Is_cr.Church_rosser inst ->
+          let te = Core.Instance.te inst in
+          let pref =
+            Topk.Preference.of_occurrences (Core.Specification.entity spec)
+          in
+          let targets =
+            match algorithm with
+            | `Topk_ct -> (Topk.Topk_ct.run ~k ~pref compiled te).Topk.Topk_ct.targets
+            | `Topk_ct_h ->
+                (Topk.Topk_ct_h.run ~k ~pref compiled te).Topk.Topk_ct_h.targets
+            | `Rank_join_ct ->
+                (Topk.Rank_join_ct.run ~k ~pref compiled te).Topk.Rank_join_ct.targets
+          in
+          let schema = Core.Specification.schema spec in
+          List.iteri
+            (fun i t ->
+              Format.printf "candidate %d (score %.2f):@." (i + 1)
+                (Topk.Preference.score pref t);
+              pp_target schema t)
+            targets;
+          if targets = [] then Format.printf "no candidate targets@.";
+          0)
+
+let k_arg =
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Number of candidates.")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt algorithm_conv `Topk_ct
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:"One of topkct, topkcth, rankjoin.")
+
+let topk_cmd =
+  Cmd.v
+    (Cmd.info "topk" ~doc:"Compute top-k candidate target tuples.")
+    Term.(
+      const topk $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ k_arg
+      $ algorithm_arg)
+
+(* ---------------------------------------------------------------- *)
+(* generate                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let generate verbose dataset out entities seed =
+  setup_logs verbose;
+  let write name rel =
+    let path = Filename.concat out (name ^ ".csv") in
+    Relational.Csv.write_file path (Relational.Csv.relation_to_rows rel);
+    Format.printf "wrote %s (%d rows)@." path (Relational.Relation.size rel)
+  in
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  (match dataset with
+  | `Med | `Cfp ->
+      let ds =
+        match dataset with
+        | `Med -> Datagen.Med_gen.dataset ~entities ~seed ()
+        | _ -> Datagen.Cfp_gen.dataset ~seed ()
+      in
+      let flat =
+        Relational.Relation.make ds.Datagen.Entity_gen.schema
+          (List.concat_map
+             (fun (e : Datagen.Entity_gen.entity) ->
+               Relational.Relation.tuples e.instance)
+             ds.entities)
+      in
+      write "entities" flat;
+      write "master" ds.master;
+      let rules_path = Filename.concat out "rules.txt" in
+      let oc = open_out rules_path in
+      output_string oc
+        (Rules.Parser.to_string ~schema:ds.schema ~master:ds.master_schema
+           (Rules.Ruleset.user_rules ds.ruleset));
+      close_out oc;
+      Format.printf "wrote %s (%d rules)@." rules_path
+        (Rules.Ruleset.size ds.ruleset)
+  | `Rest ->
+      let ds =
+        Datagen.Rest_gen.generate
+          (Datagen.Rest_gen.default_config ~restaurants:entities ~seed ())
+      in
+      let flat =
+        Relational.Relation.make ds.Datagen.Rest_gen.schema
+          (List.concat_map
+             (fun (r : Datagen.Rest_gen.restaurant) ->
+               Relational.Relation.tuples r.instance)
+             ds.restaurants)
+      in
+      write "restaurants" flat);
+  0
+
+let dataset_conv = Arg.enum [ ("med", `Med); ("cfp", `Cfp); ("rest", `Rest) ]
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write a synthetic dataset (CSV + rules) to a directory.")
+    Term.(
+      const generate $ verbose_arg
+      $ Arg.(
+          required
+          & pos 0 (some dataset_conv) None
+          & info [] ~docv:"DATASET" ~doc:"One of med, cfp, rest.")
+      $ Arg.(
+          value & opt string "./data" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+      $ Arg.(value & opt int 200 & info [ "n"; "entities" ] ~doc:"Entity count.")
+      $ Arg.(value & opt int 1093 & info [ "seed" ] ~doc:"PRNG seed."))
+
+(* ---------------------------------------------------------------- *)
+(* experiment                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let experiment verbose ids full list_only csv_dir =
+  setup_logs verbose;
+  if list_only then begin
+    List.iter
+      (fun id ->
+        Format.printf "%-8s %s@." id
+          (Option.value ~default:"" (Experiments.Registry.describe id)))
+      Experiments.Registry.ids;
+    0
+  end
+  else begin
+    let scale = if full then `Full else `Quick in
+    let ids = if ids = [] then Experiments.Registry.ids else ids in
+    (match csv_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let code = ref 0 in
+    List.iter
+      (fun id ->
+        match Experiments.Registry.run ~scale id with
+        | Some report ->
+            Experiments.Report.print report;
+            (match csv_dir with
+            | Some dir ->
+                Format.printf "  (csv: %s)@."
+                  (Experiments.Report.write_csv ~dir report)
+            | None -> ());
+            print_newline ()
+        | None ->
+            Format.eprintf "unknown experiment id %s@." id;
+            code := 1)
+      ids;
+    !code
+  end
+
+let experiment_cmd =
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce the paper's figures and tables (all ids when none given).")
+    Term.(
+      const experiment $ verbose_arg
+      $ Arg.(value & pos_all string [] & info [] ~docv:"ID")
+      $ Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale workloads (slow).")
+      $ Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each report as DIR/<id>.csv."))
+
+(* ---------------------------------------------------------------- *)
+(* rules                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let rules_cmd_impl verbose entity master rules =
+  setup_logs verbose;
+  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok spec ->
+      let ruleset = Core.Specification.ruleset spec in
+      Format.printf "%d rules (%d form (1), %d form (2)), all valid:@."
+        (Rules.Ruleset.size ruleset)
+        (Rules.Ruleset.form1_count ruleset)
+        (Rules.Ruleset.form2_count ruleset);
+      print_string
+        (Rules.Parser.to_string
+           ~schema:(Core.Specification.schema spec)
+           ?master:(Rules.Ruleset.master_schema ruleset)
+           (Rules.Ruleset.user_rules ruleset));
+      0
+
+let rules_cmd =
+  Cmd.v
+    (Cmd.info "rules" ~doc:"Parse, validate and echo an accuracy-rule file.")
+    Term.(const rules_cmd_impl $ verbose_arg $ entity_arg $ master_arg $ rules_arg)
+
+(* ---------------------------------------------------------------- *)
+(* explain                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let explain verbose entity master rules attr =
+  setup_logs verbose;
+  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok spec -> (
+      let compiled = Core.Is_cr.compile spec in
+      let schema = Core.Specification.schema spec in
+      match attr with
+      | Some name -> (
+          match Relational.Schema.index_opt schema name with
+          | None ->
+              Format.eprintf "unknown attribute %S@." name;
+              1
+          | Some a ->
+              Format.printf "%a@."
+                (Core.Explain.pp schema)
+                (Core.Explain.attribute compiled a);
+              0)
+      | None ->
+          List.iter
+            (Format.printf "%a@." (Core.Explain.pp schema))
+            (Core.Explain.all compiled);
+          Format.printf "rules used: %s@."
+            (String.concat ", " (Core.Explain.rules_used compiled));
+          0)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the chase derivation behind each deduced target value.")
+    Term.(
+      const explain $ verbose_arg $ entity_arg $ master_arg $ rules_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "attr" ] ~docv:"NAME" ~doc:"Explain one attribute only."))
+
+(* ---------------------------------------------------------------- *)
+(* clean                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let clean_impl verbose entity master rules out key_attrs threshold =
+  setup_logs verbose;
+  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+  | Ok spec -> (
+      let dirty = Core.Specification.entity spec in
+      let schema = Core.Specification.schema spec in
+      match
+        List.map
+          (fun a ->
+            match Relational.Schema.index_opt schema a with
+            | Some i -> i
+            | None -> failwith (Printf.sprintf "unknown key attribute %S" a))
+          key_attrs
+      with
+      | exception Failure e ->
+          Format.eprintf "error: %s@." e;
+          1
+      | keys when keys = [] ->
+          Format.eprintf "error: pass at least one --key attribute for ER@.";
+          1
+      | keys ->
+          let er =
+            {
+              (Er.Resolver.default_config ~key_attrs:keys
+                 ~compare_attrs:(List.map (fun a -> (a, 1.0)) keys))
+              with
+              use_soundex = true;
+              threshold;
+            }
+          in
+          let report =
+            Framework.Cleaner.clean ~er
+              ?master:(Core.Specification.master spec)
+              (Core.Specification.ruleset spec)
+              dirty
+          in
+          Format.printf "%a@." Framework.Cleaner.pp_report report;
+          (match out with
+          | Some path ->
+              Relational.Csv.write_file path
+                (Relational.Csv.relation_to_rows report.cleaned);
+              Format.printf "wrote %s@." path
+          | None -> ());
+          0)
+
+let clean_cmd =
+  Cmd.v
+    (Cmd.info "clean"
+       ~doc:
+         "Clean a whole dirty relation: ER-cluster it, deduce a target tuple per           entity, complete with top-1 candidates.")
+    Term.(
+      const clean_impl $ verbose_arg $ entity_arg $ master_arg $ rules_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "o"; "out" ] ~docv:"CSV" ~doc:"Write the cleaned relation here.")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "key" ] ~docv:"ATTR" ~doc:"ER blocking/matching attribute (repeatable).")
+      $ Arg.(
+          value & opt float 0.72
+          & info [ "threshold" ] ~doc:"ER similarity threshold."))
+
+(* ---------------------------------------------------------------- *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "relacc" ~version:"1.0.0"
+       ~doc:"Determining the relative accuracy of attributes (SIGMOD 2013).")
+    [
+      demo_cmd; chase_cmd; topk_cmd; generate_cmd; experiment_cmd; rules_cmd;
+      explain_cmd; clean_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

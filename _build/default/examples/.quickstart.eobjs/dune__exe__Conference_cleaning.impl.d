@@ -1,0 +1,1 @@
+examples/conference_cleaning.ml: Array Core Datagen Format Framework List Relational Rules String Topk Util

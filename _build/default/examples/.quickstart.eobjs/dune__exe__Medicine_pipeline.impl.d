@@ -1,0 +1,1 @@
+examples/medicine_pipeline.ml: Array Cfd Core Datagen Discovery Er Format List Relational Rules

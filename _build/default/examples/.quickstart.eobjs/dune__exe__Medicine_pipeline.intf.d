@@ -1,0 +1,1 @@
+examples/medicine_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/restaurant_truth.ml: Array Core Datagen Experiments Format List Printf Relational Rules Truth

@@ -1,0 +1,1 @@
+examples/rule_authoring.ml: Core Datagen Format Framework List Relational String

@@ -1,0 +1,46 @@
+(* Authoring accuracy rules with feedback: Example 6's workflow.
+
+   A rule writer extends the Michael Jordan rule set with a plausible
+   but wrong rule (φ12: "SL records are more accurate than NBA ones").
+   The framework rejects the specification as not Church-Rosser,
+   Revision pinpoints the culprit, and after dropping it the chase
+   succeeds — with Explain showing the derivation of each value, so
+   the author can audit what every rule contributed. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Mj = Datagen.Mj
+
+let () =
+  Format.printf "Authoring session on the stat/nba example.@.@.";
+
+  (* 1. The author's draft: the good rules plus the bad φ12. *)
+  Format.printf "Draft Σ adds:@.%s@." Mj.phi12_text;
+  (match Core.Is_cr.run Mj.non_cr_specification with
+  | Core.Is_cr.Church_rosser _ -> assert false
+  | Core.Is_cr.Not_church_rosser { rule; reason } ->
+      Format.printf "rejected: not Church-Rosser (first conflict at %s: %s)@.@."
+        rule reason);
+
+  (* 2. Revision finds what to drop. *)
+  (match Framework.Revision.suggest Mj.non_cr_specification with
+  | None -> Format.printf "no revision found?!@."
+  | Some { drop; spec } -> (
+      Format.printf "suggestion: drop %s@." (String.concat ", " drop);
+      match Core.Is_cr.run spec with
+      | Core.Is_cr.Church_rosser inst ->
+          Format.printf "revised Σ is Church-Rosser; target complete: %b@.@."
+            (Core.Instance.te_complete inst)
+      | Core.Is_cr.Not_church_rosser _ -> assert false));
+
+  (* 3. Audit the accepted rule set: which rules fire, and why is
+     each value in the target? *)
+  let compiled = Core.Is_cr.compile Mj.specification in
+  Format.printf "rules that contribute chase steps: %s@.@."
+    (String.concat ", " (Core.Explain.rules_used compiled));
+  List.iter
+    (fun name ->
+      let attr = Schema.index Mj.stat_schema name in
+      Format.printf "%a@." (Core.Explain.pp Mj.stat_schema)
+        (Core.Explain.attribute compiled attr))
+    [ "J#"; "league" ]

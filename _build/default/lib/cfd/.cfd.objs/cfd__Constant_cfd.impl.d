@@ -1,0 +1,1 @@
+lib/cfd/constant_cfd.ml: Array List Printf Relational Rules

@@ -1,0 +1,1 @@
+lib/cfd/constant_cfd.mli: Relational Rules

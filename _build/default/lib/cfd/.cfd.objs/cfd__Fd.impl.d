@@ -1,0 +1,1 @@
+lib/cfd/fd.ml: List Printf Relational

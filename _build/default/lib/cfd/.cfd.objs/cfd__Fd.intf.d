@@ -1,0 +1,1 @@
+lib/cfd/fd.mli: Relational

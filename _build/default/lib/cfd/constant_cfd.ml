@@ -1,0 +1,98 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+type t = {
+  name : string;
+  pattern : (int * Value.t) list;
+  consequent : int * Value.t;
+}
+
+let make ~name ~pattern ~consequent schema =
+  let resolve (attr, v) =
+    match Schema.index_opt schema attr with
+    | Some i -> Ok (i, v)
+    | None -> Error (Printf.sprintf "unknown attribute %S" attr)
+  in
+  let rec resolve_all = function
+    | [] -> Ok []
+    | p :: rest -> (
+        match resolve p with
+        | Error _ as e -> e
+        | Ok rp -> (
+            match resolve_all rest with
+            | Error _ as e -> e
+            | Ok rrest -> Ok (rp :: rrest)))
+  in
+  if pattern = [] then Error "empty pattern"
+  else
+    match (resolve_all pattern, resolve consequent) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok pattern, Ok consequent ->
+        if List.mem_assoc (fst consequent) pattern then
+          Error "consequent attribute also appears in the pattern"
+        else Ok { name; pattern; consequent }
+
+let make_exn ~name ~pattern ~consequent schema =
+  match make ~name ~pattern ~consequent schema with
+  | Ok t -> t
+  | Error e -> invalid_arg (Printf.sprintf "Constant_cfd.make_exn (%s): %s" name e)
+
+let matches t tuple =
+  List.for_all (fun (a, v) -> Value.equal (Tuple.get tuple a) v) t.pattern
+
+let violates t tuple =
+  matches t tuple
+  && not (Value.equal (Tuple.get tuple (fst t.consequent)) (snd t.consequent))
+
+let violations cfds relation =
+  List.concat_map
+    (fun cfd ->
+      List.filter_map
+        (fun tup -> if violates cfd tup then Some (cfd.name, Tuple.tid tup) else None)
+        (Relation.tuples relation))
+    cfds
+
+let repair_tuple cfds tuple =
+  List.fold_left
+    (fun tup cfd ->
+      if violates cfd tup then Tuple.set tup (fst cfd.consequent) (snd cfd.consequent)
+      else tup)
+    tuple cfds
+
+let repair_relation cfds relation =
+  let rec fixpoint rel passes =
+    let repaired = Relation.map rel (repair_tuple cfds) in
+    if passes = 0 || violations cfds repaired = [] then repaired
+    else fixpoint repaired (passes - 1)
+  in
+  fixpoint relation (List.length cfds)
+
+let cfd_column = "__cfd"
+
+let to_master_rules ~schema cfds =
+  let attrs = Array.to_list (Schema.attributes schema) in
+  let master_schema = Schema.make "cfd_master" (attrs @ [ cfd_column ]) in
+  let arity = Schema.arity master_schema in
+  let cfd_col = arity - 1 in
+  let row cfd =
+    let values = Array.make arity Value.Null in
+    List.iter (fun (a, v) -> values.(a) <- v) cfd.pattern;
+    values.(fst cfd.consequent) <- snd cfd.consequent;
+    values.(cfd_col) <- Value.String cfd.name;
+    Tuple.make values
+  in
+  let master = Relation.make master_schema (List.map row cfds) in
+  let rule cfd =
+    Rules.Ar.Form2
+      {
+        f2_name = "cfd:" ^ cfd.name;
+        f2_lhs =
+          Rules.Ar.Master_const (cfd_col, Rules.Ar.Eq, Value.String cfd.name)
+          :: List.map (fun (a, _) -> Rules.Ar.Te_master (a, a)) cfd.pattern;
+        f2_te_attr = fst cfd.consequent;
+        f2_tm_attr = fst cfd.consequent;
+      }
+  in
+  (master_schema, master, List.map rule cfds)

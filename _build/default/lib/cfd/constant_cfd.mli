@@ -1,0 +1,66 @@
+(** Constant conditional functional dependencies (Fan et al.,
+    TODS'08), in the constant form the paper uses: a pattern of
+    (attribute = constant) conditions implying one (attribute =
+    constant) consequence — e.g. Example 1's
+    [team = "Chicago Bulls" → arena = "United Center"].
+
+    §2.1's remark shows constant CFDs embed into ARs: create a
+    single-tuple master relation holding the pattern row and the
+    consequence, and emit a form (2) AR that matches the pattern
+    attributes of [te] against it and copies the consequence; this
+    module implements that translation ({!to_master_rules}), plus
+    direct violation detection used by the consistency checker and
+    the [DeduceOrder] baseline. *)
+
+type t = {
+  name : string;
+  pattern : (int * Relational.Value.t) list;
+      (** LHS: attribute position = constant (non-empty) *)
+  consequent : int * Relational.Value.t;  (** RHS *)
+}
+
+val make :
+  name:string ->
+  pattern:(string * Relational.Value.t) list ->
+  consequent:string * Relational.Value.t ->
+  Relational.Schema.t ->
+  (t, string) result
+(** Resolve attribute names against the schema. Fails on unknown
+    attributes, an empty pattern, or a consequent attribute that
+    also appears in the pattern. *)
+
+val make_exn :
+  name:string ->
+  pattern:(string * Relational.Value.t) list ->
+  consequent:string * Relational.Value.t ->
+  Relational.Schema.t ->
+  t
+
+val matches : t -> Relational.Tuple.t -> bool
+(** All pattern conditions hold on the tuple. *)
+
+val violates : t -> Relational.Tuple.t -> bool
+(** The pattern holds but the consequent does not (null consequent
+    values count as violations — the dependency demands a specific
+    constant). *)
+
+val violations : t list -> Relational.Relation.t -> (string * int) list
+(** All (CFD name, tuple index) violation pairs in a relation. *)
+
+val repair_tuple : t list -> Relational.Tuple.t -> Relational.Tuple.t
+(** Enforce consequents of matching CFDs (a one-pass Σ-repair used
+    by the medicine example's cleaning stage; iterate to fixpoint
+    with {!repair_relation} if CFDs cascade). *)
+
+val repair_relation : t list -> Relational.Relation.t -> Relational.Relation.t
+(** Apply {!repair_tuple} to fixpoint (at most [|CFDs|] passes). *)
+
+val to_master_rules :
+  schema:Relational.Schema.t ->
+  t list ->
+  Relational.Schema.t * Relational.Relation.t * Rules.Ar.t list
+(** The §2.1 embedding. Returns a synthetic master schema (one
+    column per entity attribute used by any CFD), its instance (one
+    row per CFD; unused columns null), and one form (2) AR per CFD.
+    The returned rules reference the returned master schema and are
+    meant for a ruleset built with it. *)

@@ -1,0 +1,56 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+
+type t = {
+  name : string;
+  lhs : int list;
+  rhs : int list;
+}
+
+let resolve schema names =
+  let rec go = function
+    | [] -> Ok []
+    | a :: rest -> (
+        match Schema.index_opt schema a with
+        | None -> Error (Printf.sprintf "unknown attribute %S" a)
+        | Some i -> (
+            match go rest with Error _ as e -> e | Ok is -> Ok (i :: is)))
+  in
+  go names
+
+let make ~name ~lhs ~rhs schema =
+  if lhs = [] || rhs = [] then Error "FD sides must be non-empty"
+  else
+    match (resolve schema lhs, resolve schema rhs) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok lhs, Ok rhs -> Ok { name; lhs; rhs }
+
+let make_exn ~name ~lhs ~rhs schema =
+  match make ~name ~lhs ~rhs schema with
+  | Ok t -> t
+  | Error e -> invalid_arg (Printf.sprintf "Fd.make_exn (%s): %s" name e)
+
+let violations t relation =
+  let n = Relation.size relation in
+  let agree_no_null i j attrs =
+    List.for_all
+      (fun a ->
+        let vi = Relation.get relation i a and vj = Relation.get relation j a in
+        (not (Value.is_null vi)) && Value.equal vi vj)
+      attrs
+  in
+  let agree i j attrs =
+    List.for_all
+      (fun a -> Value.equal (Relation.get relation i a) (Relation.get relation j a))
+      attrs
+  in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if agree_no_null i j t.lhs && not (agree i j t.rhs) then acc := (i, j) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let satisfied t relation = violations t relation = []

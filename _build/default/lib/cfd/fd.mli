@@ -1,0 +1,26 @@
+(** Plain functional dependencies [X → Y] (Example 1 uses one to
+    illustrate that consistency does not imply accuracy). Only
+    satisfaction checking is provided; repairs are out of the
+    paper's scope. *)
+
+type t = {
+  name : string;
+  lhs : int list;  (** determinant positions (non-empty) *)
+  rhs : int list;  (** dependent positions (non-empty) *)
+}
+
+val make :
+  name:string ->
+  lhs:string list ->
+  rhs:string list ->
+  Relational.Schema.t ->
+  (t, string) result
+
+val make_exn :
+  name:string -> lhs:string list -> rhs:string list -> Relational.Schema.t -> t
+
+val violations : t -> Relational.Relation.t -> (int * int) list
+(** Tuple-index pairs [(i, j)], [i < j], that agree on [lhs] (with
+    no nulls there) but differ on some [rhs] attribute. *)
+
+val satisfied : t -> Relational.Relation.t -> bool

@@ -1,0 +1,1 @@
+lib/core/chase.ml: Array Instance List Ordering Relational Rules Specification Util

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Format Hashtbl Instance Is_cr List Ordering Printf Relational Rules Specification

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Format Is_cr Relational

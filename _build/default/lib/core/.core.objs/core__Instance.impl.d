@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Format List Ordering Printf Relational Rules Specification

@@ -1,0 +1,1 @@
+lib/core/is_cr.ml: Array Bytes Hashtbl Instance List Queue Relational Rules Specification

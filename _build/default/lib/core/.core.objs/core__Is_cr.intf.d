@@ -1,0 +1,1 @@
+lib/core/is_cr.mli: Instance Relational Rules Specification

@@ -1,0 +1,1 @@
+lib/core/specification.ml: Array Printf Relational Rules

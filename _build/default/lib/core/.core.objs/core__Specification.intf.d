@@ -1,0 +1,1 @@
+lib/core/specification.mli: Relational Rules

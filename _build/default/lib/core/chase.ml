@@ -1,0 +1,71 @@
+module Ground = Rules.Ground
+module Value = Relational.Value
+
+type policy =
+  | First_applicable
+  | Random of Util.Prng.t
+
+type result =
+  | Terminal of Instance.t * int
+  | Stuck of { rule : string; reason : string }
+
+(* LHS satisfaction against the current instance, from scratch. *)
+let pred_holds inst = function
+  | Ground.P_ord { attr; c1; c2 } ->
+      Ordering.Attr_order.lt_classes (Instance.order inst attr) c1 c2
+  | Ground.P_te { attr; op; value } ->
+      let w = Instance.te_value inst attr in
+      (not (Value.is_null w)) && Rules.Ar.eval_op op w value
+
+let applicable inst (s : Ground.step) = List.for_all (pred_holds inst) s.preds
+
+(* Would enforcing this step change the instance? Probe on a copy:
+   entity instances are small, and this engine is the reference
+   implementation, not the fast path. *)
+let changes inst (s : Ground.step) =
+  let probe = Instance.copy inst in
+  match Instance.apply probe s.action with
+  | Instance.Unchanged -> false
+  | Instance.Changed _ | Instance.Invalid _ -> true
+
+let run_trace ?(policy = First_applicable) spec =
+  let inst = Instance.init spec in
+  let orders =
+    Array.init
+      (Relational.Schema.arity (Specification.schema spec))
+      (Instance.order inst)
+  in
+  let steps =
+    Ground.instantiate
+      ~ruleset:(Specification.ruleset spec)
+      ~entity:(Specification.entity spec)
+      ~master:(Specification.master spec)
+      ~orders
+  in
+  let steps = Array.of_list steps in
+  let rec loop applied_rev count =
+    let candidates =
+      Array.to_list steps
+      |> List.filter (fun s -> applicable inst s && changes inst s)
+    in
+    match candidates with
+    | [] -> (Terminal (inst, count), List.rev applied_rev)
+    | _ -> (
+        let chosen =
+          match policy with
+          | First_applicable -> List.hd candidates
+          | Random g ->
+              List.nth candidates (Util.Prng.int g (List.length candidates))
+        in
+        match Instance.apply inst chosen.action with
+        | Instance.Changed _ -> loop (chosen :: applied_rev) (count + 1)
+        | Instance.Unchanged ->
+            (* contradicts the [changes] probe *)
+            assert false
+        | Instance.Invalid reason ->
+            (Stuck { rule = chosen.rule_name; reason }, List.rev applied_rev))
+  in
+  loop [] 0
+
+let run ?policy spec = fst (run_trace ?policy spec)
+let chase_sequence ?policy spec = snd (run_trace ?policy spec)

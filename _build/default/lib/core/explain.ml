@@ -1,0 +1,118 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Ground = Rules.Ground
+
+type step = {
+  rule : string;
+  description : string;
+}
+
+type t = {
+  attr : int;
+  value : Value.t;
+  derivation : step list;
+}
+
+let action_attr = function
+  | Ground.Add_order { attr; _ } -> attr
+  | Ground.Refresh attr -> attr
+  | Ground.Assign { attr; _ } -> attr
+
+let pred_attrs preds =
+  List.filter_map
+    (function
+      | Ground.P_ord { attr; _ } -> Some attr
+      | Ground.P_te { attr; _ } -> Some attr)
+    preds
+
+let describe schema inst (s : Ground.step) =
+  let attr_name a = Schema.attribute schema a in
+  match s.Ground.action with
+  | Ground.Assign { attr; value } ->
+      Printf.sprintf "te[%s] := %s (master data)" (attr_name attr)
+        (Value.to_string value)
+  | Ground.Refresh attr ->
+      Printf.sprintf "te[%s] takes its greatest value" (attr_name attr)
+  | Ground.Add_order { attr; c1; c2 } ->
+      let order = Instance.order inst attr in
+      Printf.sprintf "%s ⪯ %s on %s"
+        (Value.to_string (Ordering.Attr_order.class_value order c1))
+        (Value.to_string (Ordering.Attr_order.class_value order c2))
+        (attr_name attr)
+
+(* Replay the chase collecting the effective steps in order. *)
+let replay compiled =
+  let trace = ref [] in
+  match Is_cr.run_compiled ~trace:(fun s -> trace := s :: !trace) compiled with
+  | Is_cr.Church_rosser inst -> Some (inst, List.rev !trace)
+  | Is_cr.Not_church_rosser _ -> None
+
+(* Backward dependency closure at attribute granularity: one pass
+   over the trace in reverse, growing the attribute set with the
+   premises of every step kept. *)
+let derivation_for schema inst trace attr =
+  let relevant = Hashtbl.create 8 in
+  Hashtbl.add relevant attr ();
+  let kept =
+    List.fold_left
+      (fun acc (s : Ground.step) ->
+        if Hashtbl.mem relevant (action_attr s.Ground.action) then begin
+          List.iter
+            (fun a -> if not (Hashtbl.mem relevant a) then Hashtbl.add relevant a ())
+            (pred_attrs s.Ground.preds);
+          s :: acc
+        end
+        else acc)
+      [] (List.rev trace)
+  in
+  List.map
+    (fun (s : Ground.step) ->
+      { rule = s.Ground.rule_name; description = describe schema inst s })
+    kept
+
+let attribute compiled attr =
+  let schema = Specification.schema (Is_cr.compiled_spec compiled) in
+  match replay compiled with
+  | None -> { attr; value = Value.Null; derivation = [] }
+  | Some (inst, trace) ->
+      {
+        attr;
+        value = Instance.te_value inst attr;
+        derivation = derivation_for schema inst trace attr;
+      }
+
+let all compiled =
+  let schema = Specification.schema (Is_cr.compiled_spec compiled) in
+  match replay compiled with
+  | None ->
+      List.init (Schema.arity schema) (fun attr ->
+          { attr; value = Value.Null; derivation = [] })
+  | Some (inst, trace) ->
+      List.init (Schema.arity schema) (fun attr ->
+          {
+            attr;
+            value = Instance.te_value inst attr;
+            derivation = derivation_for schema inst trace attr;
+          })
+
+let rules_used compiled =
+  match replay compiled with
+  | None -> []
+  | Some (_, trace) ->
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun (s : Ground.step) ->
+          if Hashtbl.mem seen s.Ground.rule_name then None
+          else begin
+            Hashtbl.add seen s.Ground.rule_name ();
+            Some s.Ground.rule_name
+          end)
+        trace
+
+let pp schema ppf t =
+  Format.fprintf ppf "@[<v>te[%s] = %a@," (Schema.attribute schema t.attr)
+    Value.pp t.value;
+  List.iter
+    (fun s -> Format.fprintf ppf "  because %-18s %s@," s.rule s.description)
+    t.derivation;
+  Format.fprintf ppf "@]"

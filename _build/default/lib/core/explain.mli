@@ -1,0 +1,42 @@
+(** Deduction provenance: {e why} does the deduced target carry this
+    value?
+
+    A practical necessity for the Fig. 3 framework — when the user is
+    asked to validate a target tuple, they want the derivation, not
+    just the value. The explanation of an attribute is the sub-
+    sequence of chase steps its value depends on: the step that
+    instantiated [te\[A\]] (a master-rule assignment or a λ greatest-
+    value), the order-extending steps on [A] it required, and,
+    recursively, the steps that satisfied those steps' premises on
+    other attributes.
+
+    Built by replaying the compiled chase with a trace and walking
+    the dependency edges backwards; the result is presented in
+    chase-application order, so it reads as a derivation. *)
+
+type step = {
+  rule : string;  (** AR name (axioms included, e.g. [axiom7:MN]) *)
+  description : string;  (** human-readable effect of the step *)
+}
+
+type t = {
+  attr : int;
+  value : Relational.Value.t;  (** [Null] when nothing was deduced *)
+  derivation : step list;  (** chase-order steps the value rests on *)
+}
+
+val attribute : Is_cr.compiled -> int -> t
+(** Explanation of one target attribute. Runs the chase (the
+    specification must be Church-Rosser; otherwise the derivation is
+    empty and the value [Null]). *)
+
+val all : Is_cr.compiled -> t list
+(** One explanation per schema attribute. The chase is replayed
+    once. *)
+
+val rules_used : Is_cr.compiled -> string list
+(** Names of the ARs that contributed at least one effective chase
+    step, in first-use order — a rule-set coverage report ("which of
+    my 105 rules actually fire?"). *)
+
+val pp : Relational.Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Schema = Relational.Schema
+module Attr_order = Ordering.Attr_order
+
+type t = {
+  relation : Relation.t;
+  orders : Attr_order.t array;
+  te : Value.t array;
+}
+
+type event =
+  | Edge of { attr : int; c1 : int; c2 : int }
+  | Te_set of { attr : int; value : Value.t }
+
+type outcome =
+  | Unchanged
+  | Changed of event list
+  | Invalid of string
+
+let init spec =
+  let relation = Specification.entity spec in
+  let schema = Relation.schema relation in
+  let orders =
+    Array.init (Schema.arity schema) (fun a ->
+        Attr_order.of_column (Relation.column relation a))
+  in
+  { relation; orders; te = Specification.template spec }
+
+let relation t = t.relation
+let schema t = Relation.schema t.relation
+let order t a = t.orders.(a)
+let te t = Array.copy t.te
+let te_value t a = t.te.(a)
+let te_complete t = Array.for_all (fun v -> not (Value.is_null v)) t.te
+
+let null_attrs t =
+  List.filter
+    (fun a -> Value.is_null t.te.(a))
+    (List.init (Array.length t.te) (fun i -> i))
+
+let target_tuple t = Tuple.make t.te
+
+(* λ (§2.2): if the attribute's order now has a greatest value, the
+   template takes it. Returns the extra events, or an error when a
+   non-null template value would have to change. *)
+let lambda t attr =
+  match Attr_order.greatest t.orders.(attr) with
+  | None -> Ok []
+  | Some v ->
+      if Value.is_null v then
+        (* A null greatest (e.g. an all-null column) carries no
+           information: it neither instantiates the template nor
+           constrains a template value supplied from elsewhere —
+           Example 7's candidate targets may take any domain value. *)
+        Ok []
+      else if Value.is_null t.te.(attr) then begin
+        t.te.(attr) <- v;
+        Ok [ Te_set { attr; value = v } ]
+      end
+      else if Value.equal t.te.(attr) v then Ok []
+      else
+        Error
+          (Printf.sprintf "lambda would change te[%s] from %s to %s"
+             (Schema.attribute (schema t) attr)
+             (Value.to_string t.te.(attr))
+             (Value.to_string v))
+
+let apply t action =
+  match action with
+  | Rules.Ground.Refresh attr -> (
+      match lambda t attr with
+      | Ok [] -> Unchanged
+      | Ok events -> Changed events
+      | Error e -> Invalid e)
+  | Rules.Ground.Assign { attr; value } ->
+      assert (not (Value.is_null value));
+      if Value.is_null t.te.(attr) then begin
+        t.te.(attr) <- value;
+        Changed [ Te_set { attr; value } ]
+      end
+      else if Value.equal t.te.(attr) value then Unchanged
+      else
+        Invalid
+          (Printf.sprintf "te[%s] already holds %s, master asserts %s"
+             (Schema.attribute (schema t) attr)
+             (Value.to_string t.te.(attr))
+             (Value.to_string value))
+  | Rules.Ground.Add_order { attr; c1; c2 } -> (
+      match Attr_order.add_classes t.orders.(attr) c1 c2 with
+      | Attr_order.Conflict ->
+          Invalid
+            (Printf.sprintf
+               "ordering %s and %s both ways on attribute %s"
+               (Value.to_string (Attr_order.class_value t.orders.(attr) c1))
+               (Value.to_string (Attr_order.class_value t.orders.(attr) c2))
+               (Schema.attribute (schema t) attr))
+      | Attr_order.No_change -> (
+          (* The pair is already implied: enforcing the rule changes
+             nothing (λ cannot have new information either). *)
+          match lambda t attr with
+          | Ok [] -> Unchanged
+          | Ok events -> Changed events
+          | Error e -> Invalid e)
+      | Attr_order.Extended pairs -> (
+          let edges = List.map (fun (c1, c2) -> Edge { attr; c1; c2 }) pairs in
+          match lambda t attr with
+          | Ok more -> Changed (edges @ more)
+          | Error e -> Invalid e))
+
+let leq t attr t1 t2 = Attr_order.leq_tuples t.orders.(attr) t1 t2
+let lt t attr t1 t2 = Attr_order.lt_tuples t.orders.(attr) t1 t2
+
+let order_pairs_total t =
+  Array.fold_left (fun acc o -> acc + Attr_order.strict_pair_count o) 0 t.orders
+
+let copy t =
+  {
+    relation = t.relation;
+    orders = Array.map Attr_order.copy t.orders;
+    te = Array.copy t.te;
+  }
+
+let pp ppf t =
+  let schema = schema t in
+  Format.fprintf ppf "@[<v>te = (";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s=%a" (Schema.attribute schema i) Value.pp v)
+    t.te;
+  Format.fprintf ppf ")@,";
+  Array.iteri
+    (fun a o ->
+      if Attr_order.strict_pair_count o > 0 then
+        Format.fprintf ppf "%s: %a@," (Schema.attribute schema a) Attr_order.pp o)
+    t.orders;
+  Format.fprintf ppf "@]"

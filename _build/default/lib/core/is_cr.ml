@@ -1,0 +1,265 @@
+module Ground = Rules.Ground
+
+type verdict =
+  | Church_rosser of Instance.t
+  | Not_church_rosser of { rule : string; reason : string }
+
+type stat = {
+  ground_steps : int;
+  fired_steps : int;
+  changed_steps : int;
+}
+
+(* The compiled form keeps everything immutable across runs: the
+   ground steps, the per-step predicate arrays, and the Φ_δ watch
+   tables. A run only allocates the per-step remaining counters, the
+   per-predicate satisfied flags, and the worklist. *)
+type compiled = {
+  cspec : Specification.t;
+  steps : Ground.step array;
+  preds : Ground.gpred array array; (* per step *)
+  slot_base : int array; (* step -> offset into the flat slot space *)
+  total_slots : int;
+  ord_watch : (int * int * int, (int * int) list) Hashtbl.t;
+  te_watch : (int, (int * int) list) Hashtbl.t;
+}
+
+let compile spec =
+  (* A throwaway instance supplies the value-class numbering; class
+     ids are a pure function of the entity relation, so they agree
+     with every future run's orders. *)
+  let inst = Instance.init spec in
+  let orders =
+    Array.init
+      (Relational.Schema.arity (Specification.schema spec))
+      (Instance.order inst)
+  in
+  let steps =
+    Array.of_list
+      (Ground.instantiate
+         ~ruleset:(Specification.ruleset spec)
+         ~entity:(Specification.entity spec)
+         ~master:(Specification.master spec)
+         ~orders)
+  in
+  let preds = Array.map (fun (s : Ground.step) -> Array.of_list s.preds) steps in
+  let slot_base = Array.make (Array.length steps) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun sid ps ->
+      slot_base.(sid) <- !total;
+      total := !total + Array.length ps)
+    preds;
+  let ord_acc = Hashtbl.create 256 and te_acc = Hashtbl.create 64 in
+  let watch tbl key entry =
+    Hashtbl.replace tbl key
+      (entry :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
+  in
+  Array.iteri
+    (fun sid ps ->
+      Array.iteri
+        (fun slot p ->
+          match p with
+          | Ground.P_ord { attr; c1; c2 } -> watch ord_acc (attr, c1, c2) (sid, slot)
+          | Ground.P_te { attr; _ } -> watch te_acc attr (sid, slot))
+        ps)
+    preds;
+  {
+    cspec = spec;
+    steps;
+    preds;
+    slot_base;
+    total_slots = !total;
+    ord_watch = ord_acc;
+    te_watch = te_acc;
+  }
+
+let compiled_spec c = c.cspec
+let ground_size c = Array.length c.steps
+
+(* Mutable per-run state. *)
+type run_state = {
+  c : compiled;
+  remaining : int array;
+  sat : Bytes.t;
+  dead : Bytes.t;
+  queued : Bytes.t;
+  queue : int Queue.t;
+}
+
+let fresh_state c =
+  let n = Array.length c.steps in
+  let st =
+    {
+      c;
+      remaining = Array.init n (fun sid -> Array.length c.preds.(sid));
+      sat = Bytes.make c.total_slots '\000';
+      dead = Bytes.make n '\000';
+      queued = Bytes.make n '\000';
+      queue = Queue.create ();
+    }
+  in
+  for sid = 0 to n - 1 do
+    if st.remaining.(sid) = 0 then begin
+      Bytes.set st.queued sid '\001';
+      Queue.add sid st.queue
+    end
+  done;
+  st
+
+let enqueue_if_ready st sid =
+  if
+    Bytes.get st.dead sid = '\000'
+    && Bytes.get st.queued sid = '\000'
+    && st.remaining.(sid) = 0
+  then begin
+    Bytes.set st.queued sid '\001';
+    Queue.add sid st.queue
+  end
+
+let satisfy st sid slot =
+  let flat = st.c.slot_base.(sid) + slot in
+  if Bytes.get st.dead sid = '\000' && Bytes.get st.sat flat = '\000' then begin
+    Bytes.set st.sat flat '\001';
+    st.remaining.(sid) <- st.remaining.(sid) - 1;
+    enqueue_if_ready st sid
+  end
+
+let handle_event st event =
+  match event with
+  | Instance.Edge { attr; c1; c2 } -> (
+      match Hashtbl.find_opt st.c.ord_watch (attr, c1, c2) with
+      | None -> ()
+      | Some l -> List.iter (fun (sid, slot) -> satisfy st sid slot) l)
+  | Instance.Te_set { attr; value } -> (
+      match Hashtbl.find_opt st.c.te_watch attr with
+      | None -> ()
+      | Some l ->
+          List.iter
+            (fun (sid, slot) ->
+              if Bytes.get st.dead sid = '\000' then
+                match st.c.preds.(sid).(slot) with
+                | Ground.P_te { op; value = expected; _ } ->
+                    if Rules.Ar.eval_op op value expected then satisfy st sid slot
+                    else Bytes.set st.dead sid '\001'
+                      (* te is write-once: this step can never fire *)
+                | Ground.P_ord _ -> assert false)
+            l)
+
+(* Drain the worklist to a terminal or invalid state; reusable by
+   both one-shot runs and incremental sessions. *)
+let drain ?trace c st inst ~fired ~changed =
+  let stat () =
+    {
+      ground_steps = Array.length c.steps;
+      fired_steps = !fired;
+      changed_steps = !changed;
+    }
+  in
+  let rec go () =
+    match Queue.take_opt st.queue with
+    | None -> (Church_rosser inst, stat ())
+    | Some sid ->
+        if Bytes.get st.dead sid = '\001' then go ()
+        else begin
+          incr fired;
+          match Instance.apply inst c.steps.(sid).action with
+          | Instance.Unchanged -> go ()
+          | Instance.Changed events ->
+              incr changed;
+              (match trace with Some f -> f c.steps.(sid) | None -> ());
+              List.iter (handle_event st) events;
+              go ()
+          | Instance.Invalid reason ->
+              ( Not_church_rosser { rule = c.steps.(sid).rule_name; reason },
+                stat () )
+        end
+  in
+  go ()
+
+let prepare ?template c =
+  let spec =
+    match template with
+    | None -> c.cspec
+    | Some tpl -> Specification.with_template c.cspec tpl
+  in
+  let inst = Instance.init spec in
+  let st = fresh_state c in
+  (* A non-null initial template (candidate checking) counts as
+     pre-fired target events. *)
+  Array.iteri
+    (fun attr value ->
+      if not (Relational.Value.is_null value) then
+        handle_event st (Instance.Te_set { attr; value }))
+    (Instance.te inst);
+  (inst, st)
+
+let run_internal ?trace ?template c =
+  let inst, st = prepare ?template c in
+  drain ?trace c st inst ~fired:(ref 0) ~changed:(ref 0)
+
+let run ?trace spec = fst (run_internal ?trace (compile spec))
+let run_stat spec = run_internal (compile spec)
+
+let run_compiled ?trace ?template c = fst (run_internal ?trace ?template c)
+
+let check c tuple =
+  if Array.exists Relational.Value.is_null tuple then
+    invalid_arg "Is_cr.check: candidate target has a null attribute";
+  match run_compiled ~template:tuple c with
+  | Church_rosser _ -> true
+  | Not_church_rosser _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                               *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  sc : compiled;
+  sst : run_state;
+  sinst : Instance.t;
+  mutable broken : bool;
+}
+
+let session_start ?template c =
+  let inst, st = prepare ?template c in
+  match drain c st inst ~fired:(ref 0) ~changed:(ref 0) with
+  | Church_rosser _, _ -> Ok { sc = c; sst = st; sinst = inst; broken = false }
+  | Not_church_rosser { rule; reason }, _ -> Error (rule, reason)
+
+let session_te s = Instance.te s.sinst
+let session_complete s = Instance.te_complete s.sinst
+let session_null_attrs s = Instance.null_attrs s.sinst
+
+let session_fill s fills =
+  if s.broken then invalid_arg "Is_cr.session_fill: session is broken";
+  let fail rule reason =
+    s.broken <- true;
+    Error (rule, reason)
+  in
+  let rec apply_fills = function
+    | [] -> Ok ()
+    | (attr, value) :: rest -> (
+        if Relational.Value.is_null value then
+          invalid_arg "Is_cr.session_fill: cannot fill with null";
+        match Instance.apply s.sinst (Ground.Assign { attr; value }) with
+        | Instance.Unchanged -> apply_fills rest
+        | Instance.Changed events ->
+            List.iter (handle_event s.sst) events;
+            apply_fills rest
+        | Instance.Invalid reason -> fail "user-fill" reason)
+  in
+  match apply_fills fills with
+  | Error _ as e -> e
+  | Ok () -> (
+      match drain s.sc s.sst s.sinst ~fired:(ref 0) ~changed:(ref 0) with
+      | Church_rosser _, _ -> Ok ()
+      | Not_church_rosser { rule; reason }, _ -> fail rule reason)
+
+let deduced_target spec =
+  match run spec with
+  | Church_rosser inst -> Some (Instance.te inst)
+  | Not_church_rosser _ -> None
+
+let is_church_rosser spec =
+  match run spec with Church_rosser _ -> true | Not_church_rosser _ -> false

@@ -1,0 +1,97 @@
+(** Algorithm [IsCR] (Fig. 4): decide whether a specification is
+    Church-Rosser and, if so, compute the unique terminal instance
+    [(D, te)] — in [O((|Ie|² + |Im|)·|Σ|)] time.
+
+    The algorithm simulates one chasing sequence while checking it
+    is {e stable} (Thm. 2): it pre-computes the ground steps Γ
+    ({!Rules.Ground.instantiate}), indexes each step's residual
+    predicates with a satisfied-counter ([n_φ]) and a
+    predicate→steps map ([Φ_δ]), and keeps a worklist [Q] of steps
+    whose predicates all fired. Every step popped from [Q] is
+    enforced; an enforcement that violates validity (order cycle or
+    non-null [te] overwrite, directly or through λ) proves the
+    specification is not Church-Rosser. Both event kinds are
+    monotone (orders only grow; [te] attributes are write-once), so
+    each step is examined exactly once. *)
+
+type verdict =
+  | Church_rosser of Instance.t
+      (** the unique terminal instance; its [te] is the deduced
+          target tuple *)
+  | Not_church_rosser of { rule : string; reason : string }
+      (** a once-valid step of this rule cannot be enforced validly *)
+
+type stat = {
+  ground_steps : int;  (** |Γ| *)
+  fired_steps : int;  (** steps whose LHS was eventually satisfied *)
+  changed_steps : int;  (** fired steps that changed the instance *)
+}
+
+val run : ?trace:(Rules.Ground.step -> unit) -> Specification.t -> verdict
+(** [trace] is invoked on every fired step that changed the
+    instance, in enforcement order (a terminal chasing sequence). *)
+
+type compiled
+(** A specification with its ground steps Γ precomputed. Γ does not
+    depend on the initial template (target attributes ground to
+    pending predicates), so one compilation serves every
+    [check(t, S)] call of the top-k algorithms (§6). *)
+
+val compile : Specification.t -> compiled
+val compiled_spec : compiled -> Specification.t
+val ground_size : compiled -> int
+
+val run_compiled :
+  ?trace:(Rules.Ground.step -> unit) ->
+  ?template:Relational.Value.t array ->
+  compiled ->
+  verdict
+(** Run the chase from scratch with the given initial template
+    (default: the specification's own). *)
+
+val check : compiled -> Relational.Value.t array -> bool
+(** [check c t] — is the complete tuple [t] a candidate target
+    (§3)? Runs the chase with [t] as initial template; since [t] is
+    complete, the chase can only confirm it, so [t] is a candidate
+    target iff the run is Church-Rosser. Raises [Invalid_argument]
+    if [t] has a null attribute. *)
+
+type session
+(** An {e incremental} chase: the terminal state of one run, kept
+    alive so that later target-template assignments (the user fills
+    of Fig. 3) continue the chase from where it stopped instead of
+    re-chasing from scratch. Sound because the chase state is
+    monotone — orders only grow and [te] attributes are write-once —
+    so a fill is just one more event into the same index. The result
+    always equals a from-scratch run with the enlarged template
+    (property-tested). *)
+
+val session_start :
+  ?template:Relational.Value.t array ->
+  compiled ->
+  (session, string * string) result
+(** Chase to the terminal instance; [Error (rule, reason)] when the
+    specification is not Church-Rosser. *)
+
+val session_te : session -> Relational.Value.t array
+(** Current deduced target. *)
+
+val session_complete : session -> bool
+val session_null_attrs : session -> int list
+
+val session_fill :
+  session ->
+  (int * Relational.Value.t) list ->
+  (unit, string * string) result
+(** Assign target attributes (non-null values only — raises
+    [Invalid_argument] otherwise) and continue the chase. [Error]
+    when a fill contradicts a deduced value or the continuation hits
+    a conflict; the session is then {e broken} and any further
+    [session_fill] raises. *)
+
+val run_stat : Specification.t -> verdict * stat
+
+val deduced_target : Specification.t -> Relational.Value.t array option
+(** [Some te] when Church-Rosser, [None] otherwise. *)
+
+val is_church_rosser : Specification.t -> bool

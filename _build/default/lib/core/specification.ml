@@ -1,0 +1,65 @@
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Value = Relational.Value
+
+type t = {
+  entity : Relation.t;
+  master : Relation.t option;
+  ruleset : Rules.Ruleset.t;
+  template : Value.t array;
+}
+
+let make ?template ~entity ?master ruleset =
+  let schema = Rules.Ruleset.schema ruleset in
+  if not (Schema.equal (Relation.schema entity) schema) then
+    Error
+      (Printf.sprintf "entity relation schema %s does not match rule set schema %s"
+         (Schema.name (Relation.schema entity))
+         (Schema.name schema))
+  else
+    let master_ok =
+      match (master, Rules.Ruleset.master_schema ruleset) with
+      | None, _ -> Ok ()
+      | Some im, Some ms ->
+          if Schema.equal (Relation.schema im) ms then Ok ()
+          else Error "master relation schema does not match rule set master schema"
+      | Some _, None ->
+          Error "master relation supplied but the rule set declares no master schema"
+    in
+    match master_ok with
+    | Error _ as e -> e
+    | Ok () -> (
+        let arity = Schema.arity schema in
+        match template with
+        | Some tpl when Array.length tpl <> arity ->
+            Error
+              (Printf.sprintf "template arity %d does not match schema arity %d"
+                 (Array.length tpl) arity)
+        | _ ->
+            let template =
+              match template with
+              | Some tpl -> Array.copy tpl
+              | None -> Array.make arity Value.Null
+            in
+            Ok { entity; master; ruleset; template })
+
+let make_exn ?template ~entity ?master ruleset =
+  match make ?template ~entity ?master ruleset with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Specification.make_exn: " ^ e)
+
+let entity t = t.entity
+let master t = t.master
+let ruleset t = t.ruleset
+let schema t = Rules.Ruleset.schema t.ruleset
+let template t = Array.copy t.template
+
+let with_template t tpl =
+  if Array.length tpl <> Schema.arity (schema t) then
+    invalid_arg "Specification.with_template: arity mismatch";
+  { t with template = Array.copy tpl }
+
+let with_ruleset t ruleset =
+  if not (Schema.equal (Rules.Ruleset.schema ruleset) (schema t)) then
+    invalid_arg "Specification.with_ruleset: schema mismatch";
+  { t with ruleset }

@@ -1,0 +1,40 @@
+(** A specification [S = (D0, Σ, Im, te^D0)] of an entity (§2.2):
+    the entity instance with empty accuracy orders, the rule set,
+    the optional master relation, and the initial target template. *)
+
+type t
+
+val make :
+  ?template:Relational.Value.t array ->
+  entity:Relational.Relation.t ->
+  ?master:Relational.Relation.t ->
+  Rules.Ruleset.t ->
+  (t, string) result
+(** Checks schema compatibility: the entity relation's schema must
+    equal the rule set's, the master relation's schema (when either
+    is present) the rule set's master schema, and the template (when
+    given — defaults to all-null) must have the entity arity.
+    Supplying a non-default template is how candidate targets are
+    checked (§3: "when we treat [t'_e] as the initial target
+    template"). *)
+
+val make_exn :
+  ?template:Relational.Value.t array ->
+  entity:Relational.Relation.t ->
+  ?master:Relational.Relation.t ->
+  Rules.Ruleset.t ->
+  t
+
+val entity : t -> Relational.Relation.t
+val master : t -> Relational.Relation.t option
+val ruleset : t -> Rules.Ruleset.t
+val schema : t -> Relational.Schema.t
+
+val template : t -> Relational.Value.t array
+(** Fresh copy of the initial template. *)
+
+val with_template : t -> Relational.Value.t array -> t
+(** Same specification, different initial template (checked). *)
+
+val with_ruleset : t -> Rules.Ruleset.t -> t
+(** Same data, different Σ (schemas must match). *)

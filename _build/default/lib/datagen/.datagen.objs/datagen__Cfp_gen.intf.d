@@ -1,0 +1,1 @@
+lib/datagen/cfp_gen.mli: Entity_gen

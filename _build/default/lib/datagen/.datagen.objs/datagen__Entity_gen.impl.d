@@ -1,0 +1,1 @@
+lib/datagen/entity_gen.ml: Array Core Hashtbl Int List Option Printf Relational Rules String Util

@@ -1,0 +1,1 @@
+lib/datagen/entity_gen.mli: Core Relational Rules

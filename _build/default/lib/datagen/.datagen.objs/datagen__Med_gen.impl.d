@@ -1,0 +1,1 @@
+lib/datagen/med_gen.ml: Entity_gen

@@ -1,0 +1,1 @@
+lib/datagen/med_gen.mli: Entity_gen

@@ -1,0 +1,1 @@
+lib/datagen/mj.ml: Core Relational Rules

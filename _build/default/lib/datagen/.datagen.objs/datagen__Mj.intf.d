@@ -1,0 +1,1 @@
+lib/datagen/mj.mli: Core Relational Rules

@@ -1,0 +1,1 @@
+lib/datagen/rest_gen.ml: Array Core List Printf Relational Rules Truth Util

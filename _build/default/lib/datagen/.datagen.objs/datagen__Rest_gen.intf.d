@@ -1,0 +1,1 @@
+lib/datagen/rest_gen.mli: Core Relational Rules Truth

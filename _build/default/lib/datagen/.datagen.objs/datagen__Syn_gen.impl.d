@@ -1,0 +1,1 @@
+lib/datagen/syn_gen.ml: Array Core Hashtbl List Printf Relational Rules Topk Util

@@ -1,0 +1,1 @@
+lib/datagen/syn_gen.mli: Core Relational Topk

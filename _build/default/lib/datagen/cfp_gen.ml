@@ -1,0 +1,56 @@
+(* 22 attributes. Positions:
+     0-1   keys          acronym, year
+     2-16  covered       venue, city, country, startDate, endDate,
+                         generalChair, pcChair, publisher, series,
+                         website, contact, format, track, sponsor, fee
+     17-19 chain 0 (num) callVersion + submissionDeadline, notification
+     20-21 chain 1 (cov) pageLimitVer + pageLimit
+   Rules: 2 drivers + 3 deps × (1 + 7 extras) = 26 form (1);
+   15 covered × 1 = 15 form (2). *)
+
+let attrs =
+  [
+    "acronym"; "year";
+    "venue"; "city"; "country"; "startDate"; "endDate";
+    "generalChair"; "pcChair"; "publisher"; "series"; "website";
+    "contact"; "format"; "track"; "sponsor"; "fee";
+    "callVersion"; "submissionDeadline"; "notification";
+    "pageLimitVer"; "pageLimit";
+  ]
+
+let chains : Entity_gen.chain list =
+  [
+    { counter = 17; deps = [ 18; 19 ]; driver = `Numeric };
+    { counter = 20; deps = [ 21 ]; driver = `Covered 2 };
+  ]
+
+let config ?(entities = 100) ?(master_coverage = 0.55) ?(seed = 4217) () :
+    Entity_gen.config =
+  {
+    name = "cfp";
+    attrs;
+    keys = [ 0; 1 ];
+    chains;
+    covered = [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ];
+    entities;
+    master_coverage;
+    size_zipf_n = 15;
+    size_zipf_s = 0.9;
+    versions = 4;
+    null_rate = 0.03;
+    key_null_rate = 0.01;
+    plain_error_rate = 0.05;
+    dep_error_rate = 0.015;
+    covered_error_rate = 0.5;
+    covered_dirty_rate = 0.5;
+    covered_noise_rate = 0.03;
+    extra_rules_per_dep = 7;
+    extra_rules_per_covered = 0;
+    version_zipf_s = 0.8;
+    stale_keys = true;
+    singleton_rate = 0.1;
+    seed;
+  }
+
+let dataset ?entities ?master_coverage ?seed () =
+  Entity_gen.generate (config ?entities ?master_coverage ?seed ())

@@ -1,0 +1,21 @@
+(** The [CFP] workload (§7): calls for papers.
+
+    The paper crawled 503 call versions for 100 conferences (1–15
+    tuples each, 5 on average) over 22 attributes, cleaned 55
+    WikiCFP entries into a 17-attribute master relation, and used 43
+    ARs (28 of form (1), 15 of form (2)).
+
+    Regeneration: 22 attributes — 2 keys (conference acronym and
+    year), 15 master-covered (venue, dates, chairs, ... — CFP master
+    data covers most fields), one numeric chain (the call version
+    number driving deadline/notification dates) and one chain driven
+    by a covered attribute. Master = 2 + 15 = 17 columns, 55% entity
+    coverage. Rules: 2 drivers + 4 deps × 6 = 26 form (1), 15
+    form (2) (41 total vs the paper's 43). *)
+
+val config :
+  ?entities:int -> ?master_coverage:float -> ?seed:int -> unit -> Entity_gen.config
+(** Defaults: 100 entities, coverage 0.55, seed 4217. *)
+
+val dataset :
+  ?entities:int -> ?master_coverage:float -> ?seed:int -> unit -> Entity_gen.dataset

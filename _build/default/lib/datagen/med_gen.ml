@@ -1,0 +1,71 @@
+(* 30 attributes, named after the paper's examples (name, regNo,
+   manufacturer, ...) with generic sale/stock fields filling the
+   rest. Positions:
+     0-1   keys            name, regNo
+     2-4   covered         manufacturer, category, origin
+     5-8   chain 0 (num)   batchNo  + price, stock, totalSales
+     9-12  chain 1 (num)   shipmentNo + shipDate, carrier, warehouse
+     13-16 chain 2 (num)   auditRound + auditor, auditScore, auditDate
+     17-20 chain 3 (cov 2) licenseVer + licenseNo, licenseDate, authority
+     21-24 chain 4 (cov 3) recallRound + recallCode, recallDate, recallScope
+     25-26 chain 3 extra deps  packSize, dosage
+     27-29 plain           phone, address, notes
+   Chains 0-2 are numeric (φ1-style currency); chains 3-4 are driven
+   by covered attributes 2 and 3 (φ4-style interaction). Dependent
+   attributes: 4+4+4+(3+2)+4 = 17 wait — see the chain lists below:
+   3+3+3+5+3 = 17 deps, 5 counters.
+   Rule count: 5 drivers + 17 deps × (1 + 4 extras) = 90 form (1);
+   3 covered × (1 + 4 variants) = 15 form (2). *)
+
+let attrs =
+  [
+    "name"; "regNo";
+    "manufacturer"; "category"; "origin";
+    "batchNo"; "price"; "stock"; "totalSales";
+    "shipmentNo"; "shipDate"; "carrier"; "warehouse";
+    "auditRound"; "auditor"; "auditScore"; "auditDate";
+    "licenseVer"; "licenseNo"; "licenseDate"; "authority";
+    "recallRound"; "recallCode"; "recallDate"; "recallScope";
+    "packSize"; "dosage";
+    "phone"; "address"; "notes";
+  ]
+
+let chains : Entity_gen.chain list =
+  [
+    { counter = 5; deps = [ 6; 7; 8 ]; driver = `Numeric };
+    { counter = 9; deps = [ 10; 11; 12 ]; driver = `Numeric };
+    { counter = 13; deps = [ 14; 15; 16 ]; driver = `Covered 4 };
+    { counter = 17; deps = [ 18; 19; 20; 25; 26 ]; driver = `Covered 2 };
+    { counter = 21; deps = [ 22; 23; 24 ]; driver = `Covered 3 };
+  ]
+
+let config ?(entities = 2700) ?(master_coverage = 2400.0 /. 2700.0) ?(seed = 1093) () :
+    Entity_gen.config =
+  {
+    name = "med";
+    attrs;
+    keys = [ 0; 1 ];
+    chains;
+    covered = [ 2; 3; 4 ];
+    entities;
+    master_coverage;
+    size_zipf_n = 83;
+    size_zipf_s = 2.2;
+    versions = 5;
+    null_rate = 0.02;
+    key_null_rate = 0.01;
+    plain_error_rate = 0.015;
+    dep_error_rate = 0.01;
+    covered_error_rate = 0.6;
+    covered_dirty_rate = 0.45;
+    covered_noise_rate = 0.12;
+    extra_rules_per_dep = 4;
+    extra_rules_per_covered = 4;
+    version_zipf_s = 0.8;
+    stale_keys = true;
+    singleton_rate = 0.15;
+    seed;
+  }
+
+let dataset ?entities ?master_coverage ?seed () =
+  Entity_gen.generate (config ?entities ?master_coverage ?seed ())

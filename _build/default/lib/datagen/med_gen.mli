@@ -1,0 +1,23 @@
+(** The [Med] workload (§7): medicine sale records.
+
+    The paper's dataset — proprietary, from an anonymous medicine
+    distribution company — had 10K tuples over 2.7K entities (1–83
+    tuples each, 4 on average), a 30-attribute schema, a 2.4K-tuple
+    5-attribute reference relation used as master data, and 105
+    hand-designed ARs (90 of form (1), 15 of form (2)).
+
+    This regeneration matches those statistics:
+    - 30 attributes: 2 keys, 3 master-covered, 5 currency chains
+      (3 numeric, 2 driven by covered attributes — the form-(1)/(2)
+      interaction), 17 chain-dependent attributes, 3 plain;
+    - a Zipf instance-size distribution with mean ≈ 4 capped at 83;
+    - master = 2 key + 3 covered columns ≈ 2.4K rows at the default
+      ~89% coverage (the paper's 2.4K of 2.7K entities);
+    - exactly 90 form (1) + 15 form (2) user rules. *)
+
+val config :
+  ?entities:int -> ?master_coverage:float -> ?seed:int -> unit -> Entity_gen.config
+(** Defaults: 2700 entities, coverage 2400/2700, seed 1093. *)
+
+val dataset :
+  ?entities:int -> ?master_coverage:float -> ?seed:int -> unit -> Entity_gen.dataset

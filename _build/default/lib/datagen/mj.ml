@@ -1,0 +1,76 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+let stat_schema =
+  Schema.make "stat"
+    [ "FN"; "MN"; "LN"; "rnds"; "totalPts"; "J#"; "league"; "team"; "arena" ]
+
+let nba_schema = Schema.make "nba" [ "FN"; "LN"; "league"; "season"; "team" ]
+
+let s x = Value.String x
+let i x = Value.Int x
+let n = Value.Null
+
+let stat =
+  Relation.make stat_schema
+    [
+      Tuple.make [| s "MJ"; n; n; i 16; i 424; i 45; s "NBA"; s "Chicago"; s "Chicago Stadium" |];
+      Tuple.make
+        [| s "Michael"; n; s "Jordan"; i 27; i 772; i 23; s "NBA"; s "Chicago Bulls"; s "United Center" |];
+      Tuple.make
+        [| s "Michael"; n; s "Jordan"; i 1; i 19; i 45; s "NBA"; s "Chicago Bulls"; s "United Center" |];
+      Tuple.make
+        [| s "Michael"; s "Jeffrey"; s "Jordan"; i 127; i 51; i 45; s "SL"; s "Birmingham Barons"; s "Regions Park" |];
+    ]
+
+let nba =
+  Relation.make nba_schema
+    [
+      Tuple.make [| s "Michael"; s "Jordan"; s "NBA"; s "1994-95"; s "Chicago Bulls" |];
+      Tuple.make [| s "Michael"; s "Jordan"; s "NBA"; s "2001-02"; s "Washington Wizards" |];
+    ]
+
+let rules_text =
+  {|# Table 3 of the paper, plus phi10 and phi11 of Example 3.
+rule phi1: forall t1, t2 in stat:
+  t1.league = t2.league and t1.rnds < t2.rnds -> t1 <[rnds] t2
+rule phi2: forall t1, t2 in stat: t1 <[rnds] t2 -> t1 <=["J#"] t2
+rule phi3: forall t1, t2 in stat: t1 <[rnds] t2 -> t1 <=[totalPts] t2
+rule phi4: forall t1, t2 in stat: t1 <[league] t2 -> t1 <=[rnds] t2
+rule phi5: forall t1, t2 in stat: t1 <[MN] t2 -> t1 <=[FN] t2
+rule phi6: forall tm in nba:
+  te.FN = tm.FN and te.LN = tm.LN and tm.season = "1994-95"
+  -> te.league := tm.league; te.team := tm.team
+rule phi10: forall t1, t2 in stat: t1 <[MN] t2 -> t1 <=[LN] t2
+rule phi11: forall t1, t2 in stat: t1 <[team] t2 -> t1 <=[arena] t2
+|}
+
+let ruleset =
+  Rules.Ruleset.make_exn ~schema:stat_schema ~master:nba_schema
+    (Rules.Parser.parse_exn ~schema:stat_schema ~master:nba_schema rules_text)
+
+let specification =
+  Core.Specification.make_exn ~entity:stat ~master:nba ruleset
+
+let expected_target =
+  [|
+    s "Michael"; s "Jeffrey"; s "Jordan"; i 27; i 772; i 23; s "NBA";
+    s "Chicago Bulls"; s "United Center";
+  |]
+
+let phi12_text =
+  {|rule phi12: forall t1, t2 in stat:
+  t1.league = "NBA" and t2.league = "SL" -> t1 <=[league] t2
+|}
+
+let non_cr_specification =
+  let extra =
+    Rules.Parser.parse_exn ~schema:stat_schema ~master:nba_schema phi12_text
+  in
+  let rs =
+    Rules.Ruleset.make_exn ~schema:stat_schema ~master:nba_schema
+      (Rules.Ruleset.user_rules ruleset @ extra)
+  in
+  Core.Specification.make_exn ~entity:stat ~master:nba rs

@@ -1,0 +1,38 @@
+(** The paper's running example (Tables 1–3): Michael Jordan's
+    1994-95 season statistics [stat], the master relation [nba], and
+    the accuracy rules φ1–φ6, φ10, φ11 of Example 3. Used by the
+    quickstart example and as a ground-truth fixture in tests. *)
+
+val stat_schema : Relational.Schema.t
+(** [stat(FN, MN, LN, rnds, totalPts, J#, league, team, arena)]. *)
+
+val nba_schema : Relational.Schema.t
+(** [nba(FN, LN, league, season, team)]. *)
+
+val stat : Relational.Relation.t
+(** Table 1: tuples t1–t4. *)
+
+val nba : Relational.Relation.t
+(** Table 2: tuples s1–s2. *)
+
+val rules_text : string
+(** φ1–φ6, φ10, φ11 in the {!Rules.Parser} concrete syntax. *)
+
+val ruleset : Rules.Ruleset.t
+(** Parsed rules with axioms φ7–φ9 included. *)
+
+val specification : Core.Specification.t
+(** [S = (stat with empty orders, Σ, nba, all-null template)]. *)
+
+val expected_target : Relational.Value.t array
+(** Example 5's complete deduced target: (Michael, Jeffrey, Jordan,
+    27, 772, 23, NBA, Chicago Bulls, United Center). *)
+
+val phi12_text : string
+(** Example 6's extra rule φ12 that breaks the Church-Rosser
+    property ([t1.league = "NBA" and t2.league = "SL" → t1 ⪯_league
+    t2], opposing the master-derived order). *)
+
+val non_cr_specification : Core.Specification.t
+(** The specification S' of Example 6 (Σ ∪ {φ12}): not
+    Church-Rosser. *)

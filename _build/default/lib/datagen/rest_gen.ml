@@ -1,0 +1,216 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Prng = Util.Prng
+
+type source_kind =
+  | Good of { lag : int }
+  | Biased of { false_closed_rate : float }
+  | Copier of { of_source : int; noise : float }
+
+type config = {
+  restaurants : int;
+  sources : source_kind array;
+  snapshots : int;
+  closed_rate : float;
+  miss_rate : float;  (** per (source, restaurant, week) gap *)
+  source_coverage : float;  (** per (source, restaurant): listed at all *)
+  seed : int;
+}
+
+let default_config ?(restaurants = 800) ?(seed = 7321) () =
+  {
+    restaurants;
+    sources =
+      [|
+        Good { lag = 0 };
+        Good { lag = 1 };
+        Good { lag = 2 };
+        Good { lag = 3 };
+        Good { lag = 4 };
+        Good { lag = 5 };
+        Biased { false_closed_rate = 0.6 };
+        Biased { false_closed_rate = 0.7 };
+        Biased { false_closed_rate = 0.8 };
+        Copier { of_source = 0; noise = 0.1 };
+        Copier { of_source = 6; noise = 0.1 };
+        Copier { of_source = 7; noise = 0.15 };
+      |];
+    snapshots = 8;
+    closed_rate = 0.3;
+    miss_rate = 0.35;
+    source_coverage = 0.5;
+    seed;
+  }
+
+type restaurant = {
+  id : int;
+  closed_truth : bool;
+  close_week : int option;
+  instance : Relation.t;
+}
+
+type dataset = {
+  config : config;
+  schema : Schema.t;
+  ruleset : Rules.Ruleset.t;
+  restaurants : restaurant list;
+}
+
+let descriptive =
+  [ "name"; "addr"; "phone"; "cuisine"; "hours"; "website"; "owner"; "borough";
+    "rating"; "delivery" ]
+
+let attrs = descriptive @ [ "closed"; "week"; "source" ]
+
+let schema = Schema.make "rest" attrs
+
+let closed_pos = Schema.index schema "closed"
+let week_pos = Schema.index schema "week"
+let source_pos = Schema.index schema "source"
+
+let closed_attr (_ : dataset) = closed_pos
+
+(* One per-source currency rule per reported attribute: within one
+   source, a later snapshot is at least as accurate. 12 × 11 = 132
+   form (1) rules (the paper found 131 for Rest). Reports are
+   monotone per source, so these never conflict. *)
+let build_rules num_sources =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun a ->
+          let attr = Schema.index schema a in
+          if attr = week_pos || attr = source_pos then None
+          else
+            Some
+              (Rules.Ar.Form1
+                 {
+                   f1_name = Printf.sprintf "cur:s%d:%s" s a;
+                   f1_lhs =
+                     [
+                       Rules.Ar.Cmp
+                         ( Rules.Ar.Tuple_attr (Rules.Ar.T1, source_pos),
+                           Rules.Ar.Eq,
+                           Rules.Ar.Const (Value.Int s) );
+                       Rules.Ar.Cmp
+                         ( Rules.Ar.Tuple_attr (Rules.Ar.T2, source_pos),
+                           Rules.Ar.Eq,
+                           Rules.Ar.Const (Value.Int s) );
+                       Rules.Ar.Cmp
+                         ( Rules.Ar.Tuple_attr (Rules.Ar.T1, week_pos),
+                           Rules.Ar.Lt,
+                           Rules.Ar.Tuple_attr (Rules.Ar.T2, week_pos) );
+                     ];
+                   f1_rhs =
+                     { strict = false; left = Rules.Ar.T1; right = Rules.Ar.T2; attr };
+                 }))
+        attrs)
+    (List.init num_sources (fun s -> s))
+
+(* The week (starting with which) a source claims the restaurant
+   closed; None = reports open throughout. Monotone by construction. *)
+let claim_start g config r ~close_week =
+  let n = Array.length config.sources in
+  let starts = Array.make n None in
+  Array.iteri
+    (fun s kind ->
+      match kind with
+      | Good { lag } -> (
+          match close_week with
+          | Some w when w + lag <= config.snapshots -> starts.(s) <- Some (w + lag)
+          | _ -> starts.(s) <- None)
+      | Biased { false_closed_rate } -> (
+          match close_week with
+          | Some w -> starts.(s) <- Some w (* biased sources still see real closures *)
+          | None ->
+              if Prng.bernoulli g false_closed_rate then
+                (* A consistent false claim from the first snapshot:
+                   poisons voting's precision but never flips, so the
+                   chase ignores it. *)
+                starts.(s) <- Some 1
+              else if Prng.bernoulli g 0.07 then
+                (* A rare false *flip* mid-crawl, which even the chase
+                   trusts — the source of TopKCT's imperfect precision
+                   in Table 4. Reports stay monotone, so
+                   specifications remain Church-Rosser. *)
+                starts.(s) <- Some (2 + Prng.int g (config.snapshots - 1)))
+      | Copier _ -> ())
+    config.sources;
+  (* Copiers after their parents (parents are lower-indexed here). *)
+  Array.iteri
+    (fun s kind ->
+      match kind with
+      | Copier { of_source; noise } ->
+          if Prng.bernoulli g noise then starts.(s) <- None
+          else starts.(s) <- starts.(of_source)
+      | Good _ | Biased _ -> ())
+    config.sources;
+  ignore r;
+  starts
+
+let generate config =
+  let g = Prng.create config.seed in
+  let num_sources = Array.length config.sources in
+  let ruleset = Rules.Ruleset.make_exn ~schema (build_rules num_sources) in
+  let restaurants =
+    List.init config.restaurants (fun r ->
+        let gr = Prng.split g in
+        let close_week =
+          if Prng.bernoulli gr config.closed_rate then
+            Some (1 + Prng.int gr config.snapshots)
+          else None
+        in
+        let closed_truth = close_week <> None in
+        let starts = claim_start gr config r ~close_week in
+        let base =
+          List.map
+            (fun a -> Value.String (Printf.sprintf "rest_%d_%s" r a))
+            descriptive
+        in
+        let tuples = ref [] in
+        for s = 0 to num_sources - 1 do
+          (* Web sources list subsets of the restaurants; an unlisted
+             restaurant contributes no claims from this source. *)
+          let listed = Prng.bernoulli gr config.source_coverage in
+          for w = 1 to config.snapshots do
+            if listed && not (Prng.bernoulli gr config.miss_rate) then begin
+              let claimed_closed =
+                match starts.(s) with Some start -> w >= start | None -> false
+              in
+              let values =
+                Array.of_list
+                  (base
+                  @ [ Value.Bool claimed_closed; Value.Int w; Value.Int s ])
+              in
+              tuples := Tuple.make ~source:s ~snapshot:w values :: !tuples
+            end
+          done
+        done;
+        {
+          id = r;
+          closed_truth;
+          close_week;
+          instance = Relation.make schema (List.rev !tuples);
+        })
+  in
+  { config; schema; ruleset; restaurants }
+
+let spec_for dataset restaurant =
+  Core.Specification.make_exn ~entity:restaurant.instance dataset.ruleset
+
+let claims dataset =
+  List.concat_map
+    (fun r ->
+      List.map
+        (fun t ->
+          {
+            Truth.Copy_cef.object_id = r.id;
+            attr = closed_pos;
+            source = Tuple.source t;
+            snapshot = Tuple.snapshot t;
+            value = Tuple.get t closed_pos;
+          })
+        (Relation.tuples r.instance))
+    dataset.restaurants

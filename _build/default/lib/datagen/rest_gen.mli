@@ -1,0 +1,75 @@
+(** The [Rest] workload (§7): Dong et al.'s Manhattan restaurant
+    snapshots (lunadong.com/fusionDataSets.htm) — 12 Web sources
+    crawled over 8 weekly snapshots, 5149 restaurants, where the one
+    attribute to decide is the boolean [closed?].
+
+    The original download is unavailable offline; this simulator
+    reproduces the structure the §7 truth-discovery comparison
+    exercises:
+
+    - each restaurant either closes during some week in [1..8] or
+      stays open (the ground truth [G] of Table 4's recall);
+    - each source has an accuracy profile: {e good} sources report
+      the true status with a detection lag, {e biased} sources
+      wrongly report some open restaurants as closed (consistently
+      across snapshots — the precision poison for [voting]), and
+      {e copier} sources replicate another source's claims (with
+      small noise) — what [copyCEF]'s copy detection must find;
+    - per-source reports are monotone over snapshots (a closure,
+      once detected, stays reported), so the per-source currency ARs
+      keep every specification Church-Rosser;
+    - the AR set has one currency rule per (source, attribute) pair,
+      all of form (1) — 12 × 11 = 132 ≈ the paper's 131.
+
+    Each restaurant yields an entity instance whose tuples are the
+    (source, snapshot) observations, with [source] and [week]
+    materialized as attributes so that the ARs can mention them. *)
+
+type source_kind =
+  | Good of { lag : int }  (** detects closures [lag] weeks late *)
+  | Biased of { false_closed_rate : float }
+  | Copier of { of_source : int; noise : float }
+
+type config = {
+  restaurants : int;
+  sources : source_kind array;
+  snapshots : int;
+  closed_rate : float;  (** fraction of restaurants that close *)
+  miss_rate : float;  (** a source skips a restaurant in a snapshot *)
+  source_coverage : float;
+      (** probability that a source lists a restaurant at all —
+          sparse coverage is what lets biased minorities win votes *)
+  seed : int;
+}
+
+val default_config : ?restaurants:int -> ?seed:int -> unit -> config
+(** 12 sources (6 good with lags 0–3, 3 biased, 3 copiers), 8
+    snapshots, 30% closure rate, 60% per-source restaurant coverage;
+    [restaurants] defaults to 800 — a runtime-friendly subsample of
+    the paper's 5149 with the same structure (pass 5149 to match the
+    paper exactly). *)
+
+type restaurant = {
+  id : int;
+  closed_truth : bool;  (** closed by the final week? *)
+  close_week : int option;
+  instance : Relational.Relation.t;
+}
+
+type dataset = {
+  config : config;
+  schema : Relational.Schema.t;
+  ruleset : Rules.Ruleset.t;
+  restaurants : restaurant list;
+}
+
+val closed_attr : dataset -> int
+(** Position of the [closed] attribute. *)
+
+val generate : config -> dataset
+
+val spec_for : dataset -> restaurant -> Core.Specification.t
+
+val claims : dataset -> Truth.Copy_cef.claim list
+(** All (restaurant, closed) observations in [copyCEF]'s claim
+    format. *)

@@ -1,0 +1,36 @@
+(** The [Syn] workload (§7): synthetic scalability data, "generated
+    by extending relations stat and nba" to 20 attributes, with
+    random domain values, random preference scores, and a set of 100
+    ARs (75% form (1), 25% form (2)).
+
+    One {e single large entity instance} is generated — the ‖Ie‖
+    axis of Fig. 6(i) ranges to 1500 tuples, far beyond any
+    real-world entity, which is the point of the stress test. The
+    20 attributes are: 2 keys, 3 master-covered, 4 numeric currency
+    chains of 3 (counter + 2 dependents), and 3 plain attributes
+    whose conflicting values leave the deduced target null — the
+    [Z] over which the top-k algorithms then enumerate.
+
+    A deterministic rule pool is generated (base rules first,
+    guarded variants after) and sliced to the requested ‖Σ‖ with a
+    75/25 form split, so the ‖Σ‖ sweep of Fig. 6(j) is monotone:
+    a larger Σ strictly contains a smaller one. *)
+
+type dataset = {
+  schema : Relational.Schema.t;
+  spec : Core.Specification.t;
+  truth : Relational.Value.t array;
+  pref : Topk.Preference.t;  (** random value scores, as in §7 *)
+  null_attrs_expected : int list;  (** the plain attribute positions *)
+}
+
+val dataset :
+  ?ie:int -> ?im:int -> ?sigma:int -> ?domain:int -> ?seed:int -> unit -> dataset
+(** Defaults (the fixed point of Exp-4): [ie = 900] tuples,
+    [im = 300] master rows, [sigma = 60] rules, [domain = 25]
+    distinct values per plain attribute, [seed = 271828].
+    Raises [Invalid_argument] if [sigma] exceeds the pool (~140) or
+    is below the 8 base rules. *)
+
+val rule_pool_size : unit -> int
+(** Size of the full deterministic rule pool. *)

@@ -1,0 +1,1 @@
+lib/discovery/miner.ml: Array Float Int List Printf Relational Rules

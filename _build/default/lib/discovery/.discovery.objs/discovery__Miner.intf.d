@@ -1,0 +1,1 @@
+lib/discovery/miner.mli: Relational Rules

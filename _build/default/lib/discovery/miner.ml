@@ -1,0 +1,249 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+
+type config = {
+  min_support : int;
+  min_confidence : float;
+  max_rules_per_attr : int;
+}
+
+let default_config = { min_support = 5; min_confidence = 0.9; max_rules_per_attr = 3 }
+
+type example = {
+  instance : Relation.t;
+  target : Value.t array;
+}
+
+type mined = {
+  rule : Rules.Ar.t;
+  support : int;
+  confidence : float;
+}
+
+(* A candidate premise over the context attribute. *)
+type premise = P_lt of int | P_gt of int | P_eq of int
+
+let premise_holds relation i j = function
+  | P_lt c -> Value.lt (Relation.get relation i c) (Relation.get relation j c)
+  | P_gt c -> Value.lt (Relation.get relation j c) (Relation.get relation i c)
+  | P_eq c ->
+      let vi = Relation.get relation i c and vj = Relation.get relation j c in
+      (not (Value.is_null vi)) && Value.equal vi vj
+
+let premise_to_pred = function
+  | P_lt c -> Rules.Ar.Cmp (Rules.Ar.Tuple_attr (Rules.Ar.T1, c), Rules.Ar.Lt, Rules.Ar.Tuple_attr (Rules.Ar.T2, c))
+  | P_gt c -> Rules.Ar.Cmp (Rules.Ar.Tuple_attr (Rules.Ar.T1, c), Rules.Ar.Gt, Rules.Ar.Tuple_attr (Rules.Ar.T2, c))
+  | P_eq c -> Rules.Ar.Cmp (Rules.Ar.Tuple_attr (Rules.Ar.T1, c), Rules.Ar.Eq, Rules.Ar.Tuple_attr (Rules.Ar.T2, c))
+
+(* Pair label for target attribute [a]: Some true = positive
+   (t_j more accurate), Some false = negative, None = unlabeled. *)
+let label example a i j =
+  let truth = example.target.(a) in
+  if Value.is_null truth then None
+  else begin
+    let vi = Relation.get example.instance i a
+    and vj = Relation.get example.instance j a in
+    let i_true = Value.equal vi truth and j_true = Value.equal vj truth in
+    if j_true && not i_true then Some true
+    else if i_true && not j_true then Some false
+    else None
+  end
+
+let count_evidence examples a premises =
+  let pos = ref 0 and neg = ref 0 in
+  List.iter
+    (fun ex ->
+      let n = Relation.size ex.instance in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && List.for_all (premise_holds ex.instance i j) premises then
+            match label ex a i j with
+            | Some true -> incr pos
+            | Some false -> incr neg
+            | None -> ()
+        done
+      done)
+    examples;
+  (!pos, !neg)
+
+let discover ?(config = default_config) schema examples =
+  List.iter
+    (fun ex ->
+      if not (Schema.equal (Relation.schema ex.instance) schema) then
+        invalid_arg "Miner.discover: example schema mismatch";
+      if Array.length ex.target <> Schema.arity schema then
+        invalid_arg "Miner.discover: target arity mismatch")
+    examples;
+  let arity = Schema.arity schema in
+  let attrs = List.init arity (fun i -> i) in
+  let level1 = List.concat_map (fun c -> [ [ P_lt c ]; [ P_gt c ] ]) attrs in
+  let level2 =
+    (* φ1 shape: equality context plus an inequality premise. *)
+    List.concat_map
+      (fun c_eq ->
+        List.concat_map
+          (fun c_ord ->
+            if c_eq = c_ord then []
+            else [ [ P_eq c_eq; P_lt c_ord ]; [ P_eq c_eq; P_gt c_ord ] ])
+          attrs)
+      attrs
+  in
+  let evaluate a premises =
+    (* Premises about the concluded attribute itself would be
+       circular evidence; skip them. *)
+    let mentions_target =
+      List.exists (function P_lt c | P_gt c | P_eq c -> c = a) premises
+    in
+    if mentions_target then None
+    else begin
+      let pos, neg = count_evidence examples a premises in
+      if pos < config.min_support then None
+      else
+        let confidence = float_of_int pos /. float_of_int (pos + neg) in
+        if confidence < config.min_confidence then None
+        else Some (premises, pos, confidence)
+    end
+  in
+  let mined_for_attr a =
+    let hits1 = List.filter_map (evaluate a) level1 in
+    (* Level 2 only refines: skip it when level 1 already found
+       enough rules (classic level-wise pruning). *)
+    let hits =
+      if List.length hits1 >= config.max_rules_per_attr then hits1
+      else hits1 @ List.filter_map (evaluate a) level2
+    in
+    let sorted =
+      List.sort
+        (fun (_, s1, c1) (_, s2, c2) ->
+          match Float.compare c2 c1 with 0 -> Int.compare s2 s1 | c -> c)
+        hits
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    List.mapi
+      (fun idx (premises, support, confidence) ->
+        {
+          rule =
+            Rules.Ar.Form1
+              {
+                f1_name =
+                  Printf.sprintf "mined:%s:%d" (Schema.attribute schema a) (idx + 1);
+                f1_lhs = List.map premise_to_pred premises;
+                f1_rhs =
+                  { strict = false; left = Rules.Ar.T1; right = Rules.Ar.T2; attr = a };
+              };
+          support;
+          confidence;
+        })
+      (take config.max_rules_per_attr sorted)
+  in
+  List.concat_map mined_for_attr attrs
+
+(* ------------------------------------------------------------------ *)
+(* Form (2) discovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let discover_master ?(config = default_config) schema ~master examples =
+  List.iter
+    (fun ex ->
+      if not (Schema.equal (Relation.schema ex.instance) schema) then
+        invalid_arg "Miner.discover_master: example schema mismatch")
+    examples;
+  let mschema = Relation.schema master in
+  let e_arity = Schema.arity schema and m_arity = Schema.arity mschema in
+  (* Join candidates: (entity attr K, master col MK) pairs where
+     every example's target K-value selects at most one master row
+     and at least min_support select exactly one. *)
+  let rows_matching mk v =
+    List.filter
+      (fun row -> Value.equal (Relational.Tuple.get row mk) v)
+      (Relation.tuples master)
+  in
+  let join_pairs =
+    List.concat_map
+      (fun k ->
+        List.filter_map
+          (fun mk ->
+            let unique = ref 0 and ambiguous = ref 0 in
+            List.iter
+              (fun ex ->
+                let v = ex.target.(k) in
+                if not (Value.is_null v) then
+                  match rows_matching mk v with
+                  | [ _ ] -> incr unique
+                  | [] -> ()
+                  | _ -> incr ambiguous)
+              examples;
+            if !unique >= config.min_support && !ambiguous = 0 then Some (k, mk)
+            else None)
+          (List.init m_arity (fun i -> i)))
+      (List.init e_arity (fun i -> i))
+  in
+  let evaluate (k, mk) a ma =
+    if a = k then None
+    else begin
+      let pos = ref 0 and neg = ref 0 in
+      List.iter
+        (fun ex ->
+          let kv = ex.target.(k) and av = ex.target.(a) in
+          if (not (Value.is_null kv)) && not (Value.is_null av) then
+            match rows_matching mk kv with
+            | [ row ] ->
+                let mv = Relational.Tuple.get row ma in
+                if Value.is_null mv then ()
+                else if Value.equal mv av then incr pos
+                else incr neg
+            | _ -> ())
+        examples;
+      if !pos < config.min_support then None
+      else
+        let confidence = float_of_int !pos /. float_of_int (!pos + !neg) in
+        if confidence < config.min_confidence then None
+        else Some (!pos, confidence)
+    end
+  in
+  let mined_for_attr a =
+    let hits =
+      List.concat_map
+        (fun (k, mk) ->
+          List.filter_map
+            (fun ma ->
+              match evaluate (k, mk) a ma with
+              | Some (support, confidence) -> Some ((k, mk, ma), support, confidence)
+              | None -> None)
+            (List.init m_arity (fun i -> i)))
+        join_pairs
+    in
+    let sorted =
+      List.sort
+        (fun (_, s1, c1) (_, s2, c2) ->
+          match Float.compare c2 c1 with 0 -> Int.compare s2 s1 | c -> c)
+        hits
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    List.mapi
+      (fun idx ((k, mk, ma), support, confidence) ->
+        {
+          rule =
+            Rules.Ar.Form2
+              {
+                f2_name =
+                  Printf.sprintf "mined2:%s:%d" (Schema.attribute schema a) (idx + 1);
+                f2_lhs = [ Rules.Ar.Te_master (k, mk) ];
+                f2_te_attr = a;
+                f2_tm_attr = ma;
+              };
+          support;
+          confidence;
+        })
+      (take config.max_rules_per_attr sorted)
+  in
+  List.concat_map mined_for_attr (List.init e_arity (fun i -> i))

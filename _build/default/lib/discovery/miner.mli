@@ -1,0 +1,64 @@
+(** Level-wise discovery of form (1) accuracy rules from training
+    examples — the §4-remark / future-work extension ("one may also
+    group pairs of its tuples into classes based on their attribute
+    values ... and discover ARs by analyzing the containment of
+    those classes via a level-wise approach").
+
+    Training signal: entity instances with known target tuples. A
+    tuple pair [(t, t')] is {e positive} evidence for attribute [A]
+    when [t'\[A\]] equals the target's A-value and [t\[A\]] does not
+    (so [t ≺_A t'] certainly holds), {e negative} when the reverse
+    holds, and unlabeled otherwise.
+
+    Candidate premises are comparison predicates between the two
+    tuples on a {e context} attribute [C]:
+    [t1\[C\] < t2\[C\]], [t1\[C\] > t2\[C\]], and [t1\[C\] = t2\[C\]]
+    (the last only in conjunctions). Level 1 tries single premises;
+    level 2 conjoins an equality premise with an inequality one
+    (the φ1 shape: same league, more rounds). A candidate becomes a
+    rule when its support (positive pairs matched) reaches
+    [min_support] and its confidence (positives / labeled matches)
+    reaches [min_confidence].
+
+    Mined rules are named [mined:<A>:<n>] and conclude
+    [t1 ⪯_A t2]. *)
+
+type config = {
+  min_support : int;  (** default 5 *)
+  min_confidence : float;  (** default 0.9 *)
+  max_rules_per_attr : int;  (** keep the best n per attribute (default 3) *)
+}
+
+val default_config : config
+
+type example = {
+  instance : Relational.Relation.t;
+  target : Relational.Value.t array;  (** ground-truth tuple *)
+}
+
+type mined = {
+  rule : Rules.Ar.t;
+  support : int;
+  confidence : float;
+}
+
+val discover :
+  ?config:config -> Relational.Schema.t -> example list -> mined list
+(** Rules sorted by (attribute, descending confidence, descending
+    support). Raises [Invalid_argument] on a schema mismatch. *)
+
+val discover_master :
+  ?config:config ->
+  Relational.Schema.t ->
+  master:Relational.Relation.t ->
+  example list ->
+  mined list
+(** Form (2) discovery (the matching-dependency-style direction the
+    paper's §4 remark points to): find (entity key attribute, master
+    column) join pairs under which some master column predicts a
+    target attribute's true value. A candidate
+    [te.K = tm.MK → te.A := tm.MA] becomes a rule when, across the
+    examples whose target K-value matches exactly one master row,
+    the row's MA-value equals the target's A-value with confidence
+    [min_confidence] and support [min_support]. Mined rules are
+    named [mined2:<A>:<n>]. *)

@@ -1,0 +1,1 @@
+lib/er/resolver.ml: Array Hashtbl List Relational Util

@@ -1,0 +1,1 @@
+lib/er/resolver.mli: Relational

@@ -1,0 +1,128 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+type config = {
+  key_attrs : int list;
+  use_soundex : bool;
+  compare_attrs : (int * float) list;
+  null_score : float;
+  threshold : float;
+}
+
+let default_config ~key_attrs ~compare_attrs =
+  { key_attrs; use_soundex = false; compare_attrs; null_score = 0.5; threshold = 0.75 }
+
+let attr_similarity v1 v2 =
+  match (v1, v2) with
+  | Value.String s1, Value.String s2 ->
+      Util.Strsim.levenshtein_similarity
+        (Util.Strsim.normalize s1) (Util.Strsim.normalize s2)
+  | _ -> if Value.equal v1 v2 then 1.0 else 0.0
+
+let similarity config t1 t2 =
+  let total_weight =
+    List.fold_left (fun acc (_, w) -> acc +. w) 0.0 config.compare_attrs
+  in
+  if total_weight <= 0.0 then 0.0
+  else begin
+    let score = ref 0.0 in
+    List.iter
+      (fun (a, w) ->
+        let v1 = Tuple.get t1 a and v2 = Tuple.get t2 a in
+        let s =
+          if Value.is_null v1 || Value.is_null v2 then config.null_score
+          else attr_similarity v1 v2
+        in
+        score := !score +. (w *. s))
+      config.compare_attrs;
+    !score /. total_weight
+  end
+
+let block_key config v =
+  match v with
+  | Value.Null -> None
+  | Value.String s ->
+      let normalized = Util.Strsim.normalize s in
+      if normalized = "" then None
+      else if config.use_soundex then Some (Util.Strsim.soundex normalized)
+      else Some normalized
+  | v -> Some (Value.to_string v)
+
+let blocks config relation =
+  let table = Hashtbl.create 64 in
+  let n = Relation.size relation in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun a ->
+        match block_key config (Relation.get relation i a) with
+        | None -> ()
+        | Some key ->
+            let key = (a, key) in
+            let members =
+              match Hashtbl.find_opt table key with Some l -> l | None -> []
+            in
+            Hashtbl.replace table key (i :: members))
+      config.key_attrs
+  done;
+  Hashtbl.fold
+    (fun _ members acc ->
+      match members with
+      | [] | [ _ ] -> acc
+      | l -> List.rev l :: acc)
+    table []
+  |> List.sort compare
+
+let cluster config relation =
+  let n = Relation.size relation in
+  let uf = Util.Union_find.create n in
+  let consider i j =
+    if not (Util.Union_find.same uf i j) then begin
+      let s = similarity config (Relation.tuple relation i) (Relation.tuple relation j) in
+      if s >= config.threshold then Util.Union_find.union uf i j
+    end
+  in
+  List.iter
+    (fun block ->
+      let arr = Array.of_list block in
+      for x = 0 to Array.length arr - 1 do
+        for y = x + 1 to Array.length arr - 1 do
+          consider arr.(x) arr.(y)
+        done
+      done)
+    (blocks config relation);
+  let groups = Util.Union_find.groups uf in
+  Array.to_list groups |> List.filter (fun g -> g <> [])
+
+let entity_instances config relation =
+  List.map
+    (fun members ->
+      Relation.make (Relation.schema relation)
+        (List.map (Relation.tuple relation) members))
+    (cluster config relation)
+
+type quality = { pair_precision : float; pair_recall : float; pair_f1 : float }
+
+let pairwise_quality ~truth clusters n =
+  let cluster_of = Array.make n (-1) in
+  List.iteri
+    (fun c members -> List.iter (fun i -> cluster_of.(i) <- c) members)
+    clusters;
+  let tp = ref 0 and fp = ref 0 and fn = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let same_pred = cluster_of.(i) >= 0 && cluster_of.(i) = cluster_of.(j) in
+      let same_true = truth i = truth j in
+      if same_pred && same_true then incr tp
+      else if same_pred then incr fp
+      else if same_true then incr fn
+    done
+  done;
+  let p =
+    if !tp + !fp = 0 then 1.0 else float_of_int !tp /. float_of_int (!tp + !fp)
+  in
+  let r =
+    if !tp + !fn = 0 then 1.0 else float_of_int !tp /. float_of_int (!tp + !fn)
+  in
+  let f1 = if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r) in
+  { pair_precision = p; pair_recall = r; pair_f1 = f1 }

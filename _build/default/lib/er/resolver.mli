@@ -1,0 +1,54 @@
+(** Entity resolution: building the entity instances [Ie] that §2.1
+    presupposes ("such an Ie is identified by entity resolution
+    techniques") from a raw, dirty relation.
+
+    Standard three-stage pipeline:
+    + {e blocking} — group tuples by cheap keys (normalized value or
+      Soundex of chosen attributes) so that only same-block pairs
+      are compared;
+    + {e matching} — weighted string/value similarity over the
+      configured attributes, with null-tolerant semantics (a null on
+      either side contributes the configured neutral score);
+    + {e clustering} — union-find over pairs above the match
+      threshold (transitive closure of the match relation).
+
+    The output clusters become the per-entity relations fed to the
+    chase. *)
+
+type config = {
+  key_attrs : int list;
+      (** blocking keys: tuples sharing {e any} key value collide *)
+  use_soundex : bool;  (** Soundex-code string keys (fuzzier blocks) *)
+  compare_attrs : (int * float) list;
+      (** (attribute, weight) pairs for similarity scoring *)
+  null_score : float;  (** per-attribute score when either side is null *)
+  threshold : float;  (** pairs scoring >= this are merged *)
+}
+
+val default_config : key_attrs:int list -> compare_attrs:(int * float) list -> config
+(** [use_soundex = false], [null_score = 0.5], [threshold = 0.75]. *)
+
+val similarity : config -> Relational.Tuple.t -> Relational.Tuple.t -> float
+(** Weighted average of per-attribute similarities: exact
+    {!Relational.Value.equal} scores 1; strings are compared with
+    Levenshtein similarity; other mismatches score 0. *)
+
+val blocks : config -> Relational.Relation.t -> int list list
+(** Candidate groups of tuple indices (singletons omitted). A tuple
+    can appear in several blocks. *)
+
+val cluster : config -> Relational.Relation.t -> int list list
+(** Entity clusters as tuple-index groups (every tuple appears in
+    exactly one), in first-tuple order. *)
+
+val entity_instances :
+  config -> Relational.Relation.t -> Relational.Relation.t list
+(** Clusters materialized as relations (tuples renumbered). *)
+
+type quality = { pair_precision : float; pair_recall : float; pair_f1 : float }
+
+val pairwise_quality :
+  truth:(int -> int) -> int list list -> int -> quality
+(** Evaluate clusters against a ground-truth entity labelling
+    [truth : tuple index -> entity id] by pairwise P/R/F1 over the
+    [n] tuples' same-entity pairs. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp1.ml: Datagen List Printf Report Workbench

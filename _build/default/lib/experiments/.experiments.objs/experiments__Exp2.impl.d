@@ -1,0 +1,1 @@
+lib/experiments/exp2.ml: Datagen List Option Relational Report Workbench

@@ -1,0 +1,1 @@
+lib/experiments/exp3.ml: Array Datagen Framework List Printf Relational Report Topk Util

@@ -1,0 +1,1 @@
+lib/experiments/exp4.ml: Core Datagen Float List Option Printf Relational Report Topk Workbench

@@ -1,0 +1,1 @@
+lib/experiments/exp4.mli: Report

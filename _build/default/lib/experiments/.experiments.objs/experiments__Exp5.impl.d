@@ -1,0 +1,1 @@
+lib/experiments/exp5.ml: Array Core Datagen Fun Hashtbl List Printf Relational Report Truth Workbench

@@ -1,0 +1,1 @@
+lib/experiments/exp5.mli: Report

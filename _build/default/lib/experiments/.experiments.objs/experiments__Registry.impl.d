@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp1 Exp2 Exp3 Exp4 Exp5 List Report

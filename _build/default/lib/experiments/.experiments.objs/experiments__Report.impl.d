@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Filename Float Hashtbl List Printf String

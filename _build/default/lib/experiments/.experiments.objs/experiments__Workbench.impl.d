@@ -1,0 +1,1 @@
+lib/experiments/workbench.ml: Array Core Datagen List Relational Topk Truth Util

@@ -1,0 +1,1 @@
+lib/experiments/workbench.mli: Datagen Relational

@@ -1,0 +1,15 @@
+(** Exp-1 (§7): effectiveness of [IsCR].
+
+    - Fig. 6(a): % of entities whose complete target tuple is
+      deduced automatically (paper: Med 66%, CFP 72%);
+    - Fig. 6(e): average % of attributes whose most accurate value
+      is found, under the rule-form ablation (paper: Med 42/20/73,
+      CFP 55/27/83 for form (1) only / form (2) only / both). *)
+
+val complete_targets : ?entities:int -> ?seed:int -> unit -> Report.t
+(** Fig. 6(a). [entities] scales the Med dataset (default 900; the
+    paper's full 2700 also works, just slower); CFP always uses its
+    natural 100. *)
+
+val deduced_attributes : ?entities:int -> ?seed:int -> unit -> Report.t
+(** Fig. 6(e). *)

@@ -1,0 +1,18 @@
+(** Exp-2 (§7): effectiveness of the top-k algorithms — the % of
+    entities whose manually-identified (here: generator ground
+    truth) target tuple appears among the top-k candidates.
+
+    - Fig. 6(b)/(f): varying k = 5..25, with the rule-form ablation
+      for [TopKCT] plus [TopKCTh] on both forms. [RankJoinCT] and
+      [TopKCT] are both exact, so they behave identically here
+      (asserted by tests, not re-measured).
+    - Fig. 6(c)/(g): varying ‖Im‖ (master truncation), k = 15. *)
+
+type dataset_id = Med | Cfp
+
+val vary_k : ?entities:int -> ?seed:int -> dataset_id -> Report.t
+(** Fig. 6(b) for [Med], Fig. 6(f) for [Cfp]. [entities] (default
+    400) subsamples Med; Cfp uses its natural 100. *)
+
+val vary_im : ?entities:int -> ?seed:int -> dataset_id -> Report.t
+(** Fig. 6(c) / 6(g). *)

@@ -1,0 +1,16 @@
+(** Exp-3 (§7): user interactions. The simulated user (Fig. 3 /
+    {!Framework.Deduction.oracle_user}) reveals the true value of
+    one random null attribute per round; the process stops when the
+    ground-truth target appears among TopKCT's top-15 candidates.
+    The paper needs at most 3 rounds on Med and 4 on CFP.
+
+    Reported: cumulative % of entities whose target is found within
+    h rounds (h = 1 covers entities resolved with no interaction),
+    plus the % never resolved (complete-but-wrong deductions, which
+    the paper's user would fix by revising [Ie] or Σ — out of scope
+    for the oracle). *)
+
+type dataset_id = Med | Cfp
+
+val rounds : ?entities:int -> ?seed:int -> dataset_id -> Report.t
+(** Fig. 6(d) for [Med] (h = 1..3), Fig. 6(h) for [Cfp] (h = 1..4). *)

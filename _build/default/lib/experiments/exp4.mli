@@ -1,0 +1,32 @@
+(** Exp-4 (§7): efficiency of the top-k algorithms, wall-clock
+    milliseconds. The paper's fixed point is (‖Ie‖, ‖Im‖, ‖Σ‖, k) =
+    (900, 300, 60, 15) on Syn, varying one coordinate at a time, and
+    two Med sweeps; the expected shape is
+    [TopKCTh ≤ TopKCT ≪ RankJoinCT], all growing mildly except
+    RankJoinCT's faster growth.
+
+    Times cover the top-k computation itself (including all its
+    [check] chases); the one-off [Instantiation]/compile cost and
+    the initial [IsCR] run are reported as separate columns — the
+    paper's "IsCR takes at most 10 ms" claim maps to the [IsCR]
+    column. Each measurement is the best of [repeats] runs. *)
+
+val vary_ie : ?repeats:int -> ?seed:int -> unit -> Report.t
+(** Fig. 6(i): ‖Ie‖ ∈ 300..1500. *)
+
+val vary_sigma : ?repeats:int -> ?seed:int -> unit -> Report.t
+(** Fig. 6(j): ‖Σ‖ ∈ 20..100. *)
+
+val vary_im : ?repeats:int -> ?seed:int -> unit -> Report.t
+(** Fig. 6(k): ‖Im‖ ∈ 100..500. *)
+
+val vary_k : ?repeats:int -> ?seed:int -> unit -> Report.t
+(** Fig. 6(l): k ∈ 5..25. *)
+
+val med_vary_ie : ?entities:int -> ?seed:int -> unit -> Report.t
+(** Fig. 7(a): Med, per-entity top-k time by instance-size bucket
+    ([1,18] .. [73,90]); k = 15, full Σ. [entities] (default 3000)
+    controls how well the large buckets are populated. *)
+
+val med_vary_im : ?entities:int -> ?seed:int -> unit -> Report.t
+(** Fig. 7(b): Med, average per-entity top-k time vs ‖Im‖. *)

@@ -1,0 +1,25 @@
+(** Exp-5 (§7): truth discovery, against [voting], [DeduceOrder]
+    and [copyCEF].
+
+    - Table 4 (Rest): precision / recall / F1 of the [closed?]
+      decision for five methods — [DeduceOrder] (1.0/0.15/0.26 in
+      the paper), [voting] (0.62/0.92/0.74), [copyCEF]
+      (0.76/0.85/0.80), [TopKCT] with voting-derived preference
+      (0.73/0.95/0.82) and with copyCEF-derived preference
+      (0.81/0.88/0.85);
+    - the CFP numbers in the text: % of entities whose complete true
+      target is derived with k = 1 (voting 37%, DeduceOrder 0%,
+      TopKCT 70%).
+
+    [voting] on Rest counts each source's {e latest} claim, and the
+    [DeduceOrder] row applies [14]'s "data is once correct" regime:
+    a closure is reported only when every reporting source's current
+    claim agrees — the source of its perfect precision and poor
+    recall. *)
+
+val rest_table4 : ?restaurants:int -> ?seed:int -> unit -> Report.t
+(** Table 4. [restaurants] defaults to 800 (pass 5149 for the
+    paper's full size). *)
+
+val cfp_truth : ?seed:int -> unit -> Report.t
+(** The CFP paragraph of Exp-5 (k = 1). *)

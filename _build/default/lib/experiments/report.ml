@@ -1,0 +1,97 @@
+type t = {
+  id : string;
+  title : string;
+  x_label : string;
+  columns : string list;
+  mutable row_list : (string * float list) list; (* reverse order *)
+  paper : (string * string, float) Hashtbl.t;
+  mutable notes : string list; (* reverse order *)
+}
+
+let make ~id ~title ~x_label ~columns =
+  { id; title; x_label; columns; row_list = []; paper = Hashtbl.create 16; notes = [] }
+
+let add_row t ~x values =
+  if List.length values <> List.length t.columns then
+    invalid_arg "Report.add_row: column count mismatch";
+  t.row_list <- (x, values) :: t.row_list
+
+let set_paper t ~x ~column v = Hashtbl.replace t.paper (x, column) v
+let note t s = t.notes <- s :: t.notes
+let id t = t.id
+let title t = t.title
+let rows t = List.rev t.row_list
+let columns t = t.columns
+
+let format_cell t x column v =
+  let measured =
+    if Float.is_integer v && Float.abs v < 1e6 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.2f" v
+  in
+  match Hashtbl.find_opt t.paper (x, column) with
+  | Some p ->
+      let paper =
+        if Float.is_integer p && Float.abs p < 1e6 then Printf.sprintf "%.0f" p
+        else Printf.sprintf "%.2f" p
+      in
+      Printf.sprintf "%s (paper %s)" measured paper
+  | None -> measured
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  let cells =
+    List.map
+      (fun (x, values) ->
+        x :: List.map2 (fun c v -> format_cell t x c v) t.columns values)
+      (rows t)
+  in
+  let header = t.x_label :: t.columns in
+  let all = header :: cells in
+  let width col =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row col))) 0 all
+  in
+  let ncols = List.length header in
+  let widths = List.init ncols width in
+  let render_row row =
+    Buffer.add_string buf "  ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (List.nth widths i - String.length cell + 2) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  render_row (List.map (fun w -> String.make w '-') widths);
+  List.iter render_row cells;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "  note: %s\n" n))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let to_csv t =
+  (t.x_label :: t.columns)
+  :: List.map
+       (fun (x, values) ->
+         x
+         :: List.map
+              (fun v ->
+                if Float.is_integer v && Float.abs v < 1e15 then
+                  Printf.sprintf "%.0f" v
+                else Printf.sprintf "%.4f" v)
+              values)
+       (rows t)
+
+let write_csv ~dir t =
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  List.iter
+    (fun row -> output_string oc (String.concat "," row ^ "\n"))
+    (to_csv t);
+  close_out oc;
+  path

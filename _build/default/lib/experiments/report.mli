@@ -1,0 +1,38 @@
+(** Result tables for the experiment drivers: a named series of rows
+    (one per parameter value) with one numeric column per measured
+    quantity, printed with aligned columns and, when available, the
+    paper's reference value for the same cell. *)
+
+type t
+
+val make : id:string -> title:string -> x_label:string -> columns:string list -> t
+(** [columns] are the measured quantities' names. *)
+
+val add_row : t -> x:string -> float list -> unit
+(** One row; the list length must match [columns]. *)
+
+val set_paper : t -> x:string -> column:string -> float -> unit
+(** Attach the paper's reference number to one cell (printed in
+    parentheses next to the measured value). *)
+
+val note : t -> string -> unit
+(** Free-form footnote lines (workload sizes, deviations). *)
+
+val id : t -> string
+val title : t -> string
+
+val rows : t -> (string * float list) list
+val columns : t -> string list
+
+val print : t -> unit
+(** Render to stdout. *)
+
+val to_string : t -> string
+
+val to_csv : t -> string list list
+(** Header row + one row per x-value, measured values only
+    (plot-ready; paper references and notes are omitted). *)
+
+val write_csv : dir:string -> t -> string
+(** Write [<dir>/<id>.csv]; returns the path. The directory must
+    exist. *)

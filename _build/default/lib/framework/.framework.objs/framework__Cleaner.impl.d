@@ -1,0 +1,1 @@
+lib/framework/cleaner.ml: Array Core Er Format List Relational Topk Truth

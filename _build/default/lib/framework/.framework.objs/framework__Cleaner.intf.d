@@ -1,0 +1,1 @@
+lib/framework/cleaner.mli: Er Format Relational Rules Topk

@@ -1,0 +1,1 @@
+lib/framework/deduction.ml: Array Core List Relational Topk Util

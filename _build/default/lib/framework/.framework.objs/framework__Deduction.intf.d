@@ -1,0 +1,1 @@
+lib/framework/deduction.mli: Core Relational Topk Util

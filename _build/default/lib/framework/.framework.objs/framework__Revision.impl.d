@@ -1,0 +1,1 @@
+lib/framework/revision.ml: Core List Rules

@@ -1,0 +1,108 @@
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+
+type outcome =
+  | Complete
+  | Completed_by_topk
+  | Still_incomplete
+  | Not_church_rosser of string
+
+type report = {
+  cleaned : Relation.t;
+  outcomes : (int * outcome) list;
+  entities : int;
+  complete : int;
+  completed_by_topk : int;
+  still_incomplete : int;
+  rejected : int;
+  cell_changes : int;
+}
+
+let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000) ruleset dirty =
+  let clusters =
+    match (er, clusters) with
+    | Some config, None -> Er.Resolver.cluster config dirty
+    | None, Some cs -> cs
+    | Some _, Some _ ->
+        invalid_arg "Cleaner.clean: pass either ~er or ~clusters, not both"
+    | None, None -> invalid_arg "Cleaner.clean: pass ~er or ~clusters"
+  in
+  let pref_of =
+    match pref_of with
+    | Some f -> f
+    | None -> fun instance -> Topk.Preference.of_occurrences instance
+  in
+  let schema = Relation.schema dirty in
+  let outcomes = ref [] in
+  let complete = ref 0
+  and by_topk = ref 0
+  and incomplete = ref 0
+  and rejected = ref 0
+  and cell_changes = ref 0 in
+  let majority = Truth.Voting.resolve in
+  let count_changes instance target =
+    let base = majority instance in
+    Array.iteri
+      (fun a v ->
+        if (not (Value.is_null v)) && not (Value.equal v base.(a)) then
+          incr cell_changes)
+      target
+  in
+  let tuples =
+    List.mapi
+      (fun idx members ->
+        let instance =
+          Relation.make schema (List.map (Relation.tuple dirty) members)
+        in
+        let spec = Core.Specification.make_exn ~entity:instance ?master ruleset in
+        let compiled = Core.Is_cr.compile spec in
+        match Core.Is_cr.run_compiled compiled with
+        | Core.Is_cr.Not_church_rosser { rule; _ } ->
+            incr rejected;
+            outcomes := (idx, Not_church_rosser rule) :: !outcomes;
+            (* leave the entity as its majority representative *)
+            Tuple.make (majority instance)
+        | Core.Is_cr.Church_rosser inst ->
+            let te = Core.Instance.te inst in
+            if Core.Instance.te_complete inst then begin
+              incr complete;
+              outcomes := (idx, Complete) :: !outcomes;
+              count_changes instance te;
+              Tuple.make te
+            end
+            else begin
+              let pref = pref_of instance in
+              let result =
+                Topk.Topk_ct.run ~max_pops:k_budget ~k:1 ~pref compiled te
+              in
+              match result.Topk.Topk_ct.targets with
+              | best :: _ ->
+                  incr by_topk;
+                  outcomes := (idx, Completed_by_topk) :: !outcomes;
+                  count_changes instance best;
+                  Tuple.make best
+              | [] ->
+                  incr incomplete;
+                  outcomes := (idx, Still_incomplete) :: !outcomes;
+                  count_changes instance te;
+                  Tuple.make te
+            end)
+      clusters
+  in
+  {
+    cleaned = Relation.make schema tuples;
+    outcomes = List.rev !outcomes;
+    entities = List.length clusters;
+    complete = !complete;
+    completed_by_topk = !by_topk;
+    still_incomplete = !incomplete;
+    rejected = !rejected;
+    cell_changes = !cell_changes;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d entities: %d complete by chase, %d completed by top-1, %d still incomplete, %d rejected (non-Church-Rosser); %d cells corrected vs majority@]"
+    r.entities r.complete r.completed_by_topk r.still_incomplete r.rejected
+    r.cell_changes

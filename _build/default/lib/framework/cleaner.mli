@@ -1,0 +1,54 @@
+(** Whole-relation cleaning: the direction the paper's conclusion
+    sketches ("how to improve the accuracy of data in a database,
+    which is often much larger than entity instances").
+
+    The pipeline composes everything the library has:
+    + entity resolution clusters the dirty relation into entity
+      instances (optional — pass [~clusters] when the grouping is
+      already known);
+    + per entity, the chase deduces the target tuple;
+    + incomplete targets are completed with the top-1 candidate
+      under the preference model (occurrence counting by default);
+    + non-Church-Rosser entities are left as-is and reported
+      (a human must revise Σ for them — see {!Revision});
+    + the output relation has one tuple per entity: the target.
+
+    The report quantifies the clean: entity counts by outcome and
+    how many cells changed w.r.t. each entity's most-occurring
+    original values. *)
+
+type outcome =
+  | Complete  (** chase alone deduced a complete target *)
+  | Completed_by_topk  (** null attributes filled by the top-1 candidate *)
+  | Still_incomplete  (** no candidate found (budget or empty domain) *)
+  | Not_church_rosser of string  (** offending rule name *)
+
+type report = {
+  cleaned : Relational.Relation.t;
+      (** one tuple per entity, in cluster order *)
+  outcomes : (int * outcome) list;  (** per entity (cluster index) *)
+  entities : int;
+  complete : int;
+  completed_by_topk : int;
+  still_incomplete : int;
+  rejected : int;
+  cell_changes : int;
+      (** target cells that differ from the entity's majority value *)
+}
+
+val clean :
+  ?er:Er.Resolver.config ->
+  ?clusters:int list list ->
+  ?master:Relational.Relation.t ->
+  ?pref_of:(Relational.Relation.t -> Topk.Preference.t) ->
+  ?k_budget:int ->
+  Rules.Ruleset.t ->
+  Relational.Relation.t ->
+  report
+(** [clean ruleset dirty] — exactly one of [er] / [clusters] selects
+    the grouping (raises [Invalid_argument] if both or neither).
+    [pref_of] builds the per-entity preference (default
+    {!Topk.Preference.of_occurrences}); [k_budget] bounds the top-1
+    search (default 2000 frontier pops). *)
+
+val pp_report : Format.formatter -> report -> unit

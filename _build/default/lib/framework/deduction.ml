@@ -1,0 +1,91 @@
+module Value = Relational.Value
+
+type round_view = {
+  round : int;
+  te : Value.t array;
+  null_attrs : int list;
+  candidates : Value.t array list;
+}
+
+type reaction =
+  | Accept of Value.t array
+  | Fill of (int * Value.t) list
+  | Give_up
+
+type outcome =
+  | Resolved of { target : Value.t array; rounds : int }
+  | Unresolved of { te : Value.t array; rounds : int }
+  | Rejected of { rule : string; reason : string }
+
+type algorithm = [ `Topk_ct | `Topk_ct_h | `Rank_join_ct ]
+
+(* Candidate enumeration is budgeted: entities with fewer than k
+   candidate targets would otherwise force an exponential exhaustion
+   (§6.2); a partial list only makes the user reveal one more value. *)
+let candidates_of algorithm ~k ~pref compiled te =
+  let budget = 2_000 in
+  match algorithm with
+  | `Topk_ct ->
+      (Topk.Topk_ct.run ~max_pops:budget ~k ~pref compiled te).Topk.Topk_ct.targets
+  | `Topk_ct_h ->
+      (Topk.Topk_ct_h.run ~max_pops:budget ~k ~pref compiled te).Topk.Topk_ct_h.targets
+  | `Rank_join_ct ->
+      (Topk.Rank_join_ct.run ~max_pulls:budget ~k ~pref compiled te)
+        .Topk.Rank_join_ct.targets
+
+let run ?(k = 15) ?(algorithm = `Topk_ct) ?(max_rounds = 20) ~pref ~user spec =
+  (* The loop rides one incremental chase session: each user fill is
+     fed into the existing index instead of re-chasing from scratch
+     (equivalent by monotonicity; see Core.Is_cr.session). *)
+  let compiled = Core.Is_cr.compile spec in
+  match Core.Is_cr.session_start ~template:(Core.Specification.template spec) compiled with
+  | Error (rule, reason) -> Rejected { rule; reason }
+  | Ok session ->
+      let rec round n =
+        let te = Core.Is_cr.session_te session in
+        if Core.Is_cr.session_complete session then
+          Resolved { target = te; rounds = n }
+        else if n >= max_rounds then Unresolved { te; rounds = n }
+        else begin
+          let view =
+            {
+              round = n + 1;
+              te;
+              null_attrs = Core.Is_cr.session_null_attrs session;
+              candidates = candidates_of algorithm ~k ~pref compiled te;
+            }
+          in
+          match user view with
+          | Accept target -> Resolved { target; rounds = n + 1 }
+          | Give_up -> Unresolved { te; rounds = n }
+          | Fill assignments -> (
+              List.iter
+                (fun (a, _) ->
+                  if not (Value.is_null te.(a)) then
+                    invalid_arg "Deduction.run: user filled a non-null attribute")
+                assignments;
+              match Core.Is_cr.session_fill session assignments with
+              | Ok () -> round (n + 1)
+              | Error (rule, reason) -> Rejected { rule; reason })
+        end
+      in
+      round 0
+
+let oracle_user ~truth ?rng () view =
+  let target_listed =
+    List.exists
+      (fun cand -> Array.for_all2 Value.equal cand truth)
+      view.candidates
+  in
+  if target_listed then Accept truth
+  else
+    match view.null_attrs with
+    | [] -> Give_up
+    | attrs ->
+        let attr =
+          match rng with
+          | Some g -> List.nth attrs (Util.Prng.int g (List.length attrs))
+          | None -> List.hd attrs
+        in
+        if Value.is_null truth.(attr) then Give_up
+        else Fill [ (attr, truth.(attr)) ]

@@ -1,0 +1,31 @@
+(** Rule-set revision support for Fig. 3's "No" branch: when a
+    specification is not Church-Rosser, the user "is invited to
+    revise S" — this module computes concrete suggestions.
+
+    A {e culprit set} is a set of user rules whose removal makes the
+    specification Church-Rosser. The suggester works greedily:
+    repeatedly run [IsCR]; when it reports a conflicting rule, drop
+    that rule (axioms are never dropped — they are part of every
+    rule set — so a conflict blamed on an axiom falls back to
+    dropping rules that write the conflicted attribute); repeat
+    until Church-Rosser or the budget is exhausted. The result is
+    then {e minimized}: each dropped rule is re-added if the
+    specification stays Church-Rosser without dropping it.
+
+    Example 6's S′ yields exactly [{φ12}] — the rule the paper says
+    must be revised. *)
+
+type outcome = {
+  drop : string list;  (** user-rule names whose removal restores CR *)
+  spec : Core.Specification.t;  (** the revised, Church-Rosser spec *)
+}
+
+val suggest : ?max_drops:int -> Core.Specification.t -> outcome option
+(** [None] when the specification is already Church-Rosser, or when
+    no Church-Rosser subset is found within [max_drops] (default 10)
+    removals. The returned drop set is minimal w.r.t. re-adding
+    single rules (an irredundant, not necessarily minimum, set). *)
+
+val is_culprit_set : Core.Specification.t -> string list -> bool
+(** Does removing exactly these user rules make the specification
+    Church-Rosser? *)

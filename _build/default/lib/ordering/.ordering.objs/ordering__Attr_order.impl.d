@@ -1,0 +1,1 @@
+lib/ordering/attr_order.ml: Array Format Hashtbl List Poset Relational

@@ -1,0 +1,1 @@
+lib/ordering/attr_order.mli: Format Relational

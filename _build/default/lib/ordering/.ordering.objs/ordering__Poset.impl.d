@@ -1,0 +1,1 @@
+lib/ordering/poset.ml: Array Bytes Format List

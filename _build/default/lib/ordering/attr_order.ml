@@ -1,0 +1,104 @@
+module Value = Relational.Value
+
+type t = {
+  tuple_class : int array; (* tuple index -> class id *)
+  class_values : Value.t array; (* class id -> its value *)
+  members : int list array; (* class id -> member tuple indices *)
+  order : Poset.t; (* strict order over classes *)
+}
+
+type add_result =
+  | No_change
+  | Extended of (int * int) list
+  | Conflict
+
+(* Hash key that distinguishes runtime types but unifies the numeric
+   values that Value.equal unifies (Int 2 = Float 2.). *)
+let class_key v =
+  match v with
+  | Value.Null -> "n"
+  | Value.Bool b -> if b then "bt" else "bf"
+  | Value.Int i -> "d" ^ string_of_float (float_of_int i)
+  | Value.Float f -> "d" ^ string_of_float f
+  | Value.String s -> "s" ^ s
+
+let of_column column =
+  let n = Array.length column in
+  let tuple_class = Array.make n (-1) in
+  let values = ref [] and count = ref 0 in
+  let index = Hashtbl.create (max 16 n) in
+  for ti = 0 to n - 1 do
+    let key = class_key column.(ti) in
+    match Hashtbl.find_opt index key with
+    | Some c -> tuple_class.(ti) <- c
+    | None ->
+        Hashtbl.add index key !count;
+        tuple_class.(ti) <- !count;
+        values := column.(ti) :: !values;
+        incr count
+  done;
+  let class_values = Array.of_list (List.rev !values) in
+  let members = Array.make !count [] in
+  for ti = n - 1 downto 0 do
+    members.(tuple_class.(ti)) <- ti :: members.(tuple_class.(ti))
+  done;
+  { tuple_class; class_values; members; order = Poset.create !count }
+
+let num_tuples t = Array.length t.tuple_class
+let num_classes t = Array.length t.class_values
+let class_of_tuple t ti = t.tuple_class.(ti)
+let class_value t c = t.class_values.(c)
+
+let class_of_value t v =
+  let rec scan c =
+    if c = Array.length t.class_values then None
+    else if Value.equal t.class_values.(c) v then Some c
+    else scan (c + 1)
+  in
+  scan 0
+
+let tuples_of_class t c = t.members.(c)
+
+let lt_classes t c1 c2 = Poset.mem t.order c1 c2
+
+let leq_tuples t t1 t2 =
+  let c1 = t.tuple_class.(t1) and c2 = t.tuple_class.(t2) in
+  c1 = c2 || Poset.mem t.order c1 c2
+
+let lt_tuples t t1 t2 =
+  let c1 = t.tuple_class.(t1) and c2 = t.tuple_class.(t2) in
+  c1 <> c2 && Poset.mem t.order c1 c2
+
+let lift = function
+  | Poset.No_change -> No_change
+  | Poset.Extended pairs -> Extended pairs
+  | Poset.Conflict -> Conflict
+
+let add_classes t c1 c2 = lift (Poset.add t.order c1 c2)
+
+let add_tuples t t1 t2 =
+  add_classes t t.tuple_class.(t1) t.tuple_class.(t2)
+
+let greatest t =
+  match Poset.maximum t.order with
+  | Some c -> Some t.class_values.(c)
+  | None -> None
+
+let strict_pair_count t = Poset.pair_count t.order
+
+let copy t =
+  {
+    tuple_class = Array.copy t.tuple_class;
+    class_values = Array.copy t.class_values;
+    members = Array.copy t.members;
+    order = Poset.copy t.order;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>classes={";
+  Array.iteri
+    (fun c v ->
+      if c > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%d:%a" c Value.pp v)
+    t.class_values;
+  Format.fprintf ppf "} order=%a@]" Poset.pp t.order

@@ -1,0 +1,61 @@
+(** The accuracy order [⪯_A] of one attribute of an entity instance
+    (§2.1), represented over *value classes*.
+
+    §2.1 defines [≺_A] as a strict partial order on the A-attribute
+    values of [Ie], and axiom φ9 makes equal-valued tuples
+    order-equivalent, so we quotient the tuples of [Ie] by their
+    A-value: each distinct value is a class, [≺] is a strict order
+    over classes ({!Poset}), and at tuple level
+
+    - [t1 ⪯_A t2] iff same class, or class edge;
+    - [t1 ≺_A t2] iff distinct classes and class edge
+
+    which is literally the paper's "[t1 ≺_A t2] iff [t1 ⪯_A t2] and
+    [t1\[A\] ≠ t2\[A\]]". A validity violation of §2.2 (mutual [⪯]
+    between distinct values) is exactly a {!Poset} cycle. *)
+
+type t
+
+type add_result =
+  | No_change  (** already implied (same class or existing edge) *)
+  | Extended of (int * int) list
+      (** new strict class pairs added by transitive closure *)
+  | Conflict  (** would order two distinct values both ways *)
+
+val of_column : Relational.Value.t array -> t
+(** Build the empty order from the A-column of [Ie] (tuple order
+    defines tuple indices). *)
+
+val num_tuples : t -> int
+val num_classes : t -> int
+
+val class_of_tuple : t -> int -> int
+val class_value : t -> int -> Relational.Value.t
+val class_of_value : t -> Relational.Value.t -> int option
+val tuples_of_class : t -> int -> int list
+
+val leq_tuples : t -> int -> int -> bool
+(** [t1 ⪯_A t2] at tuple level. *)
+
+val lt_tuples : t -> int -> int -> bool
+(** [t1 ≺_A t2] at tuple level. *)
+
+val lt_classes : t -> int -> int -> bool
+
+val add_tuples : t -> int -> int -> add_result
+(** Assert [t1 ⪯_A t2] (the RHS of a form (1) AR). Same class ⇒
+    [No_change]. *)
+
+val add_classes : t -> int -> int -> add_result
+
+val greatest : t -> Relational.Value.t option
+(** The value [v] such that every tuple [t'] satisfies [t' ⪯_A t]
+    for the tuples [t] with [t\[A\] = v] — the paper's [λ] — if it
+    exists. *)
+
+val strict_pair_count : t -> int
+(** Number of strict class pairs currently derived. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

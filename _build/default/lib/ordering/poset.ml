@@ -1,0 +1,143 @@
+type t = {
+  n : int;
+  reach : Bytes.t; (* row-major n*n boolean closure matrix, strict *)
+  pred_count : int array; (* in-degree in the closure, per element *)
+  mutable pairs : int;
+}
+
+type add_result =
+  | No_change
+  | Extended of (int * int) list
+  | Conflict
+
+let create n =
+  assert (n >= 0);
+  {
+    n;
+    reach = Bytes.make (n * n) '\000';
+    pred_count = Array.make n 0;
+    pairs = 0;
+  }
+
+let size t = t.n
+
+let mem t a b =
+  a <> b && Bytes.unsafe_get t.reach ((a * t.n) + b) = '\001'
+
+let set_pair t a b =
+  Bytes.unsafe_set t.reach ((a * t.n) + b) '\001';
+  t.pred_count.(b) <- t.pred_count.(b) + 1;
+  t.pairs <- t.pairs + 1
+
+let add t a b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg "Poset.add: element out of range";
+  if a = b then No_change
+  else if mem t a b then No_change
+  else if mem t b a then Conflict
+  else begin
+    (* New pairs: every (x, y) with x ∈ below(a) ∪ {a} and
+       y ∈ above(b) ∪ {b} that is not already present. No such pair
+       can be reflexive: x = y would imply b ≤ y = x ≤ a, i.e. the
+       cycle we just ruled out. *)
+    let below = ref [ a ] and above = ref [ b ] in
+    for x = 0 to t.n - 1 do
+      if mem t x a then below := x :: !below;
+      if mem t b x then above := x :: !above
+    done;
+    let added = ref [] in
+    List.iter
+      (fun x ->
+        List.iter
+          (fun y ->
+            if x <> y && not (mem t x y) then begin
+              set_pair t x y;
+              added := (x, y) :: !added
+            end)
+          !above)
+      !below;
+    Extended !added
+  end
+
+let pair_count t = t.pairs
+
+let pairs t =
+  let acc = ref [] in
+  for a = t.n - 1 downto 0 do
+    for b = t.n - 1 downto 0 do
+      if mem t a b then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let predecessors t e =
+  List.filter (fun x -> mem t x e) (List.init t.n (fun i -> i))
+
+let successors t e =
+  List.filter (fun x -> mem t e x) (List.init t.n (fun i -> i))
+
+let maximum t =
+  if t.n = 0 then None
+  else begin
+    let best = ref None in
+    for c = 0 to t.n - 1 do
+      if t.pred_count.(c) = t.n - 1 then best := Some c
+    done;
+    if t.n = 1 then Some 0 else !best
+  end
+
+let minimum t =
+  if t.n = 0 then None
+  else if t.n = 1 then Some 0
+  else begin
+    (* An element is the minimum iff it reaches every other one. *)
+    let result = ref None in
+    for c = 0 to t.n - 1 do
+      if !result = None then begin
+        let all = ref true in
+        for d = 0 to t.n - 1 do
+          if d <> c && not (mem t c d) then all := false
+        done;
+        if !all then result := Some c
+      end
+    done;
+    !result
+  end
+
+let is_antisymmetric t =
+  let ok = ref true in
+  for a = 0 to t.n - 1 do
+    for b = a + 1 to t.n - 1 do
+      if mem t a b && mem t b a then ok := false
+    done
+  done;
+  !ok
+
+let is_transitive t =
+  let ok = ref true in
+  for a = 0 to t.n - 1 do
+    for b = 0 to t.n - 1 do
+      if mem t a b then
+        for c = 0 to t.n - 1 do
+          if mem t b c && not (mem t a c) then ok := false
+        done
+    done
+  done;
+  !ok
+
+let copy t =
+  {
+    n = t.n;
+    reach = Bytes.copy t.reach;
+    pred_count = Array.copy t.pred_count;
+    pairs = t.pairs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{";
+  List.iteri
+    (fun i (a, b) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d<%d" a b)
+    (pairs t);
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,65 @@
+(** A strict partial order over elements [0 .. n-1], maintained
+    incrementally under transitive closure.
+
+    This is the raw machinery behind the per-attribute accuracy
+    orders of §2.2: adding an edge either (a) changes nothing (the
+    pair was already implied), (b) extends the closure with a set of
+    new pairs — exactly the pairs a chase step contributes — or
+    (c) would create a cycle, which is the validity violation
+    ("both [t1 ⪯ t2] and [t2 ⪯ t1] with [t1\[A\] ≠ t2\[A\]]").
+
+    Reachability is kept as a dense boolean matrix; entity instances
+    are small (§2.1), so [O(n²)] space and [O(n²)] worst-case edge
+    insertion are the intended trade-off and give the paper's
+    [O(|Ie|²)] total chase-step bound. *)
+
+type t
+
+type add_result =
+  | No_change  (** pair already implied (or reflexive) *)
+  | Extended of (int * int) list
+      (** closure grew by exactly these pairs, the asserted one
+          included; all are fresh *)
+  | Conflict  (** adding the pair would create a cycle *)
+
+val create : int -> t
+(** [create n] is the empty order over [0 .. n-1]. *)
+
+val size : t -> int
+
+val mem : t -> int -> int -> bool
+(** [mem t a b] — is [a < b] in the current closure? Reflexive
+    queries are [false] (the order is strict). *)
+
+val add : t -> int -> int -> add_result
+(** [add t a b] asserts [a < b] and transitively closes. Reflexive
+    asserts return [No_change]. *)
+
+val pair_count : t -> int
+(** Number of pairs currently in the closure. *)
+
+val pairs : t -> (int * int) list
+(** All pairs of the closure, lexicographically ordered. *)
+
+val predecessors : t -> int -> int list
+(** Elements strictly below the given one. *)
+
+val successors : t -> int -> int list
+(** Elements strictly above the given one. *)
+
+val maximum : t -> int option
+(** The element strictly above every other one, if any. For [n = 1]
+    the unique element is the maximum. *)
+
+val minimum : t -> int option
+
+val is_antisymmetric : t -> bool
+(** Invariant check (used by tests): no two distinct mutually
+    reachable elements. Always [true] unless internals are broken. *)
+
+val is_transitive : t -> bool
+(** Invariant check (used by tests). *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

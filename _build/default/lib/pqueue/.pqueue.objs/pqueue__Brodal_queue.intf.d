@@ -1,0 +1,1 @@
+lib/pqueue/brodal_queue.mli:

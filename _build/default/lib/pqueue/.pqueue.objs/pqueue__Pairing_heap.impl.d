@@ -1,0 +1,1 @@
+lib/pqueue/pairing_heap.ml: List

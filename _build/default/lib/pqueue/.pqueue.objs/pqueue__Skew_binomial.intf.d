@@ -1,0 +1,1 @@
+lib/pqueue/skew_binomial.mli:

@@ -1,0 +1,19 @@
+(** Persistent pairing heap — amortized [O(1)] insert/merge,
+    amortized [O(log n)] delete-min.
+
+    Not used by the paper's algorithms; included as the comparison
+    point for the priority-queue ablation bench (Brodal-queue
+    worst-case guarantees vs a simpler amortized structure inside
+    [TopKCT]). *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val insert : 'a -> 'a t -> 'a t
+val merge : 'a t -> 'a t -> 'a t
+val find_min : 'a t -> 'a option
+val pop : 'a t -> ('a * 'a t) option
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list

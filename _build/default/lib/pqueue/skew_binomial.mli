@@ -1,0 +1,37 @@
+(** Purely functional skew binomial heaps (Okasaki, {i Purely
+    Functional Data Structures}, §9.3.2/§10.2.2).
+
+    Skew binomial heaps support worst-case [O(1)] insertion (the skew
+    link absorbs carries) and [O(log n)] merge/delete-min. They are
+    the primitive layer under {!Brodal_queue}'s structural
+    bootstrapping. All operations take the ordering explicitly via
+    [~leq] so the structure can hold recursive heap-of-heap types. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val insert : leq:('a -> 'a -> bool) -> 'a -> 'a t -> 'a t
+(** Worst-case [O(1)]. *)
+
+val merge : leq:('a -> 'a -> bool) -> 'a t -> 'a t -> 'a t
+(** [O(log n)]. *)
+
+val find_min : leq:('a -> 'a -> bool) -> 'a t -> 'a option
+(** [O(log n)] (scans the tree roots). *)
+
+val delete_min : leq:('a -> 'a -> bool) -> 'a t -> 'a t
+(** [O(log n)]. No-op on the empty heap. *)
+
+val pop : leq:('a -> 'a -> bool) -> 'a t -> ('a * 'a t) option
+
+val size : 'a t -> int
+(** [O(n)] — provided for tests and diagnostics only. *)
+
+val to_list : 'a t -> 'a list
+(** All elements, no particular order. [O(n)]. *)
+
+val check_invariants : leq:('a -> 'a -> bool) -> 'a t -> bool
+(** Heap order within every tree, tree ranks well-formed, root rank
+    list monotone (first two roots may share a rank). For tests. *)

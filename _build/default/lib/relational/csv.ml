@@ -1,0 +1,105 @@
+let parse_string input =
+  let len = String.length input in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= len then begin
+      if Buffer.length buf > 0 || !fields <> [] then flush_row ()
+    end
+    else
+      match input.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= len then failwith "Csv.parse_string: unterminated quoted field"
+    else
+      match input.[i] with
+      | '"' ->
+          if i + 1 < len && input.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            quoted (i + 2)
+          end
+          else plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse_string contents
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map render_field row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write_file path rows =
+  let oc = open_out_bin path in
+  output_string oc (render rows);
+  close_out oc
+
+let relation_to_rows rel =
+  let schema = Relation.schema rel in
+  let header = Array.to_list (Schema.attributes schema) in
+  let row_of_tuple t =
+    List.init (Tuple.arity t) (fun i -> Value.to_string (Tuple.get t i))
+  in
+  header :: List.map row_of_tuple (Relation.tuples rel)
+
+let relation_of_rows ~name rows =
+  match rows with
+  | [] -> failwith "Csv.relation_of_rows: empty input"
+  | header :: data ->
+      let schema = Schema.make name header in
+      let arity = Schema.arity schema in
+      let tuple_of_row row =
+        if List.length row <> arity then
+          failwith "Csv.relation_of_rows: ragged row";
+        Tuple.make (Array.of_list (List.map Value.of_string_guess row))
+      in
+      Relation.make schema (List.map tuple_of_row data)

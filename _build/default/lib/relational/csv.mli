@@ -1,0 +1,22 @@
+(** Minimal RFC-4180-ish CSV reader/writer, enough to ship the
+    synthetic datasets to disk and load them back. Supports quoted
+    fields with embedded commas, quotes and newlines. *)
+
+val parse_string : string -> string list list
+(** Rows of fields. Raises [Failure] on an unterminated quote. *)
+
+val read_file : string -> string list list
+
+val render : string list list -> string
+(** Quotes fields when needed; rows end with ['\n']. *)
+
+val write_file : string -> string list list -> unit
+
+val relation_to_rows : Relation.t -> string list list
+(** Header row (attribute names) followed by one row per tuple,
+    values rendered with {!Value.to_string} ([null] for nulls). *)
+
+val relation_of_rows : name:string -> string list list -> Relation.t
+(** Inverse of {!relation_to_rows}: first row is the header; field
+    values are re-typed with {!Value.of_string_guess}. Raises
+    [Failure] on an empty input or ragged rows. *)

@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  attrs : string array;
+  positions : (string, int) Hashtbl.t;
+}
+
+let make name attr_list =
+  if attr_list = [] then invalid_arg "Schema.make: empty attribute list";
+  let attrs = Array.of_list attr_list in
+  let positions = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem positions a then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" a);
+      Hashtbl.add positions a i)
+    attrs;
+  { name; attrs; positions }
+
+let name t = t.name
+let arity t = Array.length t.attrs
+let attributes t = Array.copy t.attrs
+
+let attribute t i =
+  if i < 0 || i >= Array.length t.attrs then
+    invalid_arg (Printf.sprintf "Schema.attribute: index %d out of range" i);
+  t.attrs.(i)
+
+let index t a =
+  match Hashtbl.find_opt t.positions a with
+  | Some i -> i
+  | None -> raise Not_found
+
+let index_opt t a = Hashtbl.find_opt t.positions a
+let mem t a = Hashtbl.mem t.positions a
+
+let project t attr_list =
+  List.iter
+    (fun a ->
+      if not (mem t a) then
+        invalid_arg (Printf.sprintf "Schema.project: unknown attribute %S" a))
+    attr_list;
+  make t.name attr_list
+
+let equal a b = a.name = b.name && a.attrs = b.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)" t.name (String.concat ", " (Array.to_list t.attrs))

@@ -1,0 +1,33 @@
+(** Relation schemas: an ordered list of named attributes.
+
+    Attribute positions are the unit of indexing throughout the
+    library (the chase keeps one partial order per position). *)
+
+type t
+
+val make : string -> string list -> t
+(** [make name attrs] builds a schema. Raises [Invalid_argument] on
+    duplicate attribute names or an empty attribute list. *)
+
+val name : t -> string
+val arity : t -> int
+
+val attributes : t -> string array
+(** Attribute names in declaration order (fresh copy). *)
+
+val attribute : t -> int -> string
+(** Name at a position. Raises [Invalid_argument] if out of range. *)
+
+val index : t -> string -> int
+(** Position of a named attribute. Raises [Not_found]. *)
+
+val index_opt : t -> string -> int option
+val mem : t -> string -> bool
+
+val project : t -> string list -> t
+(** Sub-schema with the given attributes, in the given order. *)
+
+val equal : t -> t -> bool
+(** Same name, same attributes in the same order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let null = Null
+let is_null v = v = Null
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | String x, String y -> String.equal x y
+  | (Null | Bool _ | Int _ | Float _ | String _), _ -> false
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2 (* ints and floats share a rank: compared numerically *)
+  | String _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | _ -> Int.compare (type_rank a) (type_rank b)
+
+let lt a b =
+  match (a, b) with
+  | Bool x, Bool y -> (not x) && y
+  | Int x, Int y -> x < y
+  | Float x, Float y -> x < y
+  | Int x, Float y -> float_of_int x < y
+  | Float x, Int y -> x < float_of_int y
+  | String x, String y -> String.compare x y < 0
+  | _ -> false
+
+let hash = function
+  | Null -> 0
+  | Bool b -> if b then 17 else 19
+  | Int i -> Hashtbl.hash i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Hashtbl.hash (int_of_float f)
+      else Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.pp_print_string ppf s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_string_guess s =
+  let s = String.trim s in
+  if s = "" || String.lowercase_ascii s = "null" then Null
+  else
+    match String.lowercase_ascii s with
+    | "true" -> Bool true
+    | "false" -> Bool false
+    | _ -> (
+        match int_of_string_opt s with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt s with
+            | Some f -> Float f
+            | None -> String s))

@@ -1,0 +1,45 @@
+(** Attribute values.
+
+    The paper's model is untyped first-order logic over attribute
+    domains with a distinguished [null]; we provide the obvious typed
+    carrier. Comparisons across different runtime types are resolved
+    by a fixed type ordering so that every pair of values is
+    comparable (needed for deterministic heaps), but the rule
+    evaluator treats cross-type [<]/[>] tests as false, mirroring the
+    standard semantics where predicates range over a single domain. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+val null : t
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality. [Null] equals only [Null]; note that the
+    paper's rule predicates ([=], [<>]) never match on null operands
+    — see {!Rules.Predicate} — this is plain equality of the carrier. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] < [Bool] < [Int] < [Float] < [String], with
+    the natural order within each type. Ints and floats are compared
+    numerically against each other. *)
+
+val lt : t -> t -> bool
+(** Domain less-than: numeric for [Int]/[Float] (mixed allowed),
+    lexicographic for [String], [false <. true] for [Bool]; [false]
+    when either side is [Null] or the types are otherwise mixed. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [null], [true], [42], [3.14], or the raw string. *)
+
+val to_string : t -> string
+
+val of_string_guess : string -> t
+(** Parses ["null"]/[""] as [Null], then tries [Bool], [Int],
+    [Float], falling back to [String]. Used by the CSV loader. *)

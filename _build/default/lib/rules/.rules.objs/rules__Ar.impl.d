@@ -1,0 +1,1 @@
+lib/rules/ar.ml: Format Int List Printf Relational Result String

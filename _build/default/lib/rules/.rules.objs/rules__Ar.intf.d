@@ -1,0 +1,1 @@
+lib/rules/ar.mli: Format Relational

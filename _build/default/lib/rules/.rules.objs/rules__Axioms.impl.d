@@ -1,0 +1,1 @@
+lib/rules/axioms.ml: Ar List Printf Relational String

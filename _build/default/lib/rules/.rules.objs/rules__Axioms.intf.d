@@ -1,0 +1,1 @@
+lib/rules/axioms.mli: Ar Relational

@@ -1,0 +1,1 @@
+lib/rules/ground.ml: Ar Array Format Hashtbl Int List Ordering Printf Relational Ruleset String

@@ -1,0 +1,1 @@
+lib/rules/ground.mli: Ar Format Ordering Relational Ruleset

@@ -1,0 +1,1 @@
+lib/rules/parser.ml: Ar Buffer Format List Printf Relational String

@@ -1,0 +1,1 @@
+lib/rules/parser.mli: Ar Relational

@@ -1,0 +1,1 @@
+lib/rules/ruleset.ml: Ar Axioms Format List Printf Relational

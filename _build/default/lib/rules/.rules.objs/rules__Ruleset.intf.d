@@ -1,0 +1,1 @@
+lib/rules/ruleset.mli: Ar Format Relational

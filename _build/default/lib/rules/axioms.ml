@@ -1,0 +1,46 @@
+module Value = Relational.Value
+module Schema = Relational.Schema
+
+let attr_label schema a = Schema.attribute schema a
+
+let phi7 schema a =
+  Ar.Form1
+    {
+      f1_name = Printf.sprintf "axiom7:%s" (attr_label schema a);
+      f1_lhs =
+        [
+          Ar.Cmp (Ar.Tuple_attr (Ar.T1, a), Ar.Eq, Ar.Const Value.Null);
+          Ar.Cmp (Ar.Tuple_attr (Ar.T2, a), Ar.Neq, Ar.Const Value.Null);
+        ];
+      f1_rhs = { strict = false; left = Ar.T1; right = Ar.T2; attr = a };
+    }
+
+let phi8 schema a =
+  Ar.Form1
+    {
+      f1_name = Printf.sprintf "axiom8:%s" (attr_label schema a);
+      f1_lhs =
+        [
+          Ar.Cmp (Ar.Tuple_attr (Ar.T2, a), Ar.Eq, Ar.Target_attr a);
+          Ar.Cmp (Ar.Target_attr a, Ar.Neq, Ar.Const Value.Null);
+        ];
+      f1_rhs = { strict = false; left = Ar.T1; right = Ar.T2; attr = a };
+    }
+
+let phi9 schema a =
+  Ar.Form1
+    {
+      f1_name = Printf.sprintf "axiom9:%s" (attr_label schema a);
+      f1_lhs = [ Ar.Cmp (Ar.Tuple_attr (Ar.T1, a), Ar.Eq, Ar.Tuple_attr (Ar.T2, a)) ];
+      f1_rhs = { strict = false; left = Ar.T1; right = Ar.T2; attr = a };
+    }
+
+let all schema =
+  let n = Schema.arity schema in
+  List.concat_map
+    (fun a -> [ phi7 schema a; phi8 schema a; phi9 schema a ])
+    (List.init n (fun i -> i))
+
+let is_axiom rule =
+  let name = Ar.name rule in
+  String.length name >= 6 && String.sub name 0 5 = "axiom"

@@ -1,0 +1,22 @@
+(** The built-in axioms φ7–φ9 of Example 3, which the paper includes
+    in every set of ARs:
+
+    - φ7: [t1\[A\] = null ∧ t2\[A\] ≠ null → t1 ⪯_A t2]
+      (null has the lowest accuracy);
+    - φ8: [t2\[A\] = te\[A\] ∧ te\[A\] ≠ null → t1 ⪯_A t2]
+      (a decided target value has the highest accuracy);
+    - φ9: [t1\[A\] = t2\[A\] → t1 ⪯_A t2]
+      (equal values are order-equivalent).
+
+    Each is instantiated once per attribute of the schema, named
+    [axiom7:attr] etc. *)
+
+val all : Relational.Schema.t -> Ar.t list
+(** φ7, φ8 and φ9 for every attribute. *)
+
+val phi7 : Relational.Schema.t -> int -> Ar.t
+val phi8 : Relational.Schema.t -> int -> Ar.t
+val phi9 : Relational.Schema.t -> int -> Ar.t
+
+val is_axiom : Ar.t -> bool
+(** Recognizes rules produced by this module (by name prefix). *)

@@ -1,0 +1,233 @@
+module Value = Relational.Value
+module Relation = Relational.Relation
+module Attr_order = Ordering.Attr_order
+
+type action =
+  | Add_order of { attr : int; c1 : int; c2 : int }
+  | Refresh of int
+  | Assign of { attr : int; value : Value.t }
+
+type gpred =
+  | P_ord of { attr : int; c1 : int; c2 : int }
+  | P_te of { attr : int; op : Ar.op; value : Value.t }
+
+type step = {
+  sid : int;
+  rule_name : string;
+  preds : gpred list;
+  action : action;
+}
+
+(* Outcome of folding one predicate against a fixed tuple pair. *)
+type folded = F_true | F_false | F_residual of gpred
+
+let fold_cmp values_of_side l op r =
+  let known = function
+    | Ar.Tuple_attr (s, a) -> Some (values_of_side s a)
+    | Ar.Const v -> Some v
+    | Ar.Target_attr _ -> None
+  in
+  match (known l, known r) with
+  | Some vl, Some vr -> if Ar.eval_op op vl vr then F_true else F_false
+  | None, Some vr -> (
+      match l with
+      | Ar.Target_attr a -> F_residual (P_te { attr = a; op; value = vr })
+      | _ -> assert false)
+  | Some vl, None -> (
+      match r with
+      | Ar.Target_attr a ->
+          F_residual (P_te { attr = a; op = Ar.mirror_op op; value = vl })
+      | _ -> assert false)
+  | None, None -> (
+      match (l, r) with
+      | Ar.Target_attr a, Ar.Target_attr b when a = b ->
+          (* Reflexive target comparison folds by the operator. *)
+          if Ar.eval_op op Value.Null Value.Null then F_true else F_false
+      | _ ->
+          invalid_arg
+            "Ground.instantiate: predicate compares two distinct target attributes")
+
+let fold_ord orders tuple_of_side ~strict ~left ~right ~attr =
+  let c1 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side left) in
+  let c2 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side right) in
+  if c1 = c2 then if strict then F_false else F_true
+  else F_residual (P_ord { attr; c1; c2 })
+
+(* Deduplication key: a canonical string for (sorted preds, action). *)
+let pred_key = function
+  | P_ord { attr; c1; c2 } -> Printf.sprintf "o%d:%d:%d" attr c1 c2
+  | P_te { attr; op; value } ->
+      Printf.sprintf "t%d:%d:%s" attr
+        (match op with Ar.Eq -> 0 | Neq -> 1 | Lt -> 2 | Gt -> 3 | Leq -> 4 | Geq -> 5)
+        (Value.to_string value)
+
+let action_key = function
+  | Add_order { attr; c1; c2 } -> Printf.sprintf "O%d:%d:%d" attr c1 c2
+  | Refresh attr -> Printf.sprintf "R%d" attr
+  | Assign { attr; value } -> Printf.sprintf "A%d:%s" attr (Value.to_string value)
+
+let step_key preds action =
+  String.concat ";" (List.sort String.compare (List.map pred_key preds))
+  ^ "|" ^ action_key action
+
+let dedup_preds preds =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun p ->
+      let k = pred_key p in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    preds
+
+let instantiate ~ruleset ~entity ~master ~orders =
+  let rules = Ruleset.rules ruleset in
+  let n = Relation.size entity in
+  let steps = ref [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create 256 in
+  let emit rule_name preds action =
+    let preds = dedup_preds preds in
+    let key = step_key preds action in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      steps := { sid = !count; rule_name; preds; action } :: !steps;
+      incr count
+    end
+  in
+  (* A form (1) rule only reads a handful of attributes on each
+     tuple variable; two tuples whose value classes agree on that
+     side's read-set (plus the concluded attribute) produce
+     identical ground steps. Grounding therefore iterates over
+     distinct signature representatives rather than all |Ie|²
+     tuple pairs — same Γ, typically orders of magnitude fewer
+     folds. *)
+  let side_reads (r : Ar.form1) side =
+    let acc = ref [ r.f1_rhs.Ar.attr ] in
+    let add_if s a = if s = side then acc := a :: !acc in
+    List.iter
+      (function
+        | Ar.Cmp (l, _, rt) ->
+            let of_term = function
+              | Ar.Tuple_attr (s, a) -> add_if s a
+              | Ar.Target_attr _ | Ar.Const _ -> ()
+            in
+            of_term l;
+            of_term rt
+        | Ar.Ord { left; right; attr; _ } ->
+            add_if left attr;
+            add_if right attr)
+      r.f1_lhs;
+    (* The RHS sides also matter: add both (cheap and safe). *)
+    acc := r.f1_rhs.Ar.attr :: !acc;
+    List.sort_uniq Int.compare !acc
+  in
+  let representatives reads =
+    (* Distinct class-vector signatures over [reads], with one
+       representative tuple index each. *)
+    let seen = Hashtbl.create (max 16 n) in
+    let reps = ref [] in
+    for i = 0 to n - 1 do
+      let sig_ = List.map (fun a -> Attr_order.class_of_tuple orders.(a) i) reads in
+      if not (Hashtbl.mem seen sig_) then begin
+        Hashtbl.add seen sig_ ();
+        reps := i :: !reps
+      end
+    done;
+    List.rev !reps
+  in
+  let ground_form1 (r : Ar.form1) =
+    let reps1 = representatives (side_reads r Ar.T1) in
+    let reps2 = representatives (side_reads r Ar.T2) in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            let tuple_of_side = function Ar.T1 -> i | Ar.T2 -> j in
+            let values_of_side s a = Relation.get entity (tuple_of_side s) a in
+            let rec fold_lhs acc = function
+              | [] -> Some acc
+              | p :: rest -> (
+                  let folded =
+                    match p with
+                    | Ar.Cmp (l, op, rt) -> fold_cmp values_of_side l op rt
+                    | Ar.Ord { strict; left; right; attr } ->
+                        fold_ord orders tuple_of_side ~strict ~left ~right ~attr
+                  in
+                  match folded with
+                  | F_false -> None
+                  | F_true -> fold_lhs acc rest
+                  | F_residual g -> fold_lhs (g :: acc) rest)
+            in
+            match fold_lhs [] r.f1_lhs with
+            | None -> ()
+            | Some preds ->
+                let { Ar.strict = _; left; right; attr } = r.f1_rhs in
+                let c1 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side left) in
+                let c2 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side right) in
+                let action =
+                  if c1 = c2 then Refresh attr else Add_order { attr; c1; c2 }
+                in
+                emit r.f1_name (List.rev preds) action)
+          reps2)
+      reps1
+  in
+  let ground_form2 (r : Ar.form2) =
+    match master with
+    | None -> ()
+    | Some im ->
+        for m = 0 to Relation.size im - 1 do
+          let tm a = Relation.get im m a in
+          let rec fold_lhs acc = function
+            | [] -> Some acc
+            | p :: rest -> (
+                match p with
+                | Ar.Master_const (b, op, c) ->
+                    if Ar.eval_op op (tm b) c then fold_lhs acc rest else None
+                | Ar.Te_const (a, op, c) ->
+                    fold_lhs (P_te { attr = a; op; value = c } :: acc) rest
+                | Ar.Te_master (a, b) ->
+                    let v = tm b in
+                    if Value.is_null v then None
+                      (* te is never assigned null: unsatisfiable *)
+                    else fold_lhs (P_te { attr = a; op = Ar.Eq; value = v } :: acc) rest)
+          in
+          match fold_lhs [] r.f2_lhs with
+          | None -> ()
+          | Some preds ->
+              let value = tm r.f2_tm_attr in
+              if not (Value.is_null value) then
+                emit r.f2_name (List.rev preds)
+                  (Assign { attr = r.f2_te_attr; value })
+        done
+  in
+  List.iter
+    (function
+      | Ar.Form1 r -> ground_form1 r
+      | Ar.Form2 r -> ground_form2 r)
+    rules;
+  List.rev !steps
+
+let pp_gpred ppf = function
+  | P_ord { attr; c1; c2 } -> Format.fprintf ppf "ord(%d: %d<%d)" attr c1 c2
+  | P_te { attr; op; value } ->
+      Format.fprintf ppf "te[%d] %a %a" attr Ar.pp_op op Value.pp value
+
+let pp_step ppf s =
+  Format.fprintf ppf "@[<h>#%d[%s] " s.sid s.rule_name;
+  (match s.preds with
+  | [] -> Format.pp_print_string ppf "true"
+  | preds ->
+      List.iteri
+        (fun i p ->
+          if i > 0 then Format.fprintf ppf " & ";
+          pp_gpred ppf p)
+        preds);
+  Format.fprintf ppf " => ";
+  (match s.action with
+  | Add_order { attr; c1; c2 } -> Format.fprintf ppf "order(%d: %d<%d)" attr c1 c2
+  | Refresh attr -> Format.fprintf ppf "refresh(%d)" attr
+  | Assign { attr; value } -> Format.fprintf ppf "te[%d] := %a" attr Value.pp value);
+  Format.fprintf ppf "@]"

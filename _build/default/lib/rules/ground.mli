@@ -1,0 +1,58 @@
+(** [Instantiation] (§5): partial evaluation of the ARs in Σ over the
+    tuples of [Ie] and [Im] into ground single chase steps Γ.
+
+    A form (1) rule is instantiated on every ordered tuple pair
+    (including [i = j], which is how axiom φ9 yields the λ-refresh
+    steps that instantiate [te] on attributes with a unique greatest
+    value). A form (2) rule is instantiated on every master tuple.
+    Constant predicates are folded away — a false one kills the
+    step — and the residue is one of two monotone event kinds:
+
+    - {!P_ord}: a strict class pair must appear in one attribute's
+      accuracy order (distinct value classes; a non-strict atom over
+      one class folds to [true], a strict one to [false]);
+    - {!P_te}: the target attribute, once assigned, must compare as
+      stated. [te] attributes are write-once and only ever assigned
+      non-null values, so a test against the {e initial} null (e.g.
+      [te\[A\] = null]) is never satisfied — matching the paper,
+      where [Φ_δ] keys on assignment events [te\[Ak\] = c] only.
+
+    Steps are deduplicated (same residue and action ⇒ one step,
+    first provenance wins); duplicate predicates within a step are
+    collapsed so that each residual predicate fires at most once. *)
+
+type action =
+  | Add_order of { attr : int; c1 : int; c2 : int }
+      (** assert class [c1 ⪯ c2] on [attr] ([c1 ≠ c2]) *)
+  | Refresh of int
+      (** a same-class order assertion: its only observable effect is
+          the λ update of [te] on the attribute *)
+  | Assign of { attr : int; value : Relational.Value.t }
+      (** [te\[attr\] := value] from master data (value non-null) *)
+
+type gpred =
+  | P_ord of { attr : int; c1 : int; c2 : int }
+      (** satisfied when the class edge [c1 → c2] appears *)
+  | P_te of { attr : int; op : Ar.op; value : Relational.Value.t }
+      (** satisfied when [te\[attr\]] is assigned some [w] with
+          [w op value]; dead if assigned a [w] failing it *)
+
+type step = {
+  sid : int;  (** dense id, [0 .. |Γ|-1] *)
+  rule_name : string;  (** provenance *)
+  preds : gpred list;  (** residual predicates, deduplicated *)
+  action : action;
+}
+
+val instantiate :
+  ruleset:Ruleset.t ->
+  entity:Relational.Relation.t ->
+  master:Relational.Relation.t option ->
+  orders:Ordering.Attr_order.t array ->
+  step list
+(** Γ. [orders] supplies the value-class numbering of each attribute
+    (they are fresh, i.e. edge-free, at instantiation time).
+    Raises [Invalid_argument] on a form (1) predicate comparing two
+    different target attributes (outside the paper's grammar). *)
+
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,68 @@
+module Schema = Relational.Schema
+
+type t = {
+  schema : Schema.t;
+  master : Schema.t option;
+  users : Ar.t list;
+  axioms : Ar.t list;
+}
+
+let validate_all ~schema ~master rules =
+  let rec go = function
+    | [] -> Ok ()
+    | r :: rest -> (
+        match Ar.validate ~schema ~master r with
+        | Ok () -> go rest
+        | Error e -> Error (Printf.sprintf "rule %s: %s" (Ar.name r) e))
+  in
+  go rules
+
+let make ?(include_axioms = true) ~schema ?master rules =
+  match validate_all ~schema ~master rules with
+  | Error _ as e -> e
+  | Ok () ->
+      let axioms = if include_axioms then Axioms.all schema else [] in
+      Ok { schema; master; users = rules; axioms }
+
+let make_exn ?include_axioms ~schema ?master rules =
+  match make ?include_axioms ~schema ?master rules with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Ruleset.make_exn: " ^ e)
+
+let schema t = t.schema
+let master_schema t = t.master
+let rules t = t.axioms @ t.users
+let user_rules t = t.users
+let size t = List.length t.users
+
+let form1_count t = List.length (List.filter Ar.is_form1 t.users)
+let form2_count t = List.length (List.filter Ar.is_form2 t.users)
+
+let restrict t which =
+  let keep =
+    match which with
+    | `Form1_only -> Ar.is_form1
+    | `Form2_only -> Ar.is_form2
+    | `Both -> fun _ -> true
+  in
+  { t with users = List.filter keep t.users }
+
+let add t rule =
+  match Ar.validate ~schema:t.schema ~master:t.master rule with
+  | Ok () -> Ok { t with users = t.users @ [ rule ] }
+  | Error e -> Error (Printf.sprintf "rule %s: %s" (Ar.name rule) e)
+
+let find t name =
+  List.find_opt (fun r -> Ar.name r = name) (rules t)
+
+let remove t name =
+  { t with users = List.filter (fun r -> Ar.name r <> name) t.users }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Ar.pp ~schema:t.schema ?master:t.master ppf r;
+      Format.pp_print_cut ppf ())
+    t.users;
+  Format.fprintf ppf "(+ %d axioms)@]" (List.length t.axioms)

@@ -1,0 +1,1 @@
+lib/topk/active_domain.ml: Array Core Float Hashtbl Int List Preference Printf Relational Rules String

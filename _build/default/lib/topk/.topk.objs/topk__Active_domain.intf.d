@@ -1,0 +1,1 @@
+lib/topk/active_domain.mli: Core Preference Relational

@@ -1,0 +1,1 @@
+lib/topk/candidate_oracle.ml: Active_domain Array Core Float List Preference Relational

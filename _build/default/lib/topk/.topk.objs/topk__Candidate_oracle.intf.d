@@ -1,0 +1,1 @@
+lib/topk/candidate_oracle.mli: Core Preference Relational

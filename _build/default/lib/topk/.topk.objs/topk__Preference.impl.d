@@ -1,0 +1,1 @@
+lib/topk/preference.ml: Array Hashtbl List Option Relational

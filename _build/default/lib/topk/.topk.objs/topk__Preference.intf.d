@@ -1,0 +1,1 @@
+lib/topk/preference.mli: Relational

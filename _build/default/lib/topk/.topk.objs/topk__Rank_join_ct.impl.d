@@ -1,0 +1,1 @@
+lib/topk/rank_join_ct.ml: Active_domain Array Core Float List Pqueue Preference Relational

@@ -1,0 +1,1 @@
+lib/topk/rank_join_ct.mli: Core Preference Relational

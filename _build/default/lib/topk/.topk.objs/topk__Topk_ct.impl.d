@@ -1,0 +1,1 @@
+lib/topk/topk_ct.ml: Active_domain Array Core Float Hashtbl Int List Pqueue Preference Relational String

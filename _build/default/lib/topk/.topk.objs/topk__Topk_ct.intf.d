@@ -1,0 +1,1 @@
+lib/topk/topk_ct.mli: Core Preference Relational

@@ -1,0 +1,1 @@
+lib/topk/topk_ct_h.ml: Array Core Hashtbl List Option Preference Relational String Topk_ct

@@ -1,0 +1,1 @@
+lib/topk/topk_ct_h.mli: Core Preference Relational

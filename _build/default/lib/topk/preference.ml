@@ -1,0 +1,69 @@
+module Value = Relational.Value
+module Relation = Relational.Relation
+
+type t = { weight : int -> Value.t -> float }
+
+let weight t = t.weight
+
+let score t values =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun a v -> if not (Value.is_null v) then total := !total +. t.weight a v)
+    values;
+  !total
+
+let of_fun f = { weight = f }
+
+let uniform () = { weight = (fun _ v -> if Value.is_null v then 0.0 else 1.0) }
+
+(* Keys distinguish runtime type; see Ordering.Attr_order.class_key. *)
+let value_key v =
+  match v with
+  | Value.Null -> "n"
+  | Value.Bool b -> if b then "bt" else "bf"
+  | Value.Int i -> "d" ^ string_of_float (float_of_int i)
+  | Value.Float f -> "d" ^ string_of_float f
+  | Value.String s -> "s" ^ s
+
+let of_occurrences ?(default = 0.5) relation =
+  let counts = Hashtbl.create 64 in
+  let n = Relational.Schema.arity (Relation.schema relation) in
+  for a = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        if not (Value.is_null v) then begin
+          let key = (a, value_key v) in
+          Hashtbl.replace counts key
+            (1.0 +. Option.value ~default:0.0 (Hashtbl.find_opt counts key))
+        end)
+      (Relation.column relation a)
+  done;
+  {
+    weight =
+      (fun a v ->
+        match Hashtbl.find_opt counts (a, value_key v) with
+        | Some c -> c
+        | None -> default);
+  }
+
+let of_table ?(default = 0.0) triples =
+  let table = Hashtbl.create 64 in
+  List.iter (fun (a, v, w) -> Hashtbl.replace table (a, value_key v) w) triples;
+  {
+    weight =
+      (fun a v ->
+        match Hashtbl.find_opt table (a, value_key v) with
+        | Some w -> w
+        | None -> default);
+  }
+
+let override t triples =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (a, v, w) -> Hashtbl.replace table (a, value_key v) w) triples;
+  {
+    weight =
+      (fun a v ->
+        match Hashtbl.find_opt table (a, value_key v) with
+        | Some w -> w
+        | None -> t.weight a v);
+  }

@@ -1,0 +1,46 @@
+(** The preference model [(k, p(·))] of §3: a per-value score
+    [w_A(v)] for every attribute and value, with
+    [p(t) = Σ_A w_A(t[A])] and [p(Te) = Σ_{t ∈ Te} p(t)] — a
+    monotone scoring function.
+
+    Scores may come from value-occurrence counting (the paper's
+    default, used in Exp-2/3/4 and the [voting]-flavoured Table 4
+    row), from probabilities produced by a truth-discovery algorithm
+    (the [copyCEF]-flavoured Table 4 row), or from explicit user
+    confidence. *)
+
+type t
+
+val weight : t -> int -> Relational.Value.t -> float
+(** [weight p attr v] — the score [w_attr(v)]. *)
+
+val score : t -> Relational.Value.t array -> float
+(** [p(t)]: sum of weights over all positions. Null positions score
+    [0.]. *)
+
+val of_fun : (int -> Relational.Value.t -> float) -> t
+
+val uniform : unit -> t
+(** Every non-null value scores [1.]. *)
+
+val of_occurrences :
+  ?default:float -> Relational.Relation.t -> t
+(** Count occurrences of each value in its column of the entity
+    instance (§3: "automatically derived by counting the occurrences
+    of v in the Ai column"). Values never seen in the column (e.g.
+    master-only values or the synthetic default ⊥) score [default]
+    (default [0.5] — above nothing, below any occurring value). *)
+
+val of_table :
+  ?default:float -> (int * Relational.Value.t * float) list -> t
+(** Explicit (attribute, value, weight) triples; anything else
+    scores [default] (default [0.]). *)
+
+val override :
+  t -> (int * Relational.Value.t * float) list -> t
+(** Point updates on top of an existing model. *)
+
+val value_key : Relational.Value.t -> string
+(** Canonical hash key of a value (distinguishes runtime types,
+    unifies numerically equal ints and floats). Shared by the top-k
+    algorithms' duplicate sets. *)

@@ -1,0 +1,158 @@
+module Value = Relational.Value
+
+type stats = {
+  pulls : int;
+  combos : int;
+  checks : int;
+  emitted : int;
+}
+
+type result = {
+  targets : Value.t array list;
+  stats : stats;
+}
+
+type candidate = { values : Value.t array; w : float; ok : bool }
+
+let cand_cmp a b =
+  match Float.compare b.w a.w with
+  | 0 -> Relational.Tuple.compare_values (Relational.Tuple.make a.values) (Relational.Tuple.make b.values)
+  | c -> c
+
+let run ?include_default ?max_pulls ~k ~pref compiled te =
+  if k < 1 then invalid_arg "Rank_join_ct.run: k < 1";
+  let spec = Core.Is_cr.compiled_spec compiled in
+  let pulls = ref 0 and combos = ref 0 and checks = ref 0 and emitted = ref 0 in
+  let finish targets =
+    {
+      targets = List.rev targets;
+      stats = { pulls = !pulls; combos = !combos; checks = !checks; emitted = !emitted };
+    }
+  in
+  let verify t =
+    incr checks;
+    Core.Is_cr.check compiled t
+  in
+  let zattrs =
+    Array.of_list
+      (List.filter
+         (fun a -> Value.is_null te.(a))
+         (List.init (Array.length te) (fun i -> i)))
+  in
+  let m = Array.length zattrs in
+  if m = 0 then finish (if verify te then [ Array.copy te ] else [])
+  else begin
+    let lists =
+      Array.map (fun a -> Active_domain.ranked ?include_default spec pref a) zattrs
+    in
+    Array.iter
+      (fun l ->
+        if Array.length l = 0 then
+          invalid_arg "Rank_join_ct.run: empty active domain for a null attribute")
+      lists;
+    let depth = Array.make m 0 in
+    let buffer = Pqueue.Binary_heap.create ~cmp:cand_cmp in
+    let fixed_score =
+      (* Score of the fixed non-null part: a constant shared by every
+         candidate and by the threshold. *)
+      let t = Array.copy te in
+      Array.iter (fun a -> t.(a) <- Value.Null) zattrs;
+      Preference.score pref t
+    in
+    (* τ: best score any not-yet-generated combination can reach. *)
+    let threshold () =
+      let best = ref neg_infinity in
+      for i = 0 to m - 1 do
+        if depth.(i) < Array.length lists.(i) then begin
+          let ub = ref (fixed_score +. snd lists.(i).(depth.(i))) in
+          for j = 0 to m - 1 do
+            if j <> i then ub := !ub +. snd lists.(j).(0)
+          done;
+          if !ub > !best then best := !ub
+        end
+      done;
+      !best
+    in
+    (* Join a newly pulled value of list [i] (at depth [d]) against
+       all seen prefixes of the other lists; check every combination
+       as it is generated (§6.1). The budget also bounds combination
+       generation: one pull joins against a cross product of all
+       seen prefixes, which is itself exponential in m. *)
+    let over_budget () =
+      match max_pulls with Some b -> !combos >= b | None -> false
+    in
+    let generate i d =
+      let rec combos_at j acc score =
+        if over_budget () then ()
+        else if j = m then begin
+          incr combos;
+          let values = Array.copy te in
+          List.iter (fun (attr, v) -> values.(attr) <- v) acc;
+          let ok = verify values in
+          Pqueue.Binary_heap.add buffer { values; w = score; ok }
+        end
+        else if j = i then
+          let v, w = lists.(i).(d) in
+          combos_at (j + 1) ((zattrs.(i), v) :: acc) (score +. w)
+        else
+          for dj = 0 to depth.(j) - 1 do
+            let v, w = lists.(j).(dj) in
+            combos_at (j + 1) ((zattrs.(j), v) :: acc) (score +. w)
+          done
+      in
+      combos_at 0 [] fixed_score
+    in
+    let rec emit_ready targets found =
+      if found >= k then (targets, found)
+      else
+        match Pqueue.Binary_heap.peek buffer with
+        | Some c when c.w >= threshold () ->
+            ignore (Pqueue.Binary_heap.pop buffer : candidate option);
+            if c.ok then begin
+              incr emitted;
+              emit_ready (Array.copy c.values :: targets) (found + 1)
+            end
+            else emit_ready targets found
+        | _ -> (targets, found)
+    in
+    let rec loop targets found rr =
+      if found >= k then finish targets
+      else begin
+        (* Advance the next list (round-robin over non-exhausted). *)
+        let rec pick tried i =
+          if tried = m then None
+          else if depth.(i) < Array.length lists.(i) then Some i
+          else pick (tried + 1) ((i + 1) mod m)
+        in
+        let next_list =
+          match max_pulls with
+          | Some b when !pulls >= b || !combos >= b -> None
+          | Some _ | None -> pick 0 rr
+        in
+        match next_list with
+        | None ->
+            (* All lists exhausted: drain the buffer. *)
+            let rec drain targets found =
+              if found >= k then targets
+              else
+                match Pqueue.Binary_heap.pop buffer with
+                | None -> targets
+                | Some c ->
+                    if c.ok then begin
+                      incr emitted;
+                      drain (Array.copy c.values :: targets) (found + 1)
+                    end
+                    else drain targets found
+            in
+            finish (drain targets found)
+        | Some i ->
+            incr pulls;
+            let d = depth.(i) in
+            depth.(i) <- d + 1;
+            generate i d;
+            let targets, found = emit_ready targets found in
+            loop targets found ((i + 1) mod m)
+      end
+    in
+    loop [] 0 0
+  end

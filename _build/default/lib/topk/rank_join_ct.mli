@@ -1,0 +1,41 @@
+(** [RankJoinCT] (§6.1): top-k candidate targets as an extension of
+    top-k rank-join algorithms (HRJN-style; Ilyas et al. VLDBJ'04,
+    Schnaitter & Polyzotis PODS'08).
+
+    Inputs are the {e ranked lists} [L_1 .. L_m] — each null
+    attribute's active domain sorted by descending score. The
+    algorithm pulls values from the lists round-robin; every pulled
+    value is joined with all previously-seen values of the other
+    lists, and — as the paper notes critically — {e every} join
+    combination is verified by [check] (a chase run), which is what
+    makes RankJoinCT exponentially more expensive than [TopKCT].
+    A combination is emitted once its score is at least the
+    rank-join threshold [τ = max_i (w_i(next unseen of L_i) +
+    Σ_{j≠i} w_j(top of L_j))], which guarantees exact score order
+    (early termination, Prop. 6). *)
+
+type stats = {
+  pulls : int;  (** list accesses *)
+  combos : int;  (** join combinations generated (all checked) *)
+  checks : int;
+  emitted : int;
+}
+
+type result = {
+  targets : Relational.Value.t array list;
+  stats : stats;
+}
+
+val run :
+  ?include_default:bool ->
+  ?max_pulls:int ->
+  k:int ->
+  pref:Preference.t ->
+  Core.Is_cr.compiled ->
+  Relational.Value.t array ->
+  result
+(** Same contract as {!Topk_ct.run} ([max_pulls] bounds list
+    accesses, like [Topk_ct]'s [max_pops]); sorting the ranked lists
+    is part of this algorithm's cost (§6.1: "domain values are often
+    not given in ranked lists, and sorting the domains is
+    costly"). *)

@@ -1,0 +1,175 @@
+module Value = Relational.Value
+
+type stats = {
+  heap_pops : int;
+  queue_pops : int;
+  checks : int;
+  enumerated : int;
+}
+
+type result = {
+  targets : Value.t array list;
+  stats : stats;
+}
+
+(* Growable buffer B_i of already-popped domain values (Fig. 5 keeps
+   one per attribute so that position j always means the j-th best
+   value of that attribute). *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+  let length v = v.len
+  let get v i = v.data.(i)
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let fresh = Array.make (max 4 (2 * v.len)) x in
+      Array.blit v.data 0 fresh 0 v.len;
+      v.data <- fresh
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+end
+
+(* A frontier object: the full tuple, the per-null-attribute buffer
+   positions, and the cached score. *)
+type obj = { values : Value.t array; pos : int array; w : float }
+
+let obj_cmp a b =
+  match Float.compare b.w a.w with
+  | 0 ->
+      (* Deterministic tie-break on the varying positions. *)
+      let rec go i =
+        if i = Array.length a.pos then 0
+        else
+          match Int.compare a.pos.(i) b.pos.(i) with 0 -> go (i + 1) | c -> c
+      in
+      go 0
+  | c -> c
+
+let zkey zattrs values =
+  String.concat "\x00"
+    (List.map (fun a -> Preference.value_key values.(a)) (Array.to_list zattrs))
+
+let run ?(check = true) ?include_default ?max_pops ~k ~pref compiled te =
+  if k < 1 then invalid_arg "Topk_ct.run: k < 1";
+  let spec = Core.Is_cr.compiled_spec compiled in
+  let heap_pops = ref 0
+  and queue_pops = ref 0
+  and checks = ref 0
+  and enumerated = ref 0 in
+  let verify t =
+    if not check then true
+    else begin
+      incr checks;
+      Core.Is_cr.check compiled t
+    end
+  in
+  let finish targets =
+    {
+      targets = List.rev targets;
+      stats =
+        {
+          heap_pops = !heap_pops;
+          queue_pops = !queue_pops;
+          checks = !checks;
+          enumerated = !enumerated;
+        };
+    }
+  in
+  let zattrs =
+    Array.of_list
+      (List.filter
+         (fun a -> Value.is_null te.(a))
+         (List.init (Array.length te) (fun i -> i)))
+  in
+  let m = Array.length zattrs in
+  if m = 0 then
+    (* te is already complete: it is its own only candidate. *)
+    finish (if verify te then [ Array.copy te ] else [])
+  else begin
+    (* One heap per null attribute: best weight first, value order as
+       tie-break (pre-constructed in linear time by heapify). *)
+    let heap_cmp (v1, w1) (v2, w2) =
+      match Float.compare w2 w1 with 0 -> Value.compare v1 v2 | c -> c
+    in
+    let heaps =
+      Array.map
+        (fun a ->
+          let domain = Active_domain.values ?include_default spec a in
+          if domain = [] then
+            invalid_arg "Topk_ct.run: empty active domain for a null attribute";
+          let weighted =
+            Array.of_list
+              (List.map (fun v -> (v, Preference.weight pref a v)) domain)
+          in
+          Pqueue.Binary_heap.of_array ~cmp:heap_cmp weighted)
+        zattrs
+    in
+    let buffers = Array.init m (fun _ -> Vec.create ()) in
+    let pop_heap i =
+      match Pqueue.Binary_heap.pop heaps.(i) with
+      | Some vw ->
+          incr heap_pops;
+          Vec.push buffers.(i) vw;
+          true
+      | None -> false
+    in
+    for i = 0 to m - 1 do
+      ignore (pop_heap i : bool)
+    done;
+    let seed_values = Array.copy te in
+    Array.iteri
+      (fun i a -> seed_values.(a) <- fst (Vec.get buffers.(i) 0))
+      zattrs;
+    let seed =
+      { values = seed_values; pos = Array.make m 0; w = Preference.score pref seed_values }
+    in
+    let seen = Hashtbl.create 64 in
+    Hashtbl.add seen (zkey zattrs seed.values) ();
+    incr enumerated;
+    let queue = ref (Pqueue.Brodal_queue.insert seed (Pqueue.Brodal_queue.empty ~cmp:obj_cmp)) in
+    let budget_left () =
+      match max_pops with None -> true | Some b -> !queue_pops < b
+    in
+    let rec loop targets found =
+      if found >= k || not (budget_left ()) then finish targets
+      else
+        match Pqueue.Brodal_queue.pop !queue with
+        | None -> finish targets
+        | Some (o, q') ->
+            queue := q';
+            incr queue_pops;
+            let targets, found =
+              if verify o.values then (Array.copy o.values :: targets, found + 1)
+              else (targets, found)
+            in
+            (* Expand: advance each attribute position by one. *)
+            for i = 0 to m - 1 do
+              let next = o.pos.(i) + 1 in
+              let available =
+                next < Vec.length buffers.(i)
+                || (Vec.length buffers.(i) = next && pop_heap i)
+              in
+              if available then begin
+                let v, w_new = Vec.get buffers.(i) next in
+                let values = Array.copy o.values in
+                let attr = zattrs.(i) in
+                let _, w_old = Vec.get buffers.(i) o.pos.(i) in
+                values.(attr) <- v;
+                let key = zkey zattrs values in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  incr enumerated;
+                  let pos = Array.copy o.pos in
+                  pos.(i) <- next;
+                  let o' = { values; pos; w = o.w -. w_old +. w_new } in
+                  queue := Pqueue.Brodal_queue.insert o' !queue
+                end
+              end
+            done;
+            loop targets found
+    in
+    loop [] 0
+  end

@@ -1,0 +1,54 @@
+(** [TopKCT] (Fig. 5, §6.2): exact top-k candidate targets by
+    lattice enumeration over per-attribute heaps, with a Brodal
+    queue as the frontier.
+
+    Given the deduced target [te] of a Church-Rosser specification,
+    let [Z = {A | te[A] = null}]. The key fact (§6.2): if [Te] is
+    the current top set and [t] is the next-best candidate, then [t]
+    differs from some already-enumerated tuple in exactly one
+    attribute. So the algorithm seeds the frontier with the
+    all-top-values tuple and, on each pop, pushes the [m] neighbours
+    obtained by advancing one attribute to its next-ranked domain
+    value — popping tuples in exact score order without materializing
+    ranked lists. Each popped tuple is verified a candidate target by
+    [check] (a chase run, §5) before it is emitted.
+
+    The enumeration is instance-optimal w.r.t. heap pops
+    (Prop. 7). *)
+
+type stats = {
+  heap_pops : int;  (** total pops over the m attribute heaps *)
+  queue_pops : int;  (** pops from the Brodal queue *)
+  checks : int;  (** candidate verifications (chase runs) *)
+  enumerated : int;  (** distinct tuples pushed to the frontier *)
+}
+
+type result = {
+  targets : Relational.Value.t array list;
+      (** up to [k] candidate targets, best score first *)
+  stats : stats;
+}
+
+val run :
+  ?check:bool ->
+  ?include_default:bool ->
+  ?max_pops:int ->
+  k:int ->
+  pref:Preference.t ->
+  Core.Is_cr.compiled ->
+  Relational.Value.t array ->
+  result
+(** [run ~k ~pref compiled te] enumerates candidates for the null
+    attributes of [te]. [check] (default [true]) — [TopKCTh] reuses
+    this machinery with [check:false] to get its initial k tuples.
+    If [te] is already complete the result is just [te] (verified).
+
+    [max_pops] bounds frontier pops. §6.2 notes that when the
+    specification has fewer than [k] candidate targets, TopKCT
+    "would inevitably exhaust the entire search space", which is
+    exponential; the experiment harness passes a budget so such
+    pathological entities return their partial result instead.
+    Unbounded by default (exact).
+
+    Raises [Invalid_argument] if [k < 1] or some null attribute has
+    an empty active domain. *)

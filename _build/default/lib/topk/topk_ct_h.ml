@@ -1,0 +1,121 @@
+module Value = Relational.Value
+module Relation = Relational.Relation
+
+type stats = {
+  seeds : int;
+  revisions : int;
+  checks : int;
+  repaired : int;
+}
+
+type result = {
+  targets : Value.t array list;
+  stats : stats;
+}
+
+(* Greedy revision: move the candidate's null-attribute values
+   towards the instance tuple they best co-occur with. One revision
+   changes one attribute; the choice needs no chase — that is the
+   whole point of the heuristic (§6.3 trades candidate quality for
+   far fewer check invocations than TopKCT). *)
+let best_cooccurring entity zattrs t =
+  let score tuple =
+    Array.fold_left ( + ) 0
+      (Array.map
+         (fun a ->
+           let v = Relational.Tuple.get tuple a in
+           if (not (Value.is_null v)) && Value.equal v t.(a) then 1 else 0)
+         zattrs)
+  in
+  let best = ref None in
+  List.iter
+    (fun tuple ->
+      let s = score tuple in
+      match !best with
+      | Some (_, bs) when bs >= s -> ()
+      | _ -> best := Some (tuple, s))
+    (Relation.tuples entity);
+  Option.map fst !best
+
+let run ?include_default ?max_pops ~k ~pref compiled te =
+  if k < 1 then invalid_arg "Topk_ct_h.run: k < 1";
+  let spec = Core.Is_cr.compiled_spec compiled in
+  let entity = Core.Specification.entity spec in
+  let revisions = ref 0 and checks = ref 0 and repaired = ref 0 in
+  let check t =
+    incr checks;
+    Core.Is_cr.check compiled t
+  in
+  let zattrs =
+    Array.of_list
+      (List.filter
+         (fun a -> Value.is_null te.(a))
+         (List.init (Array.length te) (fun i -> i)))
+  in
+  let m = Array.length zattrs in
+  (* Repair loop: verify; on failure pull one attribute towards the
+     best co-occurring instance tuple and retry, at most m times
+     (each attribute is revised at most once). *)
+  let repair seed =
+    let t = Array.copy seed in
+    let rec attempt i =
+      if check t then Some t
+      else if i >= m then None
+      else begin
+        incr revisions;
+        match best_cooccurring entity zattrs t with
+        | None -> None
+        | Some anchor ->
+            (* Adopt the anchor's value on the first null-attribute
+               where the candidate disagrees. *)
+            let changed = ref false in
+            Array.iter
+              (fun a ->
+                let v = Relational.Tuple.get anchor a in
+                if
+                  (not !changed)
+                  && (not (Value.is_null v))
+                  && not (Value.equal t.(a) v)
+                then begin
+                  t.(a) <- v;
+                  changed := true
+                end)
+              zattrs;
+            if !changed then attempt (i + 1) else None
+      end
+    in
+    let result = attempt 0 in
+    (match result with
+    | Some t' when not (Array.for_all2 Value.equal t' seed) -> incr repaired
+    | _ -> ());
+    result
+  in
+  let seeds = Topk_ct.run ~check:false ?include_default ?max_pops ~k ~pref compiled te in
+  let seen = Hashtbl.create 16 in
+  let key values =
+    String.concat "\x00" (Array.to_list (Array.map Preference.value_key values))
+  in
+  let targets =
+    List.filter_map
+      (fun seed ->
+        match repair seed with
+        | None -> None
+        | Some t ->
+            let tk = key t in
+            if Hashtbl.mem seen tk then None
+            else begin
+              Hashtbl.add seen tk ();
+              Some t
+            end)
+      seeds.Topk_ct.targets
+  in
+  {
+    targets;
+    stats =
+      {
+        seeds = List.length seeds.Topk_ct.targets;
+        revisions = !revisions;
+        checks = !checks;
+        repaired = !repaired;
+      };
+  }

@@ -1,0 +1,1 @@
+lib/truth/copy_cef.ml: Array Float Hashtbl List Option Relational Topk

@@ -1,0 +1,1 @@
+lib/truth/copy_cef.mli: Relational

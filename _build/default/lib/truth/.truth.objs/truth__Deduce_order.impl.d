@@ -1,0 +1,1 @@
+lib/truth/deduce_order.ml: Array Cfd List Option Ordering Relational Rules

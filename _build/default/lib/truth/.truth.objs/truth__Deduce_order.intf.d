@@ -1,0 +1,1 @@
+lib/truth/deduce_order.mli: Cfd Relational Rules

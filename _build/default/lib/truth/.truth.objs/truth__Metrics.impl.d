@@ -1,0 +1,1 @@
+lib/truth/metrics.ml: Array Format List Relational

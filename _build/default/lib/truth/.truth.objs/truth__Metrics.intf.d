@@ -1,0 +1,1 @@
+lib/truth/metrics.mli: Format Relational

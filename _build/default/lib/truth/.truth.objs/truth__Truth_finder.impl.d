@@ -1,0 +1,1 @@
+lib/truth/truth_finder.ml: Array Copy_cef Float Hashtbl List Option Relational Topk

@@ -1,0 +1,1 @@
+lib/truth/truth_finder.mli: Copy_cef Relational

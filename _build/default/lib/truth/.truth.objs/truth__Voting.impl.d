@@ -1,0 +1,1 @@
+lib/truth/voting.ml: Array List Relational Topk

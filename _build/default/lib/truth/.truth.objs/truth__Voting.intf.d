@@ -1,0 +1,1 @@
+lib/truth/voting.mli: Relational Topk

@@ -1,0 +1,26 @@
+module Value = Relational.Value
+module Relation = Relational.Relation
+
+let resolve ?pref relation =
+  let pref =
+    match pref with
+    | Some p -> p
+    | None -> Topk.Preference.of_occurrences relation
+  in
+  let n = Relational.Schema.arity (Relation.schema relation) in
+  Array.init n (fun a ->
+      let candidates =
+        List.filter (fun v -> not (Value.is_null v)) (Relation.distinct_column relation a)
+      in
+      let best =
+        List.fold_left
+          (fun acc v ->
+            let w = Topk.Preference.weight pref a v in
+            match acc with
+            | None -> Some (v, w)
+            | Some (bv, bw) ->
+                if w > bw || (w = bw && Value.compare v bv < 0) then Some (v, w)
+                else acc)
+          None candidates
+      in
+      match best with Some (v, _) -> v | None -> Value.Null)

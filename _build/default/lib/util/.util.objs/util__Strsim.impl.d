@@ -1,0 +1,1 @@
+lib/util/strsim.ml: Array Buffer Char List Set String

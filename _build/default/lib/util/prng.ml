@@ -1,0 +1,105 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 output function: advance by the golden gamma, then mix. *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let int g bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 g) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 random bits scaled into [0, 1), then into [0, bound). *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let gaussian g ~mu ~sigma =
+  let rec draw () =
+    let u1 = float g 1.0 in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float g 1.0 in
+      mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let exponential g ~rate =
+  assert (rate > 0.);
+  let rec draw () =
+    let u = float g 1.0 in
+    if u <= 1e-300 then draw () else -.log u /. rate
+  in
+  draw ()
+
+let zipf g ~n ~s =
+  assert (n > 0);
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = float g total in
+  let rec scan i acc =
+    if i = n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i + 1 else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let choose g arr =
+  assert (Array.length arr > 0);
+  arr.(int g (Array.length arr))
+
+let choose_weighted g items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  assert (total > 0.0);
+  let target = float g total in
+  let n = Array.length items in
+  let rec scan i acc =
+    if i = n - 1 then fst items.(i)
+    else
+      let acc = acc +. snd items.(i) in
+      if target < acc then fst items.(i) else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  assert (k <= n);
+  (* Partial Fisher–Yates over an index pool: O(n) space, O(k) swaps. *)
+  let pool = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_in g i (n - 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k

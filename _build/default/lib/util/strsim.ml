@@ -1,0 +1,112 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    (* Two-row dynamic program. *)
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int (max la lb))
+
+let tokens s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let jaccard_of_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 1.0
+  | _ ->
+      let module S = Set.Make (String) in
+      let sx = S.of_list xs and sy = S.of_list ys in
+      let inter = S.cardinal (S.inter sx sy) in
+      let union = S.cardinal (S.union sx sy) in
+      if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+let jaccard_tokens a b = jaccard_of_lists (tokens a) (tokens b)
+
+let ngrams n s =
+  assert (n > 0);
+  let pad = String.make (n - 1) '#' in
+  let padded = pad ^ s ^ pad in
+  let len = String.length padded in
+  if len < n then []
+  else List.init (len - n + 1) (fun i -> String.sub padded i n)
+
+let trigram_similarity a b = jaccard_of_lists (ngrams 3 a) (ngrams 3 b)
+
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+          if !pending_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          pending_space := false;
+          Buffer.add_char buf c
+      | 'A' .. 'Z' ->
+          if !pending_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          pending_space := false;
+          Buffer.add_char buf (Char.lowercase_ascii c)
+      | _ -> pending_space := true)
+    s;
+  Buffer.contents buf
+
+let soundex_code c =
+  match Char.lowercase_ascii c with
+  | 'b' | 'f' | 'p' | 'v' -> Some '1'
+  | 'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' -> Some '2'
+  | 'd' | 't' -> Some '3'
+  | 'l' -> Some '4'
+  | 'm' | 'n' -> Some '5'
+  | 'r' -> Some '6'
+  | _ -> None
+
+let is_letter c =
+  match Char.lowercase_ascii c with 'a' .. 'z' -> true | _ -> false
+
+let soundex s =
+  (* Code the first alphabetic word per the American Soundex rules:
+     keep the first letter, then digits of subsequent consonants,
+     dropping repeats of the same digit (h/w do not break runs). *)
+  let start =
+    let rec find i =
+      if i >= String.length s then None
+      else if is_letter s.[i] then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match start with
+  | None -> ""
+  | Some i0 ->
+      let buf = Buffer.create 4 in
+      Buffer.add_char buf (Char.uppercase_ascii s.[i0]);
+      let last_digit = ref (soundex_code s.[i0]) in
+      let i = ref (i0 + 1) in
+      while Buffer.length buf < 4 && !i < String.length s && is_letter s.[!i] do
+        let c = s.[!i] in
+        (match soundex_code c with
+        | Some d ->
+            if !last_digit <> Some d then Buffer.add_char buf d;
+            last_digit := Some d
+        | None ->
+            let lc = Char.lowercase_ascii c in
+            if lc <> 'h' && lc <> 'w' then last_digit := None);
+        incr i
+      done;
+      let code = Buffer.contents buf in
+      code ^ String.make (4 - String.length code) '0'

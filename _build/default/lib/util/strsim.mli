@@ -1,0 +1,27 @@
+(** String similarity measures used by the entity-resolution substrate
+    and the dataset generators (typo injection verification). *)
+
+val levenshtein : string -> string -> int
+(** Edit distance with unit costs. *)
+
+val levenshtein_similarity : string -> string -> float
+(** [1 - distance / max-length], in [\[0, 1\]]; [1.] for two empty
+    strings. *)
+
+val jaccard_tokens : string -> string -> float
+(** Jaccard similarity of whitespace-separated token sets. *)
+
+val ngrams : int -> string -> string list
+(** [ngrams n s] lists the character n-grams of [s] (with [n-1]
+    padding characters ['#'] on each side), in order. *)
+
+val trigram_similarity : string -> string -> float
+(** Jaccard similarity of character trigram sets. *)
+
+val normalize : string -> string
+(** Lowercase and collapse runs of non-alphanumeric characters into
+    single spaces; trims. Used as a canonical form before matching. *)
+
+val soundex : string -> string
+(** American Soundex code (4 characters) of the first word, or [""]
+    for inputs with no ASCII letter. Used for cheap blocking keys. *)

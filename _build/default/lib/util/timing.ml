@@ -1,0 +1,16 @@
+let time_ms f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  let stop = Unix.gettimeofday () in
+  (result, (stop -. start) *. 1000.0)
+
+let best_of n f =
+  assert (n >= 1);
+  let rec go i best result =
+    if i = n then (result, best)
+    else
+      let r, t = time_ms f in
+      go (i + 1) (min best t) r
+  in
+  let r0, t0 = time_ms f in
+  go 1 t0 r0

@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the experiment drivers (the
+    Bechamel harness does its own timing; these are for the
+    figure-series printers, which report milliseconds like §7). *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f ()] once and returns its result with the
+    elapsed wall time in milliseconds. *)
+
+val best_of : int -> (unit -> 'a) -> 'a * float
+(** [best_of n f] runs [f] [n] times and returns the last result with
+    the minimum elapsed milliseconds, damping scheduler noise.
+    Requires [n >= 1]. *)

@@ -1,0 +1,38 @@
+type t = { parent : int array; rank : int array; mutable sets : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then begin
+    t.sets <- t.sets - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end
+  end
+
+let same t x y = find t x = find t y
+
+let count t = t.sets
+
+let groups t =
+  let n = Array.length t.parent in
+  let acc = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    acc.(r) <- i :: acc.(r)
+  done;
+  acc

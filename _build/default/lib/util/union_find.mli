@@ -1,0 +1,23 @@
+(** Disjoint-set forest with union by rank and path compression.
+    Used by the entity-resolution clusterer. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two elements' sets (no-op if already joined). *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements share a set. *)
+
+val count : t -> int
+(** Number of disjoint sets currently represented. *)
+
+val groups : t -> int list array
+(** [groups uf] maps each representative index to the sorted members
+    of its set; non-representative indices map to [[]]. *)

@@ -1,0 +1,1 @@
+test/test_cfd_er_discovery.ml: Alcotest Array Cfd Core Discovery Er List Printf Relational Result Rules Util

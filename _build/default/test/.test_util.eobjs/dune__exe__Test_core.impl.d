@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Datagen List Ordering QCheck QCheck_alcotest Relational Result Rules Util

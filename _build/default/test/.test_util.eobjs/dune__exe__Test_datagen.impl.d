@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Core Datagen Fun Hashtbl List Option QCheck QCheck_alcotest Relational Result Rules Truth

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Array Core Datagen Er Framework List Relational Rules Topk Truth

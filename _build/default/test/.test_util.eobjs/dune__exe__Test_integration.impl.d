@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Astring_contains Core Datagen Discovery Er Experiments List QCheck QCheck_alcotest Relational Rules Util

@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Array Fun Gen List Option Ordering Printf QCheck QCheck_alcotest Relational String Test

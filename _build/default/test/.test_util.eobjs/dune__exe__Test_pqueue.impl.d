@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Array Gen Int List Pqueue QCheck QCheck_alcotest Test

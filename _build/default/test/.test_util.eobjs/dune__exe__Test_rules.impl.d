@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Format Gen List Ordering QCheck QCheck_alcotest Relational Result Rules

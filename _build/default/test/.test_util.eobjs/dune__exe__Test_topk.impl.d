@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Array Core Datagen List Printf Relational Rules String Topk

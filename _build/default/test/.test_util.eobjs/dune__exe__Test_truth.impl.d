@@ -1,0 +1,1 @@
+test/test_truth.ml: Alcotest Array Cfd Float List Relational Rules Truth Util

@@ -1,0 +1,531 @@
+(* Tests for the core chase engine: the running example end-to-end,
+   Church-Rosser detection (Example 6), instance semantics (λ,
+   validity), compile/replay, candidate checking, and a differential
+   property against the naive reference chase. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Spec = Core.Specification
+module Instance = Core.Instance
+module Is_cr = Core.Is_cr
+module Chase = Core.Chase
+module Mj = Datagen.Mj
+
+let check = Alcotest.check
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* The running example                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mj_example5 () =
+  match Is_cr.run Mj.specification with
+  | Is_cr.Not_church_rosser { rule; reason } ->
+      Alcotest.failf "S must be Church-Rosser (%s: %s)" rule reason
+  | Is_cr.Church_rosser inst ->
+      check Alcotest.bool "complete" true (Instance.te_complete inst);
+      check (Alcotest.array value_testable) "Example 5 target" Mj.expected_target
+        (Instance.te inst)
+
+let test_mj_example6_not_cr () =
+  match Is_cr.run Mj.non_cr_specification with
+  | Is_cr.Not_church_rosser _ -> ()
+  | Is_cr.Church_rosser _ -> Alcotest.fail "S' with φ12 must not be Church-Rosser"
+
+let test_mj_partial_without_master () =
+  (* Without nba, φ6 never fires and φ4 has no league order to
+     propagate: t4's rnds (127) stays incomparable, so rnds/totalPts
+     lose their greatest value. J# is still decided (45 ⪯ 23 follows
+     from the NBA-internal rounds already), MN from φ7, and league/
+     team stay null. Exactly the paper's point that master data
+     helps but "is not a must". *)
+  let rs = Rules.Ruleset.make_exn ~schema:Mj.stat_schema ~master:Mj.nba_schema
+      (Rules.Ruleset.user_rules Mj.ruleset) in
+  let spec =
+    Spec.make_exn ~entity:Mj.stat
+      ~master:(Relation.make Mj.nba_schema [])
+      rs
+  in
+  match Is_cr.run spec with
+  | Is_cr.Not_church_rosser _ -> Alcotest.fail "still Church-Rosser"
+  | Is_cr.Church_rosser inst ->
+      let te = Instance.te inst in
+      let attr name = Schema.index Mj.stat_schema name in
+      check value_testable "J# still deduced" (Value.Int 23) te.(attr "J#");
+      check value_testable "MN still deduced" (Value.String "Jeffrey") te.(attr "MN");
+      check value_testable "rnds now null (127 incomparable)" Value.Null
+        te.(attr "rnds");
+      check value_testable "league now null" Value.Null te.(attr "league");
+      check value_testable "team now null" Value.Null te.(attr "team");
+      check Alcotest.bool "incomplete" false (Instance.te_complete inst)
+
+let test_mj_trace_is_terminal_sequence () =
+  let steps = ref 0 in
+  (match Is_cr.run ~trace:(fun _ -> incr steps) Mj.specification with
+  | Is_cr.Church_rosser _ -> ()
+  | Is_cr.Not_church_rosser _ -> Alcotest.fail "CR expected");
+  check Alcotest.bool "non-trivial chase" true (!steps >= 9)
+
+(* ------------------------------------------------------------------ *)
+(* Specification validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_validation () =
+  let other = Schema.make "other" [ "x" ] in
+  let bad_entity = Relation.make other [ Tuple.make [| Value.Int 1 |] ] in
+  check Alcotest.bool "schema mismatch rejected" true
+    (Result.is_error (Spec.make ~entity:bad_entity ~master:Mj.nba Mj.ruleset));
+  check Alcotest.bool "template arity checked" true
+    (Result.is_error
+       (Spec.make ~template:[| Value.Null |] ~entity:Mj.stat ~master:Mj.nba
+          Mj.ruleset))
+
+let test_spec_template_roundtrip () =
+  let spec = Spec.with_template Mj.specification Mj.expected_target in
+  check (Alcotest.array value_testable) "template stored" Mj.expected_target
+    (Spec.template spec)
+
+(* ------------------------------------------------------------------ *)
+(* Instance semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let simple_schema = Schema.make "s" [ "a"; "b" ]
+
+let simple_spec values =
+  let tuples = List.map (fun row -> Tuple.make row) values in
+  let rs = Rules.Ruleset.make_exn ~schema:simple_schema [] in
+  Spec.make_exn ~entity:(Relation.make simple_schema tuples) rs
+
+let test_instance_lambda_sets_te () =
+  let spec = simple_spec [ [| Value.Int 1; Value.Null |]; [| Value.Int 2; Value.Null |] ] in
+  let inst = Instance.init spec in
+  (* assert t1 ⪯a t2 via classes: greatest appears, λ fires *)
+  let o = Instance.order inst 0 in
+  let c1 = Ordering.Attr_order.class_of_tuple o 0 in
+  let c2 = Ordering.Attr_order.class_of_tuple o 1 in
+  (match Instance.apply inst (Rules.Ground.Add_order { attr = 0; c1; c2 }) with
+  | Instance.Changed events ->
+      check Alcotest.bool "edge + te_set events" true (List.length events = 2)
+  | _ -> Alcotest.fail "expected change");
+  check value_testable "te set to greatest" (Value.Int 2) (Instance.te_value inst 0)
+
+let test_instance_lambda_conflict_is_invalid () =
+  let spec = simple_spec [ [| Value.Int 1; Value.Null |]; [| Value.Int 2; Value.Null |] ] in
+  let spec = Spec.with_template spec [| Value.Int 1; Value.Null |] in
+  let inst = Instance.init spec in
+  let o = Instance.order inst 0 in
+  let c1 = Ordering.Attr_order.class_of_tuple o 0 in
+  let c2 = Ordering.Attr_order.class_of_tuple o 1 in
+  match Instance.apply inst (Rules.Ground.Add_order { attr = 0; c1; c2 }) with
+  | Instance.Invalid _ -> ()
+  | _ -> Alcotest.fail "λ overwriting a non-null te must be invalid"
+
+let test_instance_assign_semantics () =
+  let spec = simple_spec [ [| Value.Int 1; Value.Null |] ] in
+  let inst = Instance.init spec in
+  (match Instance.apply inst (Rules.Ground.Assign { attr = 1; value = Value.Int 9 }) with
+  | Instance.Changed [ Instance.Te_set { attr = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "assign should set te");
+  (match Instance.apply inst (Rules.Ground.Assign { attr = 1; value = Value.Int 9 }) with
+  | Instance.Unchanged -> ()
+  | _ -> Alcotest.fail "same assign is a no-op");
+  match Instance.apply inst (Rules.Ground.Assign { attr = 1; value = Value.Int 8 }) with
+  | Instance.Invalid _ -> ()
+  | _ -> Alcotest.fail "conflicting assign must be invalid"
+
+let test_instance_refresh_single_class () =
+  let spec = simple_spec [ [| Value.Int 1; Value.String "x" |] ] in
+  let inst = Instance.init spec in
+  (match Instance.apply inst (Rules.Ground.Refresh 1) with
+  | Instance.Changed [ Instance.Te_set { attr = 1; value } ] ->
+      check value_testable "single class value" (Value.String "x") value
+  | _ -> Alcotest.fail "refresh should instantiate te");
+  match Instance.apply inst (Rules.Ground.Refresh 1) with
+  | Instance.Unchanged -> ()
+  | _ -> Alcotest.fail "second refresh is a no-op"
+
+let test_instance_order_conflict_invalid () =
+  let spec =
+    simple_spec [ [| Value.Int 1; Value.Null |]; [| Value.Int 2; Value.Null |] ]
+  in
+  let inst = Instance.init spec in
+  let o = Instance.order inst 0 in
+  let c1 = Ordering.Attr_order.class_of_tuple o 0 in
+  let c2 = Ordering.Attr_order.class_of_tuple o 1 in
+  ignore (Instance.apply inst (Rules.Ground.Add_order { attr = 0; c1; c2 }));
+  match Instance.apply inst (Rules.Ground.Add_order { attr = 0; c1 = c2; c2 = c1 }) with
+  | Instance.Invalid _ -> ()
+  | _ -> Alcotest.fail "cycle must be invalid"
+
+(* ------------------------------------------------------------------ *)
+(* Compile / replay / check                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_compiled_replay_deterministic () =
+  let compiled = Is_cr.compile Mj.specification in
+  let t1 =
+    match Is_cr.run_compiled compiled with
+    | Is_cr.Church_rosser i -> Instance.te i
+    | _ -> Alcotest.fail "CR"
+  in
+  let t2 =
+    match Is_cr.run_compiled compiled with
+    | Is_cr.Church_rosser i -> Instance.te i
+    | _ -> Alcotest.fail "CR"
+  in
+  check (Alcotest.array value_testable) "replay equal" t1 t2
+
+let test_check_accepts_target_rejects_wrong () =
+  let compiled = Is_cr.compile Mj.specification in
+  check Alcotest.bool "deduced target checks" true
+    (Is_cr.check compiled Mj.expected_target);
+  let wrong = Array.copy Mj.expected_target in
+  wrong.(Schema.index Mj.stat_schema "rnds") <- Value.Int 1;
+  check Alcotest.bool "stale rnds rejected" false (Is_cr.check compiled wrong);
+  let wrong2 = Array.copy Mj.expected_target in
+  wrong2.(Schema.index Mj.stat_schema "league") <- Value.String "SL";
+  check Alcotest.bool "wrong league rejected" false (Is_cr.check compiled wrong2)
+
+let test_check_requires_complete () =
+  let compiled = Is_cr.compile Mj.specification in
+  let incomplete = Array.copy Mj.expected_target in
+  incomplete.(0) <- Value.Null;
+  Alcotest.check_raises "null attr rejected"
+    (Invalid_argument "Is_cr.check: candidate target has a null attribute")
+    (fun () -> ignore (Is_cr.check compiled incomplete))
+
+let test_run_stat_counts () =
+  let _, stat = Is_cr.run_stat Mj.specification in
+  check Alcotest.bool "ground steps exist" true (stat.Is_cr.ground_steps > 0);
+  check Alcotest.bool "fired <= ground" true
+    (stat.Is_cr.fired_steps <= stat.Is_cr.ground_steps);
+  check Alcotest.bool "changed <= fired" true
+    (stat.Is_cr.changed_steps <= stat.Is_cr.fired_steps)
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate instances                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_instance () =
+  (* Zero observed tuples: only master data can say anything. *)
+  let schema = Schema.make "d" [ "k"; "v" ] in
+  let mschema = Schema.make "dm" [ "mv" ] in
+  let master =
+    Relation.make mschema [ Tuple.make [| Value.String "from-master" |] ]
+  in
+  let rule =
+    (* unconditional master rule *)
+    Rules.Ar.Form2 { f2_name = "m"; f2_lhs = []; f2_te_attr = 1; f2_tm_attr = 0 }
+  in
+  let rs = Rules.Ruleset.make_exn ~schema ~master:mschema [ rule ] in
+  let spec = Spec.make_exn ~entity:(Relation.make schema []) ~master rs in
+  match Is_cr.run spec with
+  | Is_cr.Church_rosser inst ->
+      check value_testable "v from master" (Value.String "from-master")
+        (Instance.te_value inst 1);
+      check value_testable "k undeducible" Value.Null (Instance.te_value inst 0)
+  | Is_cr.Not_church_rosser _ -> Alcotest.fail "empty instance must chase fine"
+
+let test_singleton_instance () =
+  (* One tuple: axiom φ9 makes every non-null value the target's. *)
+  let schema = Schema.make "s1" [ "a"; "b" ] in
+  let rs = Rules.Ruleset.make_exn ~schema [] in
+  let spec =
+    Spec.make_exn
+      ~entity:(Relation.make schema [ Tuple.make [| Value.Int 7; Value.Null |] ])
+      rs
+  in
+  match Is_cr.run spec with
+  | Is_cr.Church_rosser inst ->
+      check value_testable "a copied" (Value.Int 7) (Instance.te_value inst 0);
+      check value_testable "b stays null" Value.Null (Instance.te_value inst 1)
+  | Is_cr.Not_church_rosser _ -> Alcotest.fail "singleton must chase fine"
+
+let test_conflicting_master_rows () =
+  (* Two master rows matching the same key with different values:
+     the second assignment conflicts — not Church-Rosser. *)
+  let schema = Schema.make "c" [ "k"; "v" ] in
+  let mschema = Schema.make "cm" [ "mk"; "mv" ] in
+  let master =
+    Relation.make mschema
+      [
+        Tuple.make [| Value.String "id"; Value.String "x" |];
+        Tuple.make [| Value.String "id"; Value.String "y" |];
+      ]
+  in
+  let rule =
+    Rules.Ar.Form2
+      {
+        f2_name = "m";
+        f2_lhs = [ Rules.Ar.Te_master (0, 0) ];
+        f2_te_attr = 1;
+        f2_tm_attr = 1;
+      }
+  in
+  let rs = Rules.Ruleset.make_exn ~schema ~master:mschema [ rule ] in
+  let spec =
+    Spec.make_exn
+      ~entity:
+        (Relation.make schema [ Tuple.make [| Value.String "id"; Value.Null |] ])
+      ~master rs
+  in
+  match Is_cr.run spec with
+  | Is_cr.Not_church_rosser _ -> ()
+  | Is_cr.Church_rosser _ ->
+      Alcotest.fail "ambiguous master data must break Church-Rosser"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let example9_compiled () =
+  let rs = Rules.Ruleset.remove (Rules.Ruleset.remove Mj.ruleset "phi11") "phi6#2" in
+  Is_cr.compile (Spec.with_ruleset Mj.specification rs)
+
+let test_session_fill_equals_scratch () =
+  let compiled = example9_compiled () in
+  let team = Schema.index Mj.stat_schema "team" in
+  match Is_cr.session_start compiled with
+  | Error _ -> Alcotest.fail "session must start"
+  | Ok session ->
+      check Alcotest.bool "incomplete at start" false (Is_cr.session_complete session);
+      (match Is_cr.session_fill session [ (team, Value.String "Chicago Bulls") ] with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "fill must succeed");
+      (* from-scratch with the same template *)
+      let template = Array.make (Schema.arity Mj.stat_schema) Value.Null in
+      template.(team) <- Value.String "Chicago Bulls";
+      let scratch =
+        match Is_cr.run_compiled ~template compiled with
+        | Is_cr.Church_rosser inst -> Instance.te inst
+        | Is_cr.Not_church_rosser _ -> Alcotest.fail "scratch run must be CR"
+      in
+      check (Alcotest.array value_testable) "incremental = from-scratch" scratch
+        (Is_cr.session_te session)
+
+let test_session_conflicting_fill () =
+  let compiled = Is_cr.compile Mj.specification in
+  match Is_cr.session_start compiled with
+  | Error _ -> Alcotest.fail "session must start"
+  | Ok session -> (
+      (* league is already deduced NBA; filling is impossible *)
+      let league = Schema.index Mj.stat_schema "league" in
+      match Is_cr.session_fill session [ (league, Value.String "SL") ] with
+      | Error _ -> (
+          (* the session is broken now *)
+          match Is_cr.session_fill session [] with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "broken session must refuse further fills")
+      | Ok () -> Alcotest.fail "conflicting fill must fail")
+
+let test_session_null_fill_rejected () =
+  let compiled = example9_compiled () in
+  match Is_cr.session_start compiled with
+  | Error _ -> Alcotest.fail "session must start"
+  | Ok session -> (
+      match Is_cr.session_fill session [ (0, Value.Null) ] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "null fill must be rejected")
+
+let session_incremental_property =
+  QCheck.Test.make ~count:20
+    ~name:"incremental fills equal from-scratch runs (random Med entities)"
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let ds = Datagen.Med_gen.dataset ~entities:3 ~seed () in
+      List.for_all
+        (fun (e : Datagen.Entity_gen.entity) ->
+          let compiled = Is_cr.compile (Datagen.Entity_gen.spec_for ds e) in
+          match Is_cr.session_start compiled with
+          | Error _ -> false
+          | Ok session -> (
+              match Is_cr.session_null_attrs session with
+              | [] -> true
+              | attr :: _ -> (
+                  let v = e.truth.(attr) in
+                  if Value.is_null v then true
+                  else
+                    match Is_cr.session_fill session [ (attr, v) ] with
+                    | Error _ ->
+                        (* must then also fail from scratch *)
+                        let template =
+                          Array.make (Array.length e.truth) Value.Null
+                        in
+                        template.(attr) <- v;
+                        not
+                          (match Is_cr.run_compiled ~template compiled with
+                          | Is_cr.Church_rosser _ -> true
+                          | Is_cr.Not_church_rosser _ -> false)
+                    | Ok () ->
+                        let template =
+                          Array.make (Array.length e.truth) Value.Null
+                        in
+                        template.(attr) <- v;
+                        (match Is_cr.run_compiled ~template compiled with
+                        | Is_cr.Church_rosser inst ->
+                            Array.for_all2 Value.equal (Instance.te inst)
+                              (Is_cr.session_te session)
+                        | Is_cr.Not_church_rosser _ -> false))))
+        ds.entities)
+
+(* ------------------------------------------------------------------ *)
+(* Explain (provenance)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_value_matches_chase () =
+  let compiled = Is_cr.compile Mj.specification in
+  List.iter
+    (fun (e : Core.Explain.t) ->
+      check value_testable "explained value = deduced value"
+        Mj.expected_target.(e.attr) e.value)
+    (Core.Explain.all compiled)
+
+let test_explain_master_step_present () =
+  let compiled = Is_cr.compile Mj.specification in
+  let league = Schema.index Mj.stat_schema "league" in
+  let e = Core.Explain.attribute compiled league in
+  check Alcotest.bool "phi6 in derivation" true
+    (List.exists (fun (s : Core.Explain.step) -> s.rule = "phi6#1") e.derivation);
+  (* and the key-deducing form (1) steps it depends on *)
+  check Alcotest.bool "phi5 dependency included" true
+    (List.exists (fun (s : Core.Explain.step) -> s.rule = "phi5") e.derivation)
+
+let test_explain_rules_used_subset () =
+  let compiled = Is_cr.compile Mj.specification in
+  let used = Core.Explain.rules_used compiled in
+  check Alcotest.bool "phi1 used" true (List.mem "phi1" used);
+  check Alcotest.bool "phi11 used" true (List.mem "phi11" used);
+  let all_names =
+    List.map Rules.Ar.name (Rules.Ruleset.rules Mj.ruleset)
+  in
+  List.iter
+    (fun r -> check Alcotest.bool ("known rule " ^ r) true (List.mem r all_names))
+    used
+
+let test_explain_non_cr_empty () =
+  let compiled = Is_cr.compile Mj.non_cr_specification in
+  let e = Core.Explain.attribute compiled 0 in
+  check value_testable "null value" Value.Null e.value;
+  check Alcotest.int "no derivation" 0 (List.length e.derivation)
+
+(* ------------------------------------------------------------------ *)
+(* Naive chase: differential testing                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_chase_agrees_on_mj () =
+  match (Is_cr.run Mj.specification, Chase.run Mj.specification) with
+  | Is_cr.Church_rosser a, Chase.Terminal (b, steps) ->
+      check (Alcotest.array value_testable) "same target" (Instance.te a)
+        (Instance.te b);
+      check Alcotest.bool "steps positive" true (steps > 0)
+  | _ -> Alcotest.fail "both engines must terminate successfully"
+
+let test_naive_chase_stuck_on_example6 () =
+  match Chase.run Mj.non_cr_specification with
+  | Chase.Stuck _ -> ()
+  | Chase.Terminal _ ->
+      (* The naive chase follows one sequence; on a non-CR spec the
+         first-applicable policy must eventually trip over the
+         conflicting step because it stays applicable. *)
+      Alcotest.fail "expected the reference chase to get stuck"
+
+(* Random-policy differential property: on randomly generated
+   Church-Rosser workloads (Med entities), every chase order reaches
+   IsCR's terminal instance. *)
+let differential_random_policy =
+  QCheck.Test.make ~count:30 ~name:"naive chase (random order) agrees with IsCR"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let ds = Datagen.Med_gen.dataset ~entities:3 ~seed () in
+      List.for_all
+        (fun e ->
+          let spec = Datagen.Entity_gen.spec_for ds e in
+          match Is_cr.run spec with
+          | Is_cr.Not_church_rosser _ -> false (* generator guarantees CR *)
+          | Is_cr.Church_rosser expected -> (
+              let rng = Util.Prng.create (seed + 1) in
+              match Chase.run ~policy:(Chase.Random rng) spec with
+              | Chase.Terminal (got, _) ->
+                  Array.for_all2 Value.equal (Instance.te expected) (Instance.te got)
+              | Chase.Stuck _ -> false))
+        ds.Datagen.Entity_gen.entities)
+
+let test_chase_sequence_nonempty () =
+  let seq = Chase.chase_sequence Mj.specification in
+  check Alcotest.bool "terminal sequence recorded" true (List.length seq >= 9)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "running-example",
+        [
+          Alcotest.test_case "Example 5 target" `Quick test_mj_example5;
+          Alcotest.test_case "Example 6 not Church-Rosser" `Quick
+            test_mj_example6_not_cr;
+          Alcotest.test_case "partial deduction without master" `Quick
+            test_mj_partial_without_master;
+          Alcotest.test_case "trace" `Quick test_mj_trace_is_terminal_sequence;
+        ] );
+      ( "specification",
+        [
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "template roundtrip" `Quick test_spec_template_roundtrip;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "λ sets te" `Quick test_instance_lambda_sets_te;
+          Alcotest.test_case "λ conflict invalid" `Quick
+            test_instance_lambda_conflict_is_invalid;
+          Alcotest.test_case "assign semantics" `Quick test_instance_assign_semantics;
+          Alcotest.test_case "refresh single class" `Quick
+            test_instance_refresh_single_class;
+          Alcotest.test_case "order cycle invalid" `Quick
+            test_instance_order_conflict_invalid;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "replay deterministic" `Quick
+            test_compiled_replay_deterministic;
+          Alcotest.test_case "check accepts/rejects" `Quick
+            test_check_accepts_target_rejects_wrong;
+          Alcotest.test_case "check requires completeness" `Quick
+            test_check_requires_complete;
+          Alcotest.test_case "run_stat sanity" `Quick test_run_stat_counts;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "empty instance" `Quick test_empty_instance;
+          Alcotest.test_case "singleton instance" `Quick test_singleton_instance;
+          Alcotest.test_case "conflicting master rows" `Quick
+            test_conflicting_master_rows;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "fill equals from-scratch" `Quick
+            test_session_fill_equals_scratch;
+          Alcotest.test_case "conflicting fill breaks session" `Quick
+            test_session_conflicting_fill;
+          Alcotest.test_case "null fill rejected" `Quick
+            test_session_null_fill_rejected;
+          QCheck_alcotest.to_alcotest session_incremental_property;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "values match chase" `Quick
+            test_explain_value_matches_chase;
+          Alcotest.test_case "master step + dependencies" `Quick
+            test_explain_master_step_present;
+          Alcotest.test_case "rules_used" `Quick test_explain_rules_used_subset;
+          Alcotest.test_case "non-CR empty" `Quick test_explain_non_cr_empty;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "naive agrees on MJ" `Quick test_naive_chase_agrees_on_mj;
+          Alcotest.test_case "naive stuck on Example 6" `Quick
+            test_naive_chase_stuck_on_example6;
+          Alcotest.test_case "chase sequence" `Quick test_chase_sequence_nonempty;
+          QCheck_alcotest.to_alcotest differential_random_policy;
+        ] );
+    ]

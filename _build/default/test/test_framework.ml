@@ -1,0 +1,311 @@
+(* Tests for the interactive deduction framework (Fig. 3). *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Deduction = Framework.Deduction
+module Mj = Datagen.Mj
+
+let check = Alcotest.check
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let pref = Topk.Preference.of_occurrences Mj.stat
+
+(* Example 9's incomplete setting: φ11 and the team half of φ6
+   removed; te.team and te.arena are null after the chase. *)
+let incomplete_spec =
+  let rs = Rules.Ruleset.remove (Rules.Ruleset.remove Mj.ruleset "phi11") "phi6#2" in
+  Core.Specification.with_ruleset Mj.specification rs
+
+let test_complete_spec_resolves_in_zero_rounds () =
+  let user _ = Alcotest.fail "user must not be consulted" in
+  match Deduction.run ~pref ~user Mj.specification with
+  | Deduction.Resolved { target; rounds } ->
+      check Alcotest.int "zero rounds" 0 rounds;
+      check (Alcotest.array value_testable) "target" Mj.expected_target target
+  | _ -> Alcotest.fail "expected resolution"
+
+let test_oracle_accepts_listed_target () =
+  let user = Deduction.oracle_user ~truth:Mj.expected_target () in
+  match Deduction.run ~k:10 ~pref ~user incomplete_spec with
+  | Deduction.Resolved { target; rounds } ->
+      check (Alcotest.array value_testable) "truth accepted" Mj.expected_target target;
+      check Alcotest.int "one round suffices (truth in top-10)" 1 rounds
+  | _ -> Alcotest.fail "expected resolution"
+
+let test_oracle_fills_when_not_listed () =
+  (* k = 1 and a preference that puts the truth out of the top
+     candidate: the oracle must fill a null attribute instead. *)
+  let arena = Schema.index Mj.stat_schema "arena" in
+  let anti_pref =
+    Topk.Preference.override pref
+      [ (arena, Value.String "United Center", -5.0) ]
+  in
+  let consults = ref 0 in
+  let oracle = Deduction.oracle_user ~truth:Mj.expected_target () in
+  let user view =
+    incr consults;
+    oracle view
+  in
+  match Deduction.run ~k:1 ~pref:anti_pref ~user incomplete_spec with
+  | Deduction.Resolved { target; rounds } ->
+      check (Alcotest.array value_testable) "still reaches truth" Mj.expected_target
+        target;
+      check Alcotest.bool "needed >= 2 rounds" true (rounds >= 2);
+      check Alcotest.bool "user consulted each round" true (!consults >= 2)
+  | _ -> Alcotest.fail "expected resolution"
+
+let test_user_fill_drives_chase () =
+  (* Filling team lets axiom φ8 + φ11-free rules resolve... here we
+     fill both nulls explicitly and expect immediate completion. *)
+  let team = Schema.index Mj.stat_schema "team" in
+  let arena = Schema.index Mj.stat_schema "arena" in
+  let user view =
+    match view.Deduction.null_attrs with
+    | [] -> Alcotest.fail "no nulls left but user consulted"
+    | attrs ->
+        Deduction.Fill
+          (List.map
+             (fun a ->
+               if a = team then (a, Value.String "Chicago Bulls")
+               else if a = arena then (a, Value.String "United Center")
+               else Alcotest.fail "unexpected null attr")
+             attrs)
+  in
+  match Deduction.run ~pref ~user incomplete_spec with
+  | Deduction.Resolved { target; rounds } ->
+      check Alcotest.int "one round" 1 rounds;
+      check (Alcotest.array value_testable) "filled target" Mj.expected_target target
+  | _ -> Alcotest.fail "expected resolution"
+
+let test_give_up () =
+  let user _ = Deduction.Give_up in
+  match Deduction.run ~pref ~user incomplete_spec with
+  | Deduction.Unresolved { te; rounds } ->
+      check Alcotest.int "zero completed rounds" 0 rounds;
+      check Alcotest.bool "te has nulls" true (Array.exists Value.is_null te)
+  | _ -> Alcotest.fail "expected Unresolved"
+
+let test_max_rounds () =
+  (* a user who always fills nothing useful cannot loop forever *)
+  let rounds_seen = ref 0 in
+  let user view =
+    incr rounds_seen;
+    match view.Deduction.null_attrs with
+    | a :: _ -> Deduction.Fill [ (a, Value.String "<junk>") ]
+    | [] -> Deduction.Give_up
+  in
+  match Deduction.run ~max_rounds:3 ~pref ~user incomplete_spec with
+  | Deduction.Resolved _ -> () (* junk may still complete the tuple *)
+  | Deduction.Unresolved _ -> check Alcotest.bool "bounded" true (!rounds_seen <= 3)
+  | Deduction.Rejected _ -> () (* junk fills may break Church-Rosser *)
+
+let test_rejected_on_non_cr () =
+  let user _ = Alcotest.fail "never consulted" in
+  match Deduction.run ~pref ~user Mj.non_cr_specification with
+  | Deduction.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected Rejected"
+
+let test_fill_non_null_rejected () =
+  let fn = Schema.index Mj.stat_schema "FN" in
+  let user _ = Deduction.Fill [ (fn, Value.String "Mike") ] in
+  Alcotest.check_raises "cannot fill deduced attr"
+    (Invalid_argument "Deduction.run: user filled a non-null attribute") (fun () ->
+      ignore (Deduction.run ~pref ~user incomplete_spec))
+
+let test_algorithms_all_work () =
+  List.iter
+    (fun algorithm ->
+      let user = Deduction.oracle_user ~truth:Mj.expected_target () in
+      match Deduction.run ~algorithm ~k:10 ~pref ~user incomplete_spec with
+      | Deduction.Resolved { target; _ } ->
+          check (Alcotest.array value_testable) "resolved" Mj.expected_target target
+      | _ -> Alcotest.fail "expected resolution")
+    [ `Topk_ct; `Topk_ct_h; `Rank_join_ct ]
+
+(* ------------------------------------------------------------------ *)
+(* Revision (the Fig. 3 "No" branch)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_revision_finds_phi12 () =
+  match Framework.Revision.suggest Mj.non_cr_specification with
+  | None -> Alcotest.fail "a culprit set must exist"
+  | Some { drop; spec } ->
+      check Alcotest.(list string) "exactly phi12" [ "phi12" ] drop;
+      check Alcotest.bool "revised spec is CR" true
+        (Core.Is_cr.is_church_rosser spec)
+
+let test_revision_none_for_cr_spec () =
+  check Alcotest.bool "no suggestion for a CR spec" true
+    (Framework.Revision.suggest Mj.specification = None)
+
+let test_revision_is_culprit_set () =
+  check Alcotest.bool "phi12 is a culprit set" true
+    (Framework.Revision.is_culprit_set Mj.non_cr_specification [ "phi12" ]);
+  check Alcotest.bool "empty set is not" false
+    (Framework.Revision.is_culprit_set Mj.non_cr_specification []);
+  (* dropping an unrelated rule does not help *)
+  check Alcotest.bool "phi1 alone is not" false
+    (Framework.Revision.is_culprit_set Mj.non_cr_specification [ "phi1" ])
+
+let test_revision_minimal () =
+  (* adding a second, independent conflict: a master rule that
+     contradicts phi12's direction as well — the suggester must drop
+     a minimal set that restores CR, and the set must be irredundant *)
+  match Framework.Revision.suggest Mj.non_cr_specification with
+  | Some { drop; _ } ->
+      List.iter
+        (fun name ->
+          check Alcotest.bool ("irredundant: " ^ name) false
+            (Framework.Revision.is_culprit_set Mj.non_cr_specification
+               (List.filter (fun n -> n <> name) drop)))
+        drop
+  | None -> Alcotest.fail "suggestion expected"
+
+(* ------------------------------------------------------------------ *)
+(* Cleaner (whole-relation pipeline)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cleaner_on_med () =
+  let ds = Datagen.Med_gen.dataset ~entities:30 ~seed:2024 () in
+  let flat =
+    Relational.Relation.make ds.schema
+      (List.concat_map
+         (fun (e : Datagen.Entity_gen.entity) ->
+           Relational.Relation.tuples e.instance)
+         ds.entities)
+  in
+  (* ground-truth clustering (ER is tested separately) *)
+  let clusters, _ =
+    List.fold_left
+      (fun (acc, offset) (e : Datagen.Entity_gen.entity) ->
+        let n = Relational.Relation.size e.instance in
+        (List.init n (fun i -> offset + i) :: acc, offset + n))
+      ([], 0) ds.entities
+  in
+  let clusters = List.rev clusters in
+  let report =
+    Framework.Cleaner.clean ~clusters ~master:ds.master ds.ruleset flat
+  in
+  check Alcotest.int "one output tuple per entity" 30
+    (Relational.Relation.size report.cleaned);
+  check Alcotest.int "entity count" 30 report.entities;
+  check Alcotest.int "outcome accounting" 30
+    (report.complete + report.completed_by_topk + report.still_incomplete
+   + report.rejected);
+  check Alcotest.int "no rejected (generator is CR)" 0 report.rejected;
+  check Alcotest.bool "most entities fully cleaned" true
+    (report.complete + report.completed_by_topk >= 24);
+  (* cleaned values should usually match ground truth *)
+  let matches = ref 0.0 in
+  List.iteri
+    (fun i (e : Datagen.Entity_gen.entity) ->
+      matches :=
+        !matches
+        +. Truth.Metrics.attribute_match_rate ~truth:e.truth
+             (Relational.Tuple.values (Relational.Relation.tuple report.cleaned i)))
+    ds.entities;
+  check Alcotest.bool "cleaned relation close to truth" true
+    (!matches /. 30.0 > 0.6)
+
+let test_cleaner_idempotent_on_complete () =
+  (* Re-cleaning the fully-cleaned tuples (as singleton entities)
+     must be a fixpoint: every entity is already its own target. *)
+  let ds = Datagen.Med_gen.dataset ~entities:20 ~seed:808 () in
+  let flat =
+    Relational.Relation.make ds.schema
+      (List.concat_map
+         (fun (e : Datagen.Entity_gen.entity) ->
+           Relational.Relation.tuples e.instance)
+         ds.entities)
+  in
+  let clusters, _ =
+    List.fold_left
+      (fun (acc, offset) (e : Datagen.Entity_gen.entity) ->
+        let n = Relational.Relation.size e.instance in
+        (List.init n (fun i -> offset + i) :: acc, offset + n))
+      ([], 0) ds.entities
+  in
+  let first =
+    Framework.Cleaner.clean ~clusters:(List.rev clusters) ~master:ds.master
+      ds.ruleset flat
+  in
+  (* keep only the entities that cleaned completely *)
+  let complete_rows =
+    List.filteri
+      (fun i _ ->
+        match List.assoc i first.outcomes with
+        | Framework.Cleaner.Complete | Framework.Cleaner.Completed_by_topk -> true
+        | _ -> false)
+      (Relational.Relation.tuples first.cleaned)
+  in
+  check Alcotest.bool "some complete rows" true (complete_rows <> []);
+  let clean_relation = Relational.Relation.make ds.schema complete_rows in
+  let singletons = List.mapi (fun i _ -> [ i ]) complete_rows in
+  let second =
+    Framework.Cleaner.clean ~clusters:singletons ~master:ds.master ds.ruleset
+      clean_relation
+  in
+  check Alcotest.int "all entities stay complete"
+    (List.length complete_rows)
+    (second.complete + second.completed_by_topk);
+  List.iter2
+    (fun a b ->
+      check Alcotest.bool "fixpoint" true (Relational.Tuple.equal_values a b))
+    (Relational.Relation.tuples clean_relation)
+    (Relational.Relation.tuples second.cleaned)
+
+let test_cleaner_argument_validation () =
+  let ds = Datagen.Med_gen.dataset ~entities:2 ~seed:3 () in
+  let flat =
+    Relational.Relation.make ds.schema
+      (List.concat_map
+         (fun (e : Datagen.Entity_gen.entity) ->
+           Relational.Relation.tuples e.instance)
+         ds.entities)
+  in
+  (match Framework.Cleaner.clean ds.ruleset flat with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must require a grouping");
+  let er =
+    Er.Resolver.default_config ~key_attrs:[ 0 ] ~compare_attrs:[ (0, 1.0) ]
+  in
+  match Framework.Cleaner.clean ~er ~clusters:[ [ 0 ] ] ds.ruleset flat with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must reject both groupings"
+
+let () =
+  Alcotest.run "framework"
+    [
+      ( "deduction",
+        [
+          Alcotest.test_case "complete spec, zero rounds" `Quick
+            test_complete_spec_resolves_in_zero_rounds;
+          Alcotest.test_case "oracle accepts listed target" `Quick
+            test_oracle_accepts_listed_target;
+          Alcotest.test_case "oracle fills when unlisted" `Quick
+            test_oracle_fills_when_not_listed;
+          Alcotest.test_case "user fills drive the chase" `Quick
+            test_user_fill_drives_chase;
+          Alcotest.test_case "give up" `Quick test_give_up;
+          Alcotest.test_case "max rounds" `Quick test_max_rounds;
+          Alcotest.test_case "rejected on non-CR" `Quick test_rejected_on_non_cr;
+          Alcotest.test_case "fill non-null rejected" `Quick
+            test_fill_non_null_rejected;
+          Alcotest.test_case "all algorithms" `Quick test_algorithms_all_work;
+        ] );
+      ( "cleaner",
+        [
+          Alcotest.test_case "cleans Med" `Quick test_cleaner_on_med;
+          Alcotest.test_case "idempotent on complete output" `Quick
+            test_cleaner_idempotent_on_complete;
+          Alcotest.test_case "argument validation" `Quick
+            test_cleaner_argument_validation;
+        ] );
+      ( "revision",
+        [
+          Alcotest.test_case "finds phi12" `Quick test_revision_finds_phi12;
+          Alcotest.test_case "none for CR spec" `Quick test_revision_none_for_cr_spec;
+          Alcotest.test_case "culprit sets" `Quick test_revision_is_culprit_set;
+          Alcotest.test_case "minimality" `Quick test_revision_minimal;
+        ] );
+    ]

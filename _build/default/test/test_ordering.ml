@@ -1,0 +1,301 @@
+(* Tests for the ordering substrate: the incremental transitively
+   closed strict partial order (Poset) and the per-attribute
+   value-class accuracy order (Attr_order). *)
+
+module Value = Relational.Value
+module Poset = Ordering.Poset
+module Attr_order = Ordering.Attr_order
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Poset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_poset_empty () =
+  let p = Poset.create 3 in
+  check Alcotest.int "no pairs" 0 (Poset.pair_count p);
+  check Alcotest.bool "not mem" false (Poset.mem p 0 1);
+  check Alcotest.(option int) "no maximum" None (Poset.maximum p);
+  check Alcotest.(option int) "no minimum" None (Poset.minimum p)
+
+let test_poset_singleton () =
+  let p = Poset.create 1 in
+  check Alcotest.(option int) "singleton max" (Some 0) (Poset.maximum p);
+  check Alcotest.(option int) "singleton min" (Some 0) (Poset.minimum p)
+
+let test_poset_add_basic () =
+  let p = Poset.create 3 in
+  (match Poset.add p 0 1 with
+  | Poset.Extended [ (0, 1) ] -> ()
+  | _ -> Alcotest.fail "expected Extended [(0,1)]");
+  check Alcotest.bool "mem" true (Poset.mem p 0 1);
+  (match Poset.add p 0 1 with
+  | Poset.No_change -> ()
+  | _ -> Alcotest.fail "re-add is a no-op");
+  match Poset.add p 1 0 with
+  | Poset.Conflict -> ()
+  | _ -> Alcotest.fail "reverse edge conflicts"
+
+let test_poset_transitive_closure () =
+  let p = Poset.create 4 in
+  ignore (Poset.add p 0 1);
+  ignore (Poset.add p 2 3);
+  (match Poset.add p 1 2 with
+  | Poset.Extended pairs ->
+      let sorted = List.sort compare pairs in
+      check
+        Alcotest.(list (pair int int))
+        "closure pairs" [ (0, 2); (0, 3); (1, 2); (1, 3) ] sorted
+  | _ -> Alcotest.fail "expected extension");
+  check Alcotest.bool "0 reaches 3" true (Poset.mem p 0 3);
+  check Alcotest.int "six pairs" 6 (Poset.pair_count p);
+  check Alcotest.(option int) "maximum" (Some 3) (Poset.maximum p);
+  check Alcotest.(option int) "minimum" (Some 0) (Poset.minimum p)
+
+let test_poset_transitive_cycle () =
+  let p = Poset.create 3 in
+  ignore (Poset.add p 0 1);
+  ignore (Poset.add p 1 2);
+  match Poset.add p 2 0 with
+  | Poset.Conflict -> ()
+  | _ -> Alcotest.fail "transitive cycle must conflict"
+
+let test_poset_reflexive_noop () =
+  let p = Poset.create 2 in
+  match Poset.add p 1 1 with
+  | Poset.No_change -> ()
+  | _ -> Alcotest.fail "reflexive add is a no-op"
+
+let test_poset_predecessors () =
+  let p = Poset.create 4 in
+  ignore (Poset.add p 0 2);
+  ignore (Poset.add p 1 2);
+  ignore (Poset.add p 2 3);
+  check Alcotest.(list int) "preds of 3" [ 0; 1; 2 ] (Poset.predecessors p 3);
+  check Alcotest.(list int) "succs of 0" [ 2; 3 ] (Poset.successors p 0);
+  check Alcotest.(option int) "max" (Some 3) (Poset.maximum p);
+  check Alcotest.(option int) "no min (0,1 incomparable)" None (Poset.minimum p)
+
+(* Random-edge property: however edges are inserted, the poset stays
+   transitive and antisymmetric, and Extended returns exactly the
+   closure delta. *)
+let poset_qcheck =
+  let open QCheck in
+  let edges = list_of_size (Gen.int_bound 40) (pair (int_bound 7) (int_bound 7)) in
+  [
+    Test.make ~count:300 ~name:"poset invariants under random insertion" edges
+      (fun es ->
+        let p = Poset.create 8 in
+        List.iter (fun (a, b) -> ignore (Poset.add p a b)) es;
+        Poset.is_transitive p && Poset.is_antisymmetric p);
+    Test.make ~count:300 ~name:"extended delta equals pair-count growth" edges
+      (fun es ->
+        let p = Poset.create 8 in
+        List.for_all
+          (fun (a, b) ->
+            let before = Poset.pair_count p in
+            match Poset.add p a b with
+            | Poset.Extended pairs ->
+                Poset.pair_count p = before + List.length pairs
+                && List.mem (a, b) pairs
+            | Poset.No_change | Poset.Conflict -> Poset.pair_count p = before)
+          es);
+    Test.make ~count:300 ~name:"maximum dominates everything" edges (fun es ->
+        let p = Poset.create 8 in
+        List.iter (fun (a, b) -> ignore (Poset.add p a b)) es;
+        match Poset.maximum p with
+        | None -> true
+        | Some m ->
+            List.for_all (fun x -> x = m || Poset.mem p x m) (List.init 8 Fun.id));
+    Test.make ~count:300 ~name:"copy is independent" edges (fun es ->
+        let p = Poset.create 8 in
+        List.iter (fun (a, b) -> ignore (Poset.add p a b)) es;
+        let q = Poset.copy p in
+        let before = Poset.pairs p in
+        (* mutate the copy with any legal edge *)
+        List.iter
+          (fun a -> List.iter (fun b -> ignore (Poset.add q a b)) (List.init 8 Fun.id))
+          (List.init 8 Fun.id);
+        Poset.pairs p = before);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Attr_order                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let column =
+  [| Value.Int 16; Value.Int 27; Value.Int 16; Value.Null; Value.Int 1 |]
+
+let test_attr_order_classes () =
+  let o = Attr_order.of_column column in
+  check Alcotest.int "tuples" 5 (Attr_order.num_tuples o);
+  check Alcotest.int "classes" 4 (Attr_order.num_classes o);
+  check Alcotest.int "16 shares a class" (Attr_order.class_of_tuple o 0)
+    (Attr_order.class_of_tuple o 2);
+  check Alcotest.bool "null is its own class" true
+    (Value.is_null (Attr_order.class_value o (Attr_order.class_of_tuple o 3)));
+  check Alcotest.(list int) "members of class 16" [ 0; 2 ]
+    (Attr_order.tuples_of_class o (Attr_order.class_of_tuple o 0))
+
+let test_attr_order_leq_semantics () =
+  let o = Attr_order.of_column column in
+  (* same value: ⪯ holds statically, ≺ never *)
+  check Alcotest.bool "equal values leq" true (Attr_order.leq_tuples o 0 2);
+  check Alcotest.bool "equal values not lt" false (Attr_order.lt_tuples o 0 2);
+  check Alcotest.bool "distinct unordered" false (Attr_order.leq_tuples o 0 1);
+  (match Attr_order.add_tuples o 0 1 with
+  | Attr_order.Extended _ -> ()
+  | _ -> Alcotest.fail "expected extension");
+  check Alcotest.bool "now leq" true (Attr_order.leq_tuples o 0 1);
+  check Alcotest.bool "now lt" true (Attr_order.lt_tuples o 0 1);
+  check Alcotest.bool "co-class member too" true (Attr_order.lt_tuples o 2 1)
+
+let test_attr_order_same_class_noop () =
+  let o = Attr_order.of_column column in
+  match Attr_order.add_tuples o 0 2 with
+  | Attr_order.No_change -> ()
+  | _ -> Alcotest.fail "same class add is a no-op"
+
+let test_attr_order_conflict () =
+  let o = Attr_order.of_column column in
+  ignore (Attr_order.add_tuples o 0 1);
+  match Attr_order.add_tuples o 1 0 with
+  | Attr_order.Conflict -> ()
+  | _ -> Alcotest.fail "expected validity conflict"
+
+let test_attr_order_greatest () =
+  let o = Attr_order.of_column column in
+  check Alcotest.(option string) "no greatest yet" None
+    (Option.map Value.to_string (Attr_order.greatest o));
+  ignore (Attr_order.add_tuples o 0 1) (* 16 < 27 *);
+  ignore (Attr_order.add_tuples o 3 1) (* null < 27 *);
+  check Alcotest.(option string) "still missing 1" None
+    (Option.map Value.to_string (Attr_order.greatest o));
+  ignore (Attr_order.add_tuples o 4 1) (* 1 < 27 *);
+  check Alcotest.(option string) "27 is greatest" (Some "27")
+    (Option.map Value.to_string (Attr_order.greatest o))
+
+let test_attr_order_single_class () =
+  let o = Attr_order.of_column [| Value.Int 5; Value.Int 5 |] in
+  check Alcotest.(option string) "unique value is greatest" (Some "5")
+    (Option.map Value.to_string (Attr_order.greatest o))
+
+let test_attr_order_numeric_type_unification () =
+  let o = Attr_order.of_column [| Value.Int 2; Value.Float 2.0 |] in
+  check Alcotest.int "Int 2 and Float 2. share a class" 1 (Attr_order.num_classes o)
+
+let test_attr_order_class_of_value () =
+  let o = Attr_order.of_column column in
+  check Alcotest.(option int) "class of 27"
+    (Some (Attr_order.class_of_tuple o 1))
+    (Attr_order.class_of_value o (Value.Int 27));
+  check Alcotest.(option int) "unknown value" None
+    (Attr_order.class_of_value o (Value.Int 999))
+
+(* Random tuple-level assertions keep ⪯/≺ coherent. *)
+let attr_order_qcheck =
+  let open QCheck in
+  let column_gen =
+    Gen.(list_size (int_range 2 8) (int_bound 3))
+  in
+  let arb =
+    make
+      ~print:(fun (col, adds) ->
+        Printf.sprintf "col=%s adds=%s"
+          (String.concat "," (List.map string_of_int col))
+          (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d<%d" a b) adds)))
+      Gen.(
+        column_gen >>= fun col ->
+        let n = List.length col in
+        list_size (int_bound 15) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+        >|= fun adds -> (col, adds))
+  in
+  [
+    Test.make ~count:300 ~name:"attr-order: lt implies leq, never both ways" arb
+      (fun (col, adds) ->
+        let o =
+          Attr_order.of_column
+            (Array.of_list (List.map (fun i -> Value.Int i) col))
+        in
+        List.iter (fun (a, b) -> ignore (Attr_order.add_tuples o a b)) adds;
+        let n = Attr_order.num_tuples o in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if Attr_order.lt_tuples o i j then begin
+              if not (Attr_order.leq_tuples o i j) then ok := false;
+              if Attr_order.lt_tuples o j i then ok := false
+            end
+          done
+        done;
+        !ok);
+    Test.make ~count:300 ~name:"attr-order: tuple-level leq is transitive" arb
+      (fun (col, adds) ->
+        let o =
+          Attr_order.of_column
+            (Array.of_list (List.map (fun i -> Value.Int i) col))
+        in
+        List.iter (fun (a, b) -> ignore (Attr_order.add_tuples o a b)) adds;
+        let n = Attr_order.num_tuples o in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              if
+                Attr_order.leq_tuples o i j
+                && Attr_order.leq_tuples o j k
+                && not (Attr_order.leq_tuples o i k)
+              then ok := false
+            done
+          done
+        done;
+        !ok);
+    Test.make ~count:300 ~name:"attr-order: greatest dominates all tuples" arb
+      (fun (col, adds) ->
+        let o =
+          Attr_order.of_column
+            (Array.of_list (List.map (fun i -> Value.Int i) col))
+        in
+        List.iter (fun (a, b) -> ignore (Attr_order.add_tuples o a b)) adds;
+        match Attr_order.greatest o with
+        | None -> true
+        | Some v -> (
+            match Attr_order.class_of_value o v with
+            | None -> false
+            | Some g ->
+                List.for_all
+                  (fun t -> Attr_order.leq_tuples o t (List.hd (Attr_order.tuples_of_class o g)))
+                  (List.init (Attr_order.num_tuples o) Fun.id)));
+  ]
+
+let () =
+  Alcotest.run "ordering"
+    [
+      ( "poset",
+        [
+          Alcotest.test_case "empty" `Quick test_poset_empty;
+          Alcotest.test_case "singleton" `Quick test_poset_singleton;
+          Alcotest.test_case "add basic" `Quick test_poset_add_basic;
+          Alcotest.test_case "transitive closure delta" `Quick
+            test_poset_transitive_closure;
+          Alcotest.test_case "transitive cycle conflicts" `Quick
+            test_poset_transitive_cycle;
+          Alcotest.test_case "reflexive no-op" `Quick test_poset_reflexive_noop;
+          Alcotest.test_case "predecessors/successors" `Quick test_poset_predecessors;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest poset_qcheck );
+      ( "attr-order",
+        [
+          Alcotest.test_case "value classes" `Quick test_attr_order_classes;
+          Alcotest.test_case "⪯/≺ semantics" `Quick test_attr_order_leq_semantics;
+          Alcotest.test_case "same-class no-op" `Quick test_attr_order_same_class_noop;
+          Alcotest.test_case "validity conflict" `Quick test_attr_order_conflict;
+          Alcotest.test_case "greatest (λ)" `Quick test_attr_order_greatest;
+          Alcotest.test_case "single class" `Quick test_attr_order_single_class;
+          Alcotest.test_case "int/float unify" `Quick
+            test_attr_order_numeric_type_unification;
+          Alcotest.test_case "class_of_value" `Quick test_attr_order_class_of_value;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest attr_order_qcheck );
+    ]

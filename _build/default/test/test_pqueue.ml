@@ -1,0 +1,163 @@
+(* Tests for the priority-queue substrate: binary heap, skew
+   binomial heap, Brodal–Okasaki queue, pairing heap. The central
+   property is heap-sort correctness: draining any queue yields the
+   sorted sequence of what was inserted. *)
+
+module BH = Pqueue.Binary_heap
+module SB = Pqueue.Skew_binomial
+module BQ = Pqueue.Brodal_queue
+module PH = Pqueue.Pairing_heap
+
+let check = Alcotest.check
+let leq a b = a <= b
+
+(* ------------------------------------------------------------------ *)
+(* Binary heap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bh_basic () =
+  let h = BH.create ~cmp:Int.compare in
+  check Alcotest.bool "empty" true (BH.is_empty h);
+  BH.add h 5;
+  BH.add h 1;
+  BH.add h 3;
+  check Alcotest.int "length" 3 (BH.length h);
+  check Alcotest.(option int) "peek" (Some 1) (BH.peek h);
+  check Alcotest.(option int) "pop" (Some 1) (BH.pop h);
+  check Alcotest.(option int) "pop 2" (Some 3) (BH.pop h);
+  check Alcotest.(option int) "pop 3" (Some 5) (BH.pop h);
+  check Alcotest.(option int) "pop empty" None (BH.pop h)
+
+let test_bh_of_array () =
+  let h = BH.of_array ~cmp:Int.compare [| 9; 2; 7; 2; 5 |] in
+  check Alcotest.(list int) "heapify sorts" [ 2; 2; 5; 7; 9 ] (BH.to_sorted_list h);
+  check Alcotest.int "to_sorted_list non-destructive" 5 (BH.length h)
+
+let test_bh_pop_exn () =
+  let h = BH.create ~cmp:Int.compare in
+  Alcotest.check_raises "empty pop_exn"
+    (Invalid_argument "Binary_heap.pop_exn: empty heap") (fun () ->
+      ignore (BH.pop_exn h))
+
+(* ------------------------------------------------------------------ *)
+(* Draining helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let drain_bq q =
+  let rec go q acc =
+    match BQ.pop q with None -> List.rev acc | Some (x, q') -> go q' (x :: acc)
+  in
+  go q []
+
+let drain_ph q =
+  let rec go q acc =
+    match PH.pop q with None -> List.rev acc | Some (x, q') -> go q' (x :: acc)
+  in
+  go q []
+
+let drain_sb q =
+  let rec go q acc =
+    match SB.pop ~leq q with None -> List.rev acc | Some (x, q') -> go q' (x :: acc)
+  in
+  go q []
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: heap-sort for every structure                              *)
+(* ------------------------------------------------------------------ *)
+
+let ints = QCheck.(list_of_size (Gen.int_bound 200) (int_range (-1000) 1000))
+
+let sort_qcheck =
+  let open QCheck in
+  [
+    Test.make ~count:200 ~name:"binary heap sorts" ints (fun xs ->
+        let h = BH.create ~cmp:Int.compare in
+        List.iter (BH.add h) xs;
+        BH.to_sorted_list h = List.sort Int.compare xs);
+    Test.make ~count:200 ~name:"binary heapify sorts" ints (fun xs ->
+        BH.to_sorted_list (BH.of_array ~cmp:Int.compare (Array.of_list xs))
+        = List.sort Int.compare xs);
+    Test.make ~count:200 ~name:"skew binomial sorts" ints (fun xs ->
+        let q = List.fold_left (fun q x -> SB.insert ~leq x q) SB.empty xs in
+        drain_sb q = List.sort Int.compare xs);
+    Test.make ~count:200 ~name:"brodal queue sorts" ints (fun xs ->
+        drain_bq (BQ.of_list ~cmp:Int.compare xs) = List.sort Int.compare xs);
+    Test.make ~count:200 ~name:"pairing heap sorts" ints (fun xs ->
+        drain_ph (PH.of_list ~cmp:Int.compare xs) = List.sort Int.compare xs);
+    Test.make ~count:200 ~name:"skew binomial invariants hold" ints (fun xs ->
+        let q = List.fold_left (fun q x -> SB.insert ~leq x q) SB.empty xs in
+        SB.check_invariants ~leq q);
+    Test.make ~count:200 ~name:"skew binomial invariants survive delete-min" ints
+      (fun xs ->
+        let q = List.fold_left (fun q x -> SB.insert ~leq x q) SB.empty xs in
+        let rec go q =
+          SB.check_invariants ~leq q
+          && match SB.pop ~leq q with None -> true | Some (_, q') -> go q'
+        in
+        go q);
+    Test.make ~count:200 ~name:"brodal merge = concatenated sort"
+      (QCheck.pair ints ints)
+      (fun (xs, ys) ->
+        let a = BQ.of_list ~cmp:Int.compare xs in
+        let b = BQ.of_list ~cmp:Int.compare ys in
+        drain_bq (BQ.merge a b) = List.sort Int.compare (xs @ ys));
+    Test.make ~count:200 ~name:"skew binomial merge = concatenated sort"
+      (QCheck.pair ints ints)
+      (fun (xs, ys) ->
+        let a = List.fold_left (fun q x -> SB.insert ~leq x q) SB.empty xs in
+        let b = List.fold_left (fun q x -> SB.insert ~leq x q) SB.empty ys in
+        drain_sb (SB.merge ~leq a b) = List.sort Int.compare (xs @ ys));
+    Test.make ~count:200 ~name:"brodal size is exact" ints (fun xs ->
+        BQ.size (BQ.of_list ~cmp:Int.compare xs) = List.length xs);
+    Test.make ~count:200 ~name:"brodal find_min = list min" ints (fun xs ->
+        let q = BQ.of_list ~cmp:Int.compare xs in
+        match xs with
+        | [] -> BQ.find_min q = None
+        | _ -> BQ.find_min q = Some (List.fold_left min (List.hd xs) xs));
+    Test.make ~count:200 ~name:"brodal persistence: pop does not mutate" ints
+      (fun xs ->
+        QCheck.assume (xs <> []);
+        let q = BQ.of_list ~cmp:Int.compare xs in
+        let first = drain_bq q in
+        ignore (BQ.pop q);
+        drain_bq q = first);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Brodal queue specifics                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bq_empty () =
+  let q = BQ.empty ~cmp:Int.compare in
+  check Alcotest.bool "is_empty" true (BQ.is_empty q);
+  check Alcotest.(option int) "find_min" None (BQ.find_min q);
+  check Alcotest.bool "pop none" true (BQ.pop q = None)
+
+let test_bq_custom_order () =
+  (* max-queue via inverted comparison, as TopKCT uses it *)
+  let q = BQ.of_list ~cmp:(fun a b -> Int.compare b a) [ 3; 1; 4; 1; 5 ] in
+  check Alcotest.(option int) "max first" (Some 5) (BQ.find_min q)
+
+let test_sb_to_list_complete () =
+  let q = List.fold_left (fun q x -> SB.insert ~leq x q) SB.empty [ 4; 2; 9 ] in
+  check Alcotest.(list int) "to_list has all elements" [ 2; 4; 9 ]
+    (List.sort Int.compare (SB.to_list q));
+  check Alcotest.int "size" 3 (SB.size q)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "binary-heap",
+        [
+          Alcotest.test_case "basic" `Quick test_bh_basic;
+          Alcotest.test_case "of_array" `Quick test_bh_of_array;
+          Alcotest.test_case "pop_exn" `Quick test_bh_pop_exn;
+        ] );
+      ( "brodal/skew",
+        [
+          Alcotest.test_case "empty brodal" `Quick test_bq_empty;
+          Alcotest.test_case "custom order" `Quick test_bq_custom_order;
+          Alcotest.test_case "skew to_list/size" `Quick test_sb_to_list_complete;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest sort_qcheck);
+    ]

@@ -1,0 +1,281 @@
+(* Unit and property tests for the relational substrate: values,
+   schemas, tuples, relations and CSV I/O. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Csv = Relational.Csv
+
+let check = Alcotest.check
+
+let value_testable =
+  Alcotest.testable Value.pp Value.equal
+
+(* A qcheck generator of values (no floats, to keep equality crisp in
+   roundtrips; floats are tested separately). *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun s -> Value.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8));
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_equal () =
+  check Alcotest.bool "null=null" true (Value.equal Value.Null Value.Null);
+  check Alcotest.bool "null<>0" false (Value.equal Value.Null (Value.Int 0));
+  check Alcotest.bool "int=float" true (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check Alcotest.bool "string" true
+    (Value.equal (Value.String "x") (Value.String "x"));
+  check Alcotest.bool "bool<>int" false (Value.equal (Value.Bool true) (Value.Int 1))
+
+let test_value_lt () =
+  check Alcotest.bool "1<2" true (Value.lt (Value.Int 1) (Value.Int 2));
+  check Alcotest.bool "2<1 false" false (Value.lt (Value.Int 2) (Value.Int 1));
+  check Alcotest.bool "int<float mixed" true (Value.lt (Value.Int 1) (Value.Float 1.5));
+  check Alcotest.bool "null never lt" false (Value.lt Value.Null (Value.Int 5));
+  check Alcotest.bool "lt null false" false (Value.lt (Value.Int 5) Value.Null);
+  check Alcotest.bool "string lexicographic" true
+    (Value.lt (Value.String "abc") (Value.String "abd"));
+  check Alcotest.bool "cross-type false" false
+    (Value.lt (Value.Bool true) (Value.Int 5));
+  check Alcotest.bool "false < true" true
+    (Value.lt (Value.Bool false) (Value.Bool true))
+
+let test_value_parse () =
+  check value_testable "int" (Value.Int 42) (Value.of_string_guess "42");
+  check value_testable "float" (Value.Float 3.5) (Value.of_string_guess "3.5");
+  check value_testable "bool" (Value.Bool true) (Value.of_string_guess "true");
+  check value_testable "null word" Value.Null (Value.of_string_guess "null");
+  check value_testable "empty" Value.Null (Value.of_string_guess "");
+  check value_testable "string" (Value.String "NBA") (Value.of_string_guess "NBA");
+  check value_testable "trimmed" (Value.Int 7) (Value.of_string_guess " 7 ")
+
+let value_qcheck =
+  let open QCheck in
+  [
+    Test.make ~count:500 ~name:"value compare total order: antisymmetry"
+      (pair value_arb value_arb)
+      (fun (a, b) ->
+        let c1 = Value.compare a b and c2 = Value.compare b a in
+        (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0));
+    Test.make ~count:500 ~name:"value equal consistent with compare"
+      (pair value_arb value_arb)
+      (fun (a, b) -> Value.equal a b = (Value.compare a b = 0));
+    Test.make ~count:500 ~name:"equal values share hash"
+      (pair value_arb value_arb)
+      (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b);
+    Test.make ~count:500 ~name:"lt is irreflexive and asymmetric"
+      (pair value_arb value_arb)
+      (fun (a, b) -> (not (Value.lt a b)) || not (Value.lt b a));
+    Test.make ~count:500 ~name:"string roundtrip through of_string_guess"
+      value_arb
+      (fun v ->
+        match v with
+        | Value.String s
+          when String.lowercase_ascii s <> "null"
+               && String.lowercase_ascii s <> "true"
+               && String.lowercase_ascii s <> "false"
+               && int_of_string_opt s = None
+               && float_of_string_opt s = None ->
+            Value.equal (Value.of_string_guess (Value.to_string v)) v
+        | Value.String _ -> true
+        | _ -> Value.equal (Value.of_string_guess (Value.to_string v)) v);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_basic () =
+  let s = Schema.make "r" [ "a"; "b"; "c" ] in
+  check Alcotest.int "arity" 3 (Schema.arity s);
+  check Alcotest.string "name" "r" (Schema.name s);
+  check Alcotest.int "index b" 1 (Schema.index s "b");
+  check Alcotest.string "attribute 2" "c" (Schema.attribute s 2);
+  check Alcotest.bool "mem" true (Schema.mem s "a");
+  check Alcotest.bool "not mem" false (Schema.mem s "z");
+  check Alcotest.(option int) "index_opt" None (Schema.index_opt s "z")
+
+let test_schema_errors () =
+  Alcotest.check_raises "duplicate attr"
+    (Invalid_argument "Schema.make: duplicate attribute \"a\"") (fun () ->
+      ignore (Schema.make "r" [ "a"; "a" ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.make: empty attribute list")
+    (fun () -> ignore (Schema.make "r" []))
+
+let test_schema_project () =
+  let s = Schema.make "r" [ "a"; "b"; "c" ] in
+  let p = Schema.project s [ "c"; "a" ] in
+  check Alcotest.int "projected arity" 2 (Schema.arity p);
+  check Alcotest.string "order kept" "c" (Schema.attribute p 0)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuple_basic () =
+  let t = Tuple.make ~tid:3 ~source:1 ~snapshot:2 [| Value.Int 1; Value.Null |] in
+  check Alcotest.int "arity" 2 (Tuple.arity t);
+  check Alcotest.int "tid" 3 (Tuple.tid t);
+  check Alcotest.int "source" 1 (Tuple.source t);
+  check Alcotest.int "snapshot" 2 (Tuple.snapshot t);
+  check value_testable "get" (Value.Int 1) (Tuple.get t 0);
+  let t2 = Tuple.set t 1 (Value.String "x") in
+  check value_testable "set fresh" (Value.String "x") (Tuple.get t2 1);
+  check value_testable "original untouched" Value.Null (Tuple.get t 1)
+
+let test_tuple_defensive_copy () =
+  let arr = [| Value.Int 1 |] in
+  let t = Tuple.make arr in
+  arr.(0) <- Value.Int 99;
+  check value_testable "make copies input" (Value.Int 1) (Tuple.get t 0);
+  let values = Tuple.values t in
+  values.(0) <- Value.Int 42;
+  check value_testable "values copies output" (Value.Int 1) (Tuple.get t 0)
+
+let test_tuple_compare () =
+  let a = Tuple.make [| Value.Int 1; Value.Int 2 |] in
+  let b = Tuple.make [| Value.Int 1; Value.Int 3 |] in
+  check Alcotest.bool "equal_values" true
+    (Tuple.equal_values a (Tuple.make [| Value.Int 1; Value.Int 2 |]));
+  check Alcotest.bool "lexicographic" true (Tuple.compare_values a b < 0);
+  check Alcotest.bool "hash agrees" true
+    (Tuple.hash_values a = Tuple.hash_values (Tuple.make [| Value.Int 1; Value.Int 2 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Relation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_relation () =
+  let s = Schema.make "r" [ "a"; "b" ] in
+  Relation.make s
+    [
+      Tuple.make [| Value.Int 1; Value.String "x" |];
+      Tuple.make [| Value.Int 2; Value.String "x" |];
+      Tuple.make [| Value.Int 1; Value.Null |];
+    ]
+
+let test_relation_basic () =
+  let r = sample_relation () in
+  check Alcotest.int "size" 3 (Relation.size r);
+  check value_testable "get" (Value.Int 2) (Relation.get r 1 0);
+  check Alcotest.int "tids renumbered" 2 (Tuple.tid (Relation.tuple r 2));
+  check Alcotest.int "column length" 3 (Array.length (Relation.column r 0))
+
+let test_relation_distinct () =
+  let r = sample_relation () in
+  check Alcotest.int "distinct a" 2
+    (List.length (Relation.distinct_column r 0));
+  (* null counts as a distinct value of column b *)
+  check Alcotest.int "distinct b" 2 (List.length (Relation.distinct_column r 1))
+
+let test_relation_arity_mismatch () =
+  let s = Schema.make "r" [ "a"; "b" ] in
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Relation.make: tuple arity 1, schema r has arity 2")
+    (fun () -> ignore (Relation.make s [ Tuple.make [| Value.Int 1 |] ]))
+
+let test_relation_filter_map () =
+  let r = sample_relation () in
+  let f = Relation.filter r (fun t -> not (Value.is_null (Tuple.get t 1))) in
+  check Alcotest.int "filtered" 2 (Relation.size f);
+  let m = Relation.map r (fun t -> Tuple.set t 0 (Value.Int 0)) in
+  check value_testable "mapped" (Value.Int 0) (Relation.get m 2 0)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_parse_simple () =
+  check
+    Alcotest.(list (list string))
+    "basic" [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv.parse_string "a,b\n1,2\n")
+
+let test_csv_quotes () =
+  check
+    Alcotest.(list (list string))
+    "quoted comma and newline"
+    [ [ "a,b"; "c\nd"; "e\"f" ] ]
+    (Csv.parse_string "\"a,b\",\"c\nd\",\"e\"\"f\"\n")
+
+let test_csv_unterminated () =
+  Alcotest.check_raises "unterminated"
+    (Failure "Csv.parse_string: unterminated quoted field") (fun () ->
+      ignore (Csv.parse_string "\"abc"))
+
+let csv_qcheck =
+  let open QCheck in
+  let field =
+    string_gen_of_size (Gen.int_bound 8)
+      Gen.(oneof [ char_range 'a' 'z'; return ','; return '"'; return '\n' ])
+  in
+  [
+    Test.make ~count:300 ~name:"csv render/parse roundtrip"
+      (list_of_size (Gen.int_range 1 6) (list_of_size (Gen.int_range 1 5) field))
+      (fun rows -> Csv.parse_string (Csv.render rows) = rows);
+  ]
+
+let test_csv_ragged_rejected () =
+  Alcotest.check_raises "ragged row" (Failure "Csv.relation_of_rows: ragged row")
+    (fun () ->
+      ignore (Csv.relation_of_rows ~name:"r" [ [ "a"; "b" ]; [ "1" ] ]));
+  Alcotest.check_raises "empty input" (Failure "Csv.relation_of_rows: empty input")
+    (fun () -> ignore (Csv.relation_of_rows ~name:"r" []))
+
+let test_csv_relation_roundtrip () =
+  let r = sample_relation () in
+  let r2 = Csv.relation_of_rows ~name:"r" (Csv.relation_to_rows r) in
+  check Alcotest.int "same size" (Relation.size r) (Relation.size r2);
+  check Alcotest.bool "same tuples" true
+    (List.for_all2 Tuple.equal_values (Relation.tuples r) (Relation.tuples r2))
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "equality" `Quick test_value_equal;
+          Alcotest.test_case "domain lt" `Quick test_value_lt;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest value_qcheck );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "errors" `Quick test_schema_errors;
+          Alcotest.test_case "project" `Quick test_schema_project;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basic" `Quick test_tuple_basic;
+          Alcotest.test_case "defensive copies" `Quick test_tuple_defensive_copy;
+          Alcotest.test_case "compare/hash" `Quick test_tuple_compare;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "basic" `Quick test_relation_basic;
+          Alcotest.test_case "distinct column" `Quick test_relation_distinct;
+          Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
+          Alcotest.test_case "filter/map" `Quick test_relation_filter_map;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "parse simple" `Quick test_csv_parse_simple;
+          Alcotest.test_case "quotes" `Quick test_csv_quotes;
+          Alcotest.test_case "unterminated" `Quick test_csv_unterminated;
+          Alcotest.test_case "relation roundtrip" `Quick test_csv_relation_roundtrip;
+          Alcotest.test_case "ragged/empty rejected" `Quick test_csv_ragged_rejected;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest csv_qcheck );
+    ]

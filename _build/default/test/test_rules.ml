@@ -1,0 +1,438 @@
+(* Tests for the rules library: operator semantics, rule validation,
+   axioms, the concrete-syntax parser (including a printer/parser
+   roundtrip property over random rule ASTs), and Instantiation. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Ar = Rules.Ar
+module Axioms = Rules.Axioms
+module Ruleset = Rules.Ruleset
+module Parser = Rules.Parser
+module Ground = Rules.Ground
+
+let check = Alcotest.check
+
+let schema = Schema.make "r" [ "a"; "b"; "c"; "weird name" ]
+let master = Schema.make "m" [ "ma"; "mb" ]
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_op () =
+  let t = Alcotest.bool in
+  check t "null = null" true (Ar.eval_op Ar.Eq Value.Null Value.Null);
+  check t "null != 1" true (Ar.eval_op Ar.Neq Value.Null (Value.Int 1));
+  check t "null < 1 is false" false (Ar.eval_op Ar.Lt Value.Null (Value.Int 1));
+  check t "1 <= 1" true (Ar.eval_op Ar.Leq (Value.Int 1) (Value.Int 1));
+  check t "2 >= 1" true (Ar.eval_op Ar.Geq (Value.Int 2) (Value.Int 1));
+  check t "cross-type < false" false
+    (Ar.eval_op Ar.Lt (Value.String "1") (Value.Int 2))
+
+let ops = [ Ar.Eq; Ar.Neq; Ar.Lt; Ar.Gt; Ar.Leq; Ar.Geq ]
+
+let test_negate_mirror () =
+  (* mirror holds universally; negate is a logical complement only on
+     comparable (same-domain, non-null) operands — with null or
+     cross-type operands both an inequality and its negation evaluate
+     to false under the FO semantics. *)
+  let all = [ Value.Null; Value.Int 1; Value.Int 2; Value.String "x"; Value.String "y" ] in
+  let comparable = [ Value.Int 1; Value.Int 2; Value.Int 3 ] in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              check Alcotest.bool "mirror swaps" (Ar.eval_op op a b)
+                (Ar.eval_op (Ar.mirror_op op) b a))
+            all)
+        all;
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              check Alcotest.bool "negate flips on comparable values"
+                (Ar.eval_op op a b)
+                (not (Ar.eval_op (Ar.negate_op op) a b)))
+            comparable)
+        comparable)
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ord ?(strict = false) attr : Ar.ord_atom =
+  { strict; left = Ar.T1; right = Ar.T2; attr }
+
+let test_validate () =
+  let ok =
+    Ar.Form1 { f1_name = "ok"; f1_lhs = []; f1_rhs = ord 0 }
+  in
+  check Alcotest.bool "valid rule" true
+    (Result.is_ok (Ar.validate ~schema ~master:None ok));
+  let bad = Ar.Form1 { f1_name = "bad"; f1_lhs = []; f1_rhs = ord 9 } in
+  check Alcotest.bool "attr out of range" true
+    (Result.is_error (Ar.validate ~schema ~master:None bad));
+  let f2 =
+    Ar.Form2 { f2_name = "m"; f2_lhs = []; f2_te_attr = 0; f2_tm_attr = 1 }
+  in
+  check Alcotest.bool "form2 without master rejected" true
+    (Result.is_error (Ar.validate ~schema ~master:None f2));
+  check Alcotest.bool "form2 with master ok" true
+    (Result.is_ok (Ar.validate ~schema ~master:(Some master) f2))
+
+let test_ruleset_counts () =
+  let r1 = Ar.Form1 { f1_name = "x"; f1_lhs = []; f1_rhs = ord 0 } in
+  let r2 =
+    Ar.Form2 { f2_name = "y"; f2_lhs = []; f2_te_attr = 0; f2_tm_attr = 0 }
+  in
+  let rs = Ruleset.make_exn ~schema ~master [ r1; r2 ] in
+  check Alcotest.int "user size" 2 (Ruleset.size rs);
+  check Alcotest.int "form1" 1 (Ruleset.form1_count rs);
+  check Alcotest.int "form2" 1 (Ruleset.form2_count rs);
+  (* 3 axioms per attribute *)
+  check Alcotest.int "all rules includes axioms"
+    (2 + (3 * Schema.arity schema))
+    (List.length (Ruleset.rules rs));
+  let restricted = Ruleset.restrict rs `Form1_only in
+  check Alcotest.int "restricted" 1 (Ruleset.size restricted);
+  check Alcotest.bool "find" true (Ruleset.find rs "x" <> None);
+  check Alcotest.int "remove" 1 (Ruleset.size (Ruleset.remove rs "x"))
+
+let test_axioms_recognized () =
+  List.iter
+    (fun r -> check Alcotest.bool "is_axiom" true (Axioms.is_axiom r))
+    (Axioms.all schema);
+  check Alcotest.bool "user rule is not axiom" false
+    (Axioms.is_axiom (Ar.Form1 { f1_name = "u"; f1_lhs = []; f1_rhs = ord 0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok text = Parser.parse_exn ~schema ~master text
+
+let test_parse_form1 () =
+  match parse_ok "rule p: forall t1, t2: t1.a = t2.a and t1.b < t2.b -> t1 <=[c] t2" with
+  | [ Ar.Form1 r ] ->
+      check Alcotest.string "name" "p" r.f1_name;
+      check Alcotest.int "two preds" 2 (List.length r.f1_lhs);
+      check Alcotest.int "concl attr" 2 r.f1_rhs.attr;
+      check Alcotest.bool "non-strict" false r.f1_rhs.strict
+  | _ -> Alcotest.fail "expected one form1 rule"
+
+let test_parse_strict_and_quoted () =
+  match parse_ok {|rule q: forall t1, t2: t1 <["weird name"] t2 -> t2 <[a] t1|} with
+  | [ Ar.Form1 r ] ->
+      (match r.f1_lhs with
+      | [ Ar.Ord { strict = true; attr = 3; _ } ] -> ()
+      | _ -> Alcotest.fail "expected strict ord pred on quoted attr");
+      check Alcotest.bool "rhs strict" true r.f1_rhs.strict;
+      check Alcotest.bool "rhs sides swapped" true
+        (r.f1_rhs.left = Ar.T2 && r.f1_rhs.right = Ar.T1)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_constants () =
+  match
+    parse_ok
+      {|rule c: forall t1, t2: t1.a = "NBA" and t2.b != null and t1.c >= 3 -> t1 <=[a] t2|}
+  with
+  | [ Ar.Form1 r ] -> check Alcotest.int "three preds" 3 (List.length r.f1_lhs)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_te_reference () =
+  match parse_ok "rule t: forall t1, t2: t2.a = te.a -> t1 <=[b] t2" with
+  | [ Ar.Form1 { f1_lhs = [ Ar.Cmp (Ar.Tuple_attr (Ar.T2, 0), Ar.Eq, Ar.Target_attr 0) ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "expected te-referencing predicate"
+
+let test_parse_form2 () =
+  match
+    parse_ok
+      {|rule m: forall tm: te.a = tm.ma and tm.mb = "x" -> te.b := tm.mb; te.c := tm.ma|}
+  with
+  | [ Ar.Form2 r1; Ar.Form2 r2 ] ->
+      check Alcotest.string "expanded name 1" "m#1" r1.f2_name;
+      check Alcotest.string "expanded name 2" "m#2" r2.f2_name;
+      check Alcotest.int "te attr 1" 1 r1.f2_te_attr;
+      check Alcotest.int "tm attr 2" 0 r2.f2_tm_attr
+  | _ -> Alcotest.fail "expected two expanded form2 rules"
+
+let test_parse_errors () =
+  let err text =
+    match Parser.parse ~schema ~master text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ text)
+  in
+  err "rule x: forall t1, t2: t1.zzz = 1 -> t1 <=[a] t2";
+  err "rule x: forall t1, t2: t1.a -> t1 <=[a] t2";
+  err "rule x: forall t1, t2: t1.a = t2.a t1 <=[a] t2";
+  err "rule x: forall t1, t2 in wrong_name: t1.a = t2.a -> t1 <=[a] t2";
+  err "nonsense"
+
+let test_parse_comments_and_empty_lhs () =
+  match parse_ok "# a comment\nrule e: forall t1, t2: true -> t1 <=[a] t2" with
+  | [ Ar.Form1 { f1_lhs = []; _ } ] -> ()
+  | _ -> Alcotest.fail "expected empty LHS"
+
+(* Roundtrip property over random rule ASTs. *)
+let gen_rule =
+  let open QCheck.Gen in
+  let attr = int_bound (Schema.arity schema - 1) in
+  let mattr = int_bound (Schema.arity master - 1) in
+  let side = oneofl [ Ar.T1; Ar.T2 ] in
+  let op = oneofl ops in
+  let const =
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) (int_range (-9) 9);
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 5));
+      ]
+  in
+  let term =
+    oneof
+      [
+        map2 (fun s a -> Ar.Tuple_attr (s, a)) side attr;
+        map (fun a -> Ar.Target_attr a) attr;
+        map (fun v -> Ar.Const v) const;
+      ]
+  in
+  let pred =
+    oneof
+      [
+        (* avoid the unsupported te-vs-te comparison *)
+        (map3 (fun l o a -> Ar.Cmp (l, o, Ar.Tuple_attr (Ar.T2, a))) term op attr);
+        map3
+          (fun s a strict -> Ar.Ord { strict; left = s; right = (if s = Ar.T1 then Ar.T2 else Ar.T1); attr = a })
+          side attr bool;
+      ]
+  in
+  let form1 =
+    map3
+      (fun name lhs (strict, attr) ->
+        Ar.Form1 { f1_name = "r" ^ string_of_int name; f1_lhs = lhs; f1_rhs = { strict; left = Ar.T1; right = Ar.T2; attr } })
+      (int_bound 999)
+      (list_size (int_bound 4) pred)
+      (pair bool attr)
+  in
+  let mpred =
+    oneof
+      [
+        map3 (fun a o v -> Ar.Te_const (a, o, v)) attr op const;
+        map2 (fun a b -> Ar.Te_master (a, b)) attr mattr;
+        map3 (fun b o v -> Ar.Master_const (b, o, v)) mattr op const;
+      ]
+  in
+  let form2 =
+    map3
+      (fun name lhs (a, b) ->
+        Ar.Form2 { f2_name = "m" ^ string_of_int name; f2_lhs = lhs; f2_te_attr = a; f2_tm_attr = b })
+      (int_bound 999)
+      (list_size (int_bound 4) mpred)
+      (pair attr mattr)
+  in
+  oneof [ form1; form2 ]
+
+let rule_print r =
+  Format.asprintf "%a" (fun ppf -> Ar.pp ~schema ~master ppf) r
+
+(* The parser must never raise on arbitrary input — only return
+   Error (fuzz). *)
+let parser_total =
+  QCheck.Test.make ~count:500 ~name:"parser total on arbitrary input"
+    QCheck.(string_gen_of_size (Gen.int_bound 60) Gen.printable)
+    (fun text ->
+      match Parser.parse ~schema ~master text with
+      | Ok _ | Error _ -> true)
+
+let parser_roundtrip =
+  QCheck.Test.make ~count:400 ~name:"printer/parser roundtrip"
+    (QCheck.make ~print:rule_print gen_rule)
+    (fun rule ->
+      match Parser.parse ~schema ~master (Parser.to_string ~schema ~master [ rule ]) with
+      | Ok [ parsed ] -> parsed = rule
+      | Ok _ -> false
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Grounding                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let instance =
+  Relation.make schema
+    [
+      Tuple.make [| Value.Int 1; Value.String "x"; Value.Null; Value.Int 0 |];
+      Tuple.make [| Value.Int 2; Value.String "x"; Value.Null; Value.Int 0 |];
+      Tuple.make [| Value.Int 2; Value.String "y"; Value.Int 5; Value.Int 0 |];
+    ]
+
+let orders_of rel =
+  Array.init (Schema.arity (Relation.schema rel)) (fun a ->
+      Ordering.Attr_order.of_column (Relation.column rel a))
+
+let ground rules =
+  let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master rules in
+  Ground.instantiate ~ruleset:rs ~entity:instance ~master:None ~orders:(orders_of instance)
+
+let test_ground_constant_folding () =
+  (* t1.a < t2.a -> t1 ⪯a t2: only the pairs with a strictly smaller
+     a-value survive; conclusions are class edges. *)
+  let rule =
+    Ar.Form1
+      {
+        f1_name = "cur";
+        f1_lhs = [ Ar.Cmp (Ar.Tuple_attr (Ar.T1, 0), Ar.Lt, Ar.Tuple_attr (Ar.T2, 0)) ];
+        f1_rhs = ord 0;
+      }
+  in
+  match ground [ rule ] with
+  | [ { Ground.preds = []; action = Ground.Add_order { attr = 0; _ }; _ } ] -> ()
+  | steps ->
+      Alcotest.failf "expected exactly one deduped ground step, got %d"
+        (List.length steps)
+
+let test_ground_strict_same_class_dropped () =
+  (* t1 ≺b t2 premise between equal values can never hold: the pair
+     (t1, t2) with b = "x" on both is dropped at grounding. *)
+  let rule =
+    Ar.Form1
+      {
+        f1_name = "dep";
+        f1_lhs = [ Ar.Ord { strict = true; left = Ar.T1; right = Ar.T2; attr = 1 } ];
+        f1_rhs = ord 0;
+      }
+  in
+  let steps = ground [ rule ] in
+  List.iter
+    (fun (s : Ground.step) ->
+      match s.preds with
+      | [ Ground.P_ord { attr = 1; c1; c2 } ] ->
+          if c1 = c2 then Alcotest.fail "same-class strict pred survived"
+      | _ -> Alcotest.fail "expected one residual ord predicate")
+    steps;
+  check Alcotest.bool "some steps remain" true (steps <> [])
+
+let test_ground_refresh_for_same_class_rhs () =
+  (* φ9's shape on equal values ⇒ a Refresh action. *)
+  let rule =
+    Ar.Form1
+      {
+        f1_name = "eq";
+        f1_lhs = [ Ar.Cmp (Ar.Tuple_attr (Ar.T1, 1), Ar.Eq, Ar.Tuple_attr (Ar.T2, 1)) ];
+        f1_rhs = ord 1;
+      }
+  in
+  let steps = ground [ rule ] in
+  check Alcotest.bool "refresh present" true
+    (List.exists (fun (s : Ground.step) -> s.action = Ground.Refresh 1) steps)
+
+let test_ground_te_predicate () =
+  (* t2.b = te.b folds to a pending P_te on the tuple's value. *)
+  let rule =
+    Ar.Form1
+      {
+        f1_name = "phi8ish";
+        f1_lhs = [ Ar.Cmp (Ar.Tuple_attr (Ar.T2, 1), Ar.Eq, Ar.Target_attr 1) ];
+        f1_rhs = ord 1;
+      }
+  in
+  let steps = ground [ rule ] in
+  check Alcotest.bool "has P_te predicate" true
+    (List.exists
+       (fun (s : Ground.step) ->
+         List.exists
+           (function Ground.P_te { attr = 1; op = Ar.Eq; _ } -> true | _ -> false)
+           s.preds)
+       steps)
+
+let test_ground_form2 () =
+  let m_rel =
+    Relation.make master
+      [
+        Tuple.make [| Value.String "k"; Value.String "v" |];
+        Tuple.make [| Value.String "skip"; Value.Null |];
+      ]
+  in
+  let rule =
+    Ar.Form2
+      {
+        f2_name = "m";
+        f2_lhs = [ Ar.Te_master (0, 0) ];
+        f2_te_attr = 1;
+        f2_tm_attr = 1;
+      }
+  in
+  let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master [ rule ] in
+  let steps =
+    Ground.instantiate ~ruleset:rs ~entity:instance ~master:(Some m_rel)
+      ~orders:(orders_of instance)
+  in
+  (* The null-valued master row must not produce an assignment. *)
+  check Alcotest.int "one step" 1 (List.length steps);
+  match steps with
+  | [ { Ground.action = Ground.Assign { attr = 1; value }; preds; _ } ] ->
+      check Alcotest.bool "assign v" true (Value.equal value (Value.String "v"));
+      check Alcotest.int "one pending te pred" 1 (List.length preds)
+  | _ -> Alcotest.fail "unexpected ground step shape"
+
+let test_ground_axiom7_immediate () =
+  (* φ7 on column c ({null, null, 5}) grounds to an immediately
+     applicable step null ⪯ 5. *)
+  let rs = Ruleset.make_exn ~schema ~master [] in
+  let steps =
+    Ground.instantiate ~ruleset:rs ~entity:instance ~master:None
+      ~orders:(orders_of instance)
+  in
+  check Alcotest.bool "null-below-5 step exists" true
+    (List.exists
+       (fun (s : Ground.step) ->
+         s.preds = []
+         && match s.action with Ground.Add_order { attr = 2; _ } -> true | _ -> false)
+       steps)
+
+let () =
+  Alcotest.run "rules"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "eval_op" `Quick test_eval_op;
+          Alcotest.test_case "negate/mirror" `Quick test_negate_mirror;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "ruleset counts" `Quick test_ruleset_counts;
+          Alcotest.test_case "axioms recognized" `Quick test_axioms_recognized;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "form1" `Quick test_parse_form1;
+          Alcotest.test_case "strict + quoted attr" `Quick test_parse_strict_and_quoted;
+          Alcotest.test_case "constants" `Quick test_parse_constants;
+          Alcotest.test_case "te reference" `Quick test_parse_te_reference;
+          Alcotest.test_case "form2 expansion" `Quick test_parse_form2;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments/empty lhs" `Quick
+            test_parse_comments_and_empty_lhs;
+          QCheck_alcotest.to_alcotest parser_roundtrip;
+          QCheck_alcotest.to_alcotest parser_total;
+        ] );
+      ( "grounding",
+        [
+          Alcotest.test_case "constant folding + dedup" `Quick
+            test_ground_constant_folding;
+          Alcotest.test_case "strict same-class dropped" `Quick
+            test_ground_strict_same_class_dropped;
+          Alcotest.test_case "refresh for same-class rhs" `Quick
+            test_ground_refresh_for_same_class_rhs;
+          Alcotest.test_case "te predicate" `Quick test_ground_te_predicate;
+          Alcotest.test_case "form2 + null master cell" `Quick test_ground_form2;
+          Alcotest.test_case "axiom φ7 immediate" `Quick test_ground_axiom7_immediate;
+        ] );
+    ]

@@ -1,0 +1,390 @@
+(* Tests for the top-k library: preference model, active domains,
+   and the three candidate-target algorithms (exactness, agreement,
+   early termination, budgets). *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Relation = Relational.Relation
+module Pref = Topk.Preference
+module AD = Topk.Active_domain
+module Mj = Datagen.Mj
+
+let check = Alcotest.check
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* The Example 9 setting: drop φ11 and the team half of φ6, leaving
+   te.team and te.arena null. *)
+let example9_spec =
+  let rs = Rules.Ruleset.remove (Rules.Ruleset.remove Mj.ruleset "phi11") "phi6#2" in
+  Core.Specification.with_ruleset Mj.specification rs
+
+let example9 () =
+  let compiled = Core.Is_cr.compile example9_spec in
+  match Core.Is_cr.run_compiled compiled with
+  | Core.Is_cr.Church_rosser inst -> (compiled, Core.Instance.te inst)
+  | Core.Is_cr.Not_church_rosser _ -> Alcotest.fail "Example 9 spec must be CR"
+
+let team = Schema.index Mj.stat_schema "team"
+let arena = Schema.index Mj.stat_schema "arena"
+
+(* ------------------------------------------------------------------ *)
+(* Preference                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pref_occurrences () =
+  let p = Pref.of_occurrences Mj.stat in
+  check (Alcotest.float 1e-9) "Chicago Bulls occurs twice" 2.0
+    (Pref.weight p team (Value.String "Chicago Bulls"));
+  check (Alcotest.float 1e-9) "unknown value gets default" 0.5
+    (Pref.weight p team (Value.String "nowhere"));
+  check (Alcotest.float 1e-9) "null scores zero in p(t)" 0.0
+    (Pref.score p [| Value.Null |])
+
+let test_pref_score_sums () =
+  let p = Pref.of_table [ (0, Value.Int 1, 2.0); (1, Value.Int 2, 3.0) ] in
+  check (Alcotest.float 1e-9) "sum" 5.0 (Pref.score p [| Value.Int 1; Value.Int 2 |]);
+  check (Alcotest.float 1e-9) "missing defaults 0" 2.0
+    (Pref.score p [| Value.Int 1; Value.Int 9 |])
+
+let test_pref_override () =
+  let p = Pref.override (Pref.uniform ()) [ (0, Value.Int 7, 10.0) ] in
+  check (Alcotest.float 1e-9) "overridden" 10.0 (Pref.weight p 0 (Value.Int 7));
+  check (Alcotest.float 1e-9) "fallback" 1.0 (Pref.weight p 0 (Value.Int 8))
+
+(* ------------------------------------------------------------------ *)
+(* Active domain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_active_domain_instance_values () =
+  let values = AD.values ~include_default:false example9_spec team in
+  let strings = List.map Value.to_string values in
+  check
+    Alcotest.(list string)
+    "team domain in first-appearance order"
+    [ "Chicago"; "Chicago Bulls"; "Birmingham Barons" ]
+    strings
+
+let test_active_domain_default () =
+  let values = AD.values example9_spec team in
+  match List.rev values with
+  | last :: _ ->
+      check Alcotest.bool "last is the default" true (AD.is_default last)
+  | [] -> Alcotest.fail "non-empty"
+
+let test_active_domain_master_contribution () =
+  (* league is written by φ6#1 from nba.league: the master values
+     join the domain. *)
+  let league = Schema.index Mj.stat_schema "league" in
+  let values = AD.values ~include_default:false Mj.specification league in
+  check Alcotest.bool "contains master-only value? (NBA present twice is fine)"
+    true
+    (List.exists (fun v -> Value.equal v (Value.String "NBA")) values)
+
+let test_active_domain_ranked () =
+  let p = Pref.of_occurrences Mj.stat in
+  let ranked = AD.ranked ~include_default:false example9_spec p arena in
+  (match Array.to_list ranked with
+  | (v, w) :: _ ->
+      check value_testable "United Center first" (Value.String "United Center") v;
+      check (Alcotest.float 1e-9) "weight 2" 2.0 w
+  | [] -> Alcotest.fail "non-empty");
+  (* weights are non-increasing *)
+  let ws = Array.map snd ranked in
+  Array.iteri (fun i w -> if i > 0 then assert (w <= ws.(i - 1))) ws
+
+(* ------------------------------------------------------------------ *)
+(* TopKCT                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_topkct_example9 () =
+  let compiled, te = example9 () in
+  check value_testable "team null before top-k" Value.Null te.(team);
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct.run ~k:2 ~pref:p compiled te in
+  (match r.targets with
+  | best :: _ ->
+      check value_testable "best team" (Value.String "Chicago Bulls") best.(team);
+      check value_testable "best arena" (Value.String "United Center") best.(arena)
+  | [] -> Alcotest.fail "no candidates");
+  check Alcotest.int "found two" 2 (List.length r.targets);
+  (* Early termination (Prop. 7): no exhaustive enumeration. *)
+  check Alcotest.bool "early termination" true (r.stats.queue_pops <= 4)
+
+let test_topkct_scores_nonincreasing () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct.run ~k:6 ~pref:p compiled te in
+  let scores = List.map (Pref.score p) r.targets in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "emitted in score order" true (monotone scores)
+
+let test_topkct_candidates_all_check () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct.run ~k:6 ~pref:p compiled te in
+  List.iter
+    (fun t ->
+      check Alcotest.bool "candidate passes check" true (Core.Is_cr.check compiled t))
+    r.targets
+
+let test_topkct_preserves_non_null () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct.run ~k:4 ~pref:p compiled te in
+  List.iter
+    (fun t ->
+      Array.iteri
+        (fun a v ->
+          if not (Value.is_null te.(a)) then
+            check value_testable "non-null attrs preserved" te.(a) v)
+        t)
+    r.targets
+
+let test_topkct_complete_te () =
+  let compiled = Core.Is_cr.compile Mj.specification in
+  let r =
+    Topk.Topk_ct.run ~k:3 ~pref:(Pref.of_occurrences Mj.stat) compiled
+      Mj.expected_target
+  in
+  check Alcotest.int "complete te is its own candidate" 1 (List.length r.targets)
+
+let test_topkct_k_validation () =
+  let compiled, te = example9 () in
+  Alcotest.check_raises "k < 1" (Invalid_argument "Topk_ct.run: k < 1") (fun () ->
+      ignore (Topk.Topk_ct.run ~k:0 ~pref:(Pref.uniform ()) compiled te))
+
+let test_topkct_budget () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct.run ~max_pops:1 ~k:10 ~pref:p compiled te in
+  check Alcotest.bool "budget respected" true (r.stats.queue_pops <= 1);
+  check Alcotest.bool "partial result" true (List.length r.targets <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* RankJoinCT / agreement                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A tie-free preference so that both exact algorithms must return
+   identical lists. *)
+let tie_free_pref =
+  Pref.of_fun (fun a v ->
+      float_of_int (Value.hash v mod 1000 + a) /. 7.0)
+
+let test_exact_algorithms_agree () =
+  let compiled, te = example9 () in
+  for k = 1 to 6 do
+    let a = Topk.Topk_ct.run ~k ~pref:tie_free_pref compiled te in
+    let b = Topk.Rank_join_ct.run ~k ~pref:tie_free_pref compiled te in
+    check Alcotest.int
+      (Printf.sprintf "same count at k=%d" k)
+      (List.length a.Topk.Topk_ct.targets)
+      (List.length b.Topk.Rank_join_ct.targets);
+    List.iter2
+      (fun x y ->
+        check Alcotest.bool "same tuple" true (Array.for_all2 Value.equal x y))
+      a.Topk.Topk_ct.targets b.Topk.Rank_join_ct.targets
+  done
+
+let test_rankjoin_checks_all_combos () =
+  let compiled, te = example9 () in
+  let r = Topk.Rank_join_ct.run ~k:2 ~pref:tie_free_pref compiled te in
+  (* §6.1: every generated combination is checked. *)
+  check Alcotest.int "checks = combos" r.stats.combos r.stats.checks
+
+(* ------------------------------------------------------------------ *)
+(* TopKCTh                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_topkcth_returns_candidates () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct_h.run ~k:3 ~pref:p compiled te in
+  check Alcotest.bool "non-empty" true (r.targets <> []);
+  List.iter
+    (fun t ->
+      check Alcotest.bool "verified candidate" true (Core.Is_cr.check compiled t))
+    r.targets
+
+let test_topkcth_top1_agrees () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let h = Topk.Topk_ct_h.run ~k:1 ~pref:p compiled te in
+  let e = Topk.Topk_ct.run ~k:1 ~pref:p compiled te in
+  match (h.targets, e.Topk.Topk_ct.targets) with
+  | [ a ], [ b ] ->
+      (* the top candidate needs no repair here, so both agree *)
+      check Alcotest.bool "same top candidate" true (Array.for_all2 Value.equal a b)
+  | _ -> Alcotest.fail "both should find one candidate"
+
+let test_topkcth_no_duplicates () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct_h.run ~k:6 ~pref:p compiled te in
+  let keys =
+    List.map
+      (fun t -> String.concat "|" (Array.to_list (Array.map Value.to_string t)))
+      r.targets
+  in
+  check Alcotest.int "distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive oracle cross-checks (Thm. 3 / §6 exactness)             *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_agrees_with_topkct () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let oracle = Topk.Candidate_oracle.enumerate ~pref:p compiled te in
+  check Alcotest.bool "not truncated" false oracle.truncated;
+  check Alcotest.bool "candidates exist" true (oracle.candidates <> []);
+  let n = List.length oracle.candidates in
+  (* TopKCT at k >= |candidates| must return exactly the oracle set. *)
+  let r = Topk.Topk_ct.run ~k:(n + 3) ~pref:p compiled te in
+  check Alcotest.int "TopKCT finds all candidates" n (List.length r.targets);
+  let key t = String.concat "|" (Array.to_list (Array.map Value.to_string t)) in
+  let sort l = List.sort compare (List.map key l) in
+  check Alcotest.(list string) "same candidate sets" (sort oracle.candidates)
+    (sort r.targets);
+  (* and the scores of the top-k prefix agree for every k *)
+  for k = 1 to n do
+    let topk = Topk.Topk_ct.run ~k ~pref:p compiled te in
+    let score_of l = List.map (Pref.score p) l in
+    let rec take n = function
+      | [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r
+    in
+    check Alcotest.(list (float 1e-9)) "prefix scores match oracle"
+      (score_of (take k oracle.candidates))
+      (score_of topk.Topk.Topk_ct.targets)
+  done
+
+let test_oracle_topkcth_subset () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let oracle = Topk.Candidate_oracle.enumerate ~pref:p compiled te in
+  let key t = String.concat "|" (Array.to_list (Array.map Value.to_string t)) in
+  let universe = List.map key oracle.candidates in
+  let h = Topk.Topk_ct_h.run ~k:8 ~pref:p compiled te in
+  List.iter
+    (fun t ->
+      check Alcotest.bool "heuristic output is a candidate" true
+        (List.mem (key t) universe))
+    h.targets
+
+let test_oracle_exists_and_count () =
+  let compiled, te = example9 () in
+  check Alcotest.bool "candidates exist" true
+    (Topk.Candidate_oracle.exists_candidate compiled te);
+  let n, truncated = Topk.Candidate_oracle.count compiled te in
+  check Alcotest.bool "count positive, untruncated" true (n > 0 && not truncated);
+  let p = Pref.of_occurrences Mj.stat in
+  let oracle = Topk.Candidate_oracle.enumerate ~pref:p compiled te in
+  check Alcotest.int "count = enumerate length" (List.length oracle.candidates) n
+
+let test_oracle_example7 () =
+  (* Example 7: R = (A1..An), Ie = {(0,...,0), (1,...,1)}, empty Σ
+     and Im ⇒ exactly 2^n candidate targets over instance values. *)
+  let n = 4 in
+  let schema7 = Schema.make "e7" (List.init n (fun i -> "a" ^ string_of_int i)) in
+  let entity =
+    Relation.make schema7
+      [
+        Relational.Tuple.make (Array.make n (Value.Int 0));
+        Relational.Tuple.make (Array.make n (Value.Int 1));
+      ]
+  in
+  let rs = Rules.Ruleset.make_exn ~schema:schema7 [] in
+  let spec = Core.Specification.make_exn ~entity rs in
+  let compiled = Core.Is_cr.compile spec in
+  let te =
+    match Core.Is_cr.run_compiled compiled with
+    | Core.Is_cr.Church_rosser inst -> Core.Instance.te inst
+    | Core.Is_cr.Not_church_rosser _ -> Alcotest.fail "CR expected"
+  in
+  check Alcotest.bool "te all null" true (Array.for_all Value.is_null te);
+  let count, truncated =
+    Topk.Candidate_oracle.count ~include_default:false compiled te
+  in
+  check Alcotest.bool "untruncated" false truncated;
+  check Alcotest.int "2^n candidates" 16 count;
+  (* TopKCT enumerates all of them when asked *)
+  let r =
+    Topk.Topk_ct.run ~include_default:false ~k:40 ~pref:(Pref.uniform ()) compiled te
+  in
+  check Alcotest.int "TopKCT finds all 2^n" 16 (List.length r.targets)
+
+let test_oracle_limit () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let oracle = Topk.Candidate_oracle.enumerate ~limit:2 ~pref:p compiled te in
+  check Alcotest.bool "truncated" true oracle.truncated;
+  check Alcotest.bool "checked respects limit" true (oracle.checked <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Instance optimality accounting (Prop. 7)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_topkct_heap_pops_bounded () =
+  let compiled, te = example9 () in
+  let p = Pref.of_occurrences Mj.stat in
+  let r = Topk.Topk_ct.run ~k:2 ~pref:p compiled te in
+  (* pops are per-need: at most (initial m) + one per expansion slot *)
+  check Alcotest.bool "pop accounting sane" true
+    (r.stats.heap_pops >= 2 && r.stats.heap_pops <= r.stats.enumerated + 2)
+
+let () =
+  Alcotest.run "topk"
+    [
+      ( "preference",
+        [
+          Alcotest.test_case "occurrences" `Quick test_pref_occurrences;
+          Alcotest.test_case "score sums" `Quick test_pref_score_sums;
+          Alcotest.test_case "override" `Quick test_pref_override;
+        ] );
+      ( "active-domain",
+        [
+          Alcotest.test_case "instance values" `Quick test_active_domain_instance_values;
+          Alcotest.test_case "default ⊥" `Quick test_active_domain_default;
+          Alcotest.test_case "master contribution" `Quick
+            test_active_domain_master_contribution;
+          Alcotest.test_case "ranked" `Quick test_active_domain_ranked;
+        ] );
+      ( "topkct",
+        [
+          Alcotest.test_case "Example 9" `Quick test_topkct_example9;
+          Alcotest.test_case "score order" `Quick test_topkct_scores_nonincreasing;
+          Alcotest.test_case "all candidates check" `Quick
+            test_topkct_candidates_all_check;
+          Alcotest.test_case "non-null preserved" `Quick test_topkct_preserves_non_null;
+          Alcotest.test_case "complete te" `Quick test_topkct_complete_te;
+          Alcotest.test_case "k validation" `Quick test_topkct_k_validation;
+          Alcotest.test_case "budget" `Quick test_topkct_budget;
+          Alcotest.test_case "heap pop accounting" `Quick test_topkct_heap_pops_bounded;
+        ] );
+      ( "rankjoin",
+        [
+          Alcotest.test_case "exact algorithms agree" `Quick test_exact_algorithms_agree;
+          Alcotest.test_case "checks every combo" `Quick test_rankjoin_checks_all_combos;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "TopKCT exact vs oracle" `Quick
+            test_oracle_agrees_with_topkct;
+          Alcotest.test_case "TopKCTh subset of oracle" `Quick
+            test_oracle_topkcth_subset;
+          Alcotest.test_case "exists/count" `Quick test_oracle_exists_and_count;
+          Alcotest.test_case "Example 7 (2^n candidates)" `Quick
+            test_oracle_example7;
+          Alcotest.test_case "limit" `Quick test_oracle_limit;
+        ] );
+      ( "topkcth",
+        [
+          Alcotest.test_case "returns verified candidates" `Quick
+            test_topkcth_returns_candidates;
+          Alcotest.test_case "top-1 agrees with exact" `Quick test_topkcth_top1_agrees;
+          Alcotest.test_case "no duplicates" `Quick test_topkcth_no_duplicates;
+        ] );
+    ]

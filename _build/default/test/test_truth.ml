@@ -1,0 +1,340 @@
+(* Tests for the truth-discovery library: metrics, voting,
+   DeduceOrder and copyCEF. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Metrics = Truth.Metrics
+module Voting = Truth.Voting
+module Deduce_order = Truth.Deduce_order
+module Copy_cef = Truth.Copy_cef
+
+let check = Alcotest.check
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_prf_known () =
+  (* population 1..10; truth = evens; predicted = multiples of 4 and 3 *)
+  let population = List.init 10 (fun i -> i + 1) in
+  let prf =
+    Metrics.prf
+      ~predicted:(fun x -> x mod 4 = 0 || x mod 3 = 0)
+      ~truth:(fun x -> x mod 2 = 0)
+      population
+  in
+  (* predicted = {3,4,6,8,9,12? no..10} = {3,4,6,8,9}; truth = {2,4,6,8,10};
+     hits = {4,6,8} *)
+  check (Alcotest.float 1e-9) "precision" (3.0 /. 5.0) prf.precision;
+  check (Alcotest.float 1e-9) "recall" (3.0 /. 5.0) prf.recall;
+  check (Alcotest.float 1e-9) "f1" (3.0 /. 5.0) prf.f1
+
+let test_prf_degenerate () =
+  let prf = Metrics.prf ~predicted:(fun _ -> false) ~truth:(fun _ -> false) [ 1 ] in
+  check (Alcotest.float 1e-9) "empty precision" 1.0 prf.precision;
+  check (Alcotest.float 1e-9) "empty recall" 1.0 prf.recall
+
+let test_match_rates () =
+  let truth = [| Value.Int 1; Value.Int 2; Value.Null |] in
+  check (Alcotest.float 1e-9) "2/3 match"
+    (2.0 /. 3.0)
+    (Metrics.attribute_match_rate ~truth [| Value.Int 1; Value.Int 9; Value.Null |]);
+  check Alcotest.bool "exact" true
+    (Metrics.exact_match ~truth (Array.copy truth));
+  check Alcotest.bool "not exact" false
+    (Metrics.exact_match ~truth [| Value.Int 1; Value.Int 2; Value.Int 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* Voting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let schema = Schema.make "v" [ "a"; "b" ]
+
+let test_voting_majority () =
+  let rel =
+    Relation.make schema
+      [
+        Tuple.make [| Value.Int 1; Value.String "x" |];
+        Tuple.make [| Value.Int 1; Value.String "y" |];
+        Tuple.make [| Value.Int 2; Value.String "y" |];
+        Tuple.make [| Value.Null; Value.Null |];
+      ]
+  in
+  let r = Voting.resolve rel in
+  check value_testable "majority a" (Value.Int 1) r.(0);
+  check value_testable "majority b" (Value.String "y") r.(1)
+
+let test_voting_all_null () =
+  let rel = Relation.make schema [ Tuple.make [| Value.Null; Value.Null |] ] in
+  let r = Voting.resolve rel in
+  check value_testable "null stays null" Value.Null r.(0)
+
+let test_voting_tie_deterministic () =
+  let rel =
+    Relation.make schema
+      [
+        Tuple.make [| Value.Int 2; Value.Null |];
+        Tuple.make [| Value.Int 1; Value.Null |];
+      ]
+  in
+  let r = Voting.resolve rel in
+  (* tie broken by Value.compare: the smaller value wins *)
+  check value_testable "tie -> smaller" (Value.Int 1) r.(0)
+
+(* ------------------------------------------------------------------ *)
+(* DeduceOrder                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* week/flag relation with a per-group currency rule *)
+let do_schema = Schema.make "c" [ "week"; "flag"; "note" ]
+
+let do_rules =
+  Rules.Parser.parse_exn ~schema:do_schema
+    "rule cur: forall t1, t2: t1.week < t2.week -> t1 <=[flag] t2"
+
+let do_ruleset = Rules.Ruleset.make_exn ~schema:do_schema do_rules
+
+let test_deduce_order_chain () =
+  (* flag evolves false -> true along weeks: total evidence. *)
+  let rel =
+    Relation.make do_schema
+      [
+        Tuple.make [| Value.Int 1; Value.Bool false; Value.String "a" |];
+        Tuple.make [| Value.Int 2; Value.Bool false; Value.String "b" |];
+        Tuple.make [| Value.Int 3; Value.Bool true; Value.String "a" |];
+      ]
+  in
+  let r = Deduce_order.resolve ~ruleset:do_ruleset rel in
+  check value_testable "flag deduced current" (Value.Bool true)
+    r.values.(Schema.index do_schema "flag");
+  check Alcotest.bool "flag by currency" true
+    (List.mem (Schema.index do_schema "flag") r.deduced_by_currency);
+  (* note has conflicting un-ordered values -> not deduced *)
+  check value_testable "note undetermined" Value.Null
+    r.values.(Schema.index do_schema "note")
+
+let test_deduce_order_conservative () =
+  (* two values never ordered: nothing deduced (no chain). *)
+  let rel =
+    Relation.make do_schema
+      [
+        Tuple.make [| Value.Int 1; Value.Bool false; Value.Null |];
+        Tuple.make [| Value.Int 1; Value.Bool true; Value.Null |];
+      ]
+  in
+  let r = Deduce_order.resolve ~ruleset:do_ruleset rel in
+  check value_testable "no deduction without order" Value.Null
+    r.values.(Schema.index do_schema "flag")
+
+let test_deduce_order_cfd_propagation () =
+  let rel =
+    Relation.make do_schema
+      [
+        Tuple.make [| Value.Int 1; Value.Bool false; Value.Null |];
+        Tuple.make [| Value.Int 2; Value.Bool true; Value.Null |];
+      ]
+  in
+  let cfd =
+    Cfd.Constant_cfd.make_exn ~name:"flag_note"
+      ~pattern:[ ("flag", Value.Bool true) ]
+      ~consequent:("note", Value.String "closed!")
+      do_schema
+  in
+  let r = Deduce_order.resolve ~ruleset:do_ruleset ~cfds:[ cfd ] rel in
+  check value_testable "cfd filled note" (Value.String "closed!")
+    r.values.(Schema.index do_schema "note");
+  check Alcotest.bool "note by cfd" true
+    (List.mem (Schema.index do_schema "note") r.deduced_by_cfd)
+
+let test_deduce_order_currency_rules_filter () =
+  (* rules with order atoms or te references are not currency rules *)
+  let texts =
+    "rule c1: forall t1, t2: t1.week < t2.week -> t1 <=[flag] t2\n\
+     rule c2: forall t1, t2: t1 <[flag] t2 -> t1 <=[note] t2\n\
+     rule c3: forall t1, t2: t2.note = te.note -> t1 <=[note] t2"
+  in
+  let rs =
+    Rules.Ruleset.make_exn ~schema:do_schema
+      (Rules.Parser.parse_exn ~schema:do_schema texts)
+  in
+  check Alcotest.int "only c1 is a currency rule" 1
+    (List.length (Deduce_order.currency_rules rs))
+
+(* ------------------------------------------------------------------ *)
+(* copyCEF                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic claims: 3 honest sources, 1 liar, 1 copier of the liar,
+   over 40 objects with boolean truth. *)
+let cef_claims () =
+  let g = Util.Prng.create 99 in
+  let truth = Array.init 40 (fun _ -> Util.Prng.bool g) in
+  let claims = ref [] in
+  Array.iteri
+    (fun obj t ->
+      let claim source v =
+        claims :=
+          { Copy_cef.object_id = obj; attr = 0; source; snapshot = 1; value = Value.Bool v }
+          :: !claims
+      in
+      (* honest sources 0-2: right 95% of the time *)
+      for s = 0 to 2 do
+        claim s (if Util.Prng.bernoulli g 0.95 then t else not t)
+      done;
+      (* liar source 3: wrong 70% of the time *)
+      let liar_value = if Util.Prng.bernoulli g 0.7 then not t else t in
+      claim 3 liar_value;
+      (* copier source 4: replicates the liar *)
+      claim 4 liar_value)
+    truth;
+  (truth, !claims)
+
+let test_copycef_finds_truth () =
+  let truth, claims = cef_claims () in
+  let r = Copy_cef.run ~num_sources:5 claims in
+  let correct = ref 0 in
+  Array.iteri
+    (fun obj t ->
+      match Copy_cef.truth r ~object_id:obj ~attr:0 with
+      | Some (Value.Bool b) when b = t -> incr correct
+      | _ -> ())
+    truth;
+  check Alcotest.bool "most objects recovered" true (!correct >= 35)
+
+let test_copycef_source_accuracy_ranking () =
+  let _, claims = cef_claims () in
+  let r = Copy_cef.run ~num_sources:5 claims in
+  check Alcotest.bool "honest beats liar" true
+    (Copy_cef.source_accuracy r 0 > Copy_cef.source_accuracy r 3);
+  check Alcotest.bool "honest accuracy high" true
+    (Copy_cef.source_accuracy r 1 > 0.8)
+
+let test_copycef_copy_detection () =
+  let _, claims = cef_claims () in
+  let r = Copy_cef.run ~num_sources:5 claims in
+  (* the copier pair shares many false claims; honest pairs share
+     almost none *)
+  check Alcotest.bool "copier pair flagged above honest pair" true
+    (Copy_cef.copy_probability r 3 4 > Copy_cef.copy_probability r 0 1);
+  check Alcotest.bool "copy prob symmetric" true
+    (Copy_cef.copy_probability r 3 4 = Copy_cef.copy_probability r 4 3)
+
+let test_copycef_confidence_normalized () =
+  let _, claims = cef_claims () in
+  let r = Copy_cef.run ~num_sources:5 claims in
+  let ct = Copy_cef.confidence r ~object_id:0 ~attr:0 (Value.Bool true) in
+  let cf = Copy_cef.confidence r ~object_id:0 ~attr:0 (Value.Bool false) in
+  check Alcotest.bool "probabilities sum to ~1" true
+    (Float.abs (ct +. cf -. 1.0) < 1e-6 || ct +. cf = 1.0 || cf = 0.0 || ct = 0.0);
+  check (Alcotest.float 1e-9) "unclaimed value" 0.0
+    (Copy_cef.confidence r ~object_id:0 ~attr:0 (Value.String "?"))
+
+let test_copycef_latest_claim_wins () =
+  (* a source that corrected itself: only the latest snapshot counts *)
+  let claims =
+    [
+      { Copy_cef.object_id = 0; attr = 0; source = 0; snapshot = 1; value = Value.Bool false };
+      { Copy_cef.object_id = 0; attr = 0; source = 0; snapshot = 5; value = Value.Bool true };
+    ]
+  in
+  let r = Copy_cef.run ~num_sources:1 claims in
+  check (Alcotest.option value_testable) "latest claim"
+    (Some (Value.Bool true))
+    (Copy_cef.truth r ~object_id:0 ~attr:0)
+
+(* ------------------------------------------------------------------ *)
+(* TruthFinder (extension baseline)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Truth_finder = Truth.Truth_finder
+
+let test_truthfinder_finds_truth () =
+  let truth, claims = cef_claims () in
+  let r = Truth_finder.run ~num_sources:5 claims in
+  let correct = ref 0 in
+  Array.iteri
+    (fun obj t ->
+      match Truth_finder.truth r ~object_id:obj ~attr:0 with
+      | Some (Value.Bool b) when b = t -> incr correct
+      | _ -> ())
+    truth;
+  check Alcotest.bool "most objects recovered" true (!correct >= 32)
+
+let test_truthfinder_trust_ranking () =
+  let _, claims = cef_claims () in
+  let r = Truth_finder.run ~num_sources:5 claims in
+  check Alcotest.bool "honest trusted above liar" true
+    (Truth_finder.source_trust r 0 > Truth_finder.source_trust r 3);
+  check Alcotest.bool "converges within cap" true (Truth_finder.rounds_used r <= 20)
+
+let test_truthfinder_vs_copycef_on_copiers () =
+  (* With a copier amplifying the liar, copy detection should win or
+     at least not lose: count correct decisions per method. *)
+  let truth, claims = cef_claims () in
+  let tf = Truth_finder.run ~num_sources:5 claims in
+  let cef = Copy_cef.run ~num_sources:5 claims in
+  let score f =
+    let c = ref 0 in
+    Array.iteri
+      (fun obj t ->
+        match f ~object_id:obj ~attr:0 with
+        | Some (Value.Bool b) when b = t -> incr c
+        | _ -> ())
+      truth;
+    !c
+  in
+  check Alcotest.bool "copyCEF >= TruthFinder under copying" true
+    (score (Copy_cef.truth cef) >= score (Truth_finder.truth tf))
+
+let test_truthfinder_confidence_bounds () =
+  let _, claims = cef_claims () in
+  let r = Truth_finder.run ~num_sources:5 claims in
+  let c = Truth_finder.confidence r ~object_id:0 ~attr:0 (Value.Bool true) in
+  check Alcotest.bool "confidence in [0,1]" true (c >= 0.0 && c <= 1.0)
+
+let () =
+  Alcotest.run "truth"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "prf known" `Quick test_prf_known;
+          Alcotest.test_case "prf degenerate" `Quick test_prf_degenerate;
+          Alcotest.test_case "match rates" `Quick test_match_rates;
+        ] );
+      ( "voting",
+        [
+          Alcotest.test_case "majority" `Quick test_voting_majority;
+          Alcotest.test_case "all null" `Quick test_voting_all_null;
+          Alcotest.test_case "tie deterministic" `Quick test_voting_tie_deterministic;
+        ] );
+      ( "deduce-order",
+        [
+          Alcotest.test_case "chain evidence" `Quick test_deduce_order_chain;
+          Alcotest.test_case "conservative" `Quick test_deduce_order_conservative;
+          Alcotest.test_case "cfd propagation" `Quick test_deduce_order_cfd_propagation;
+          Alcotest.test_case "currency-rule filter" `Quick
+            test_deduce_order_currency_rules_filter;
+        ] );
+      ( "copycef",
+        [
+          Alcotest.test_case "finds truth" `Quick test_copycef_finds_truth;
+          Alcotest.test_case "accuracy ranking" `Quick
+            test_copycef_source_accuracy_ranking;
+          Alcotest.test_case "copy detection" `Quick test_copycef_copy_detection;
+          Alcotest.test_case "confidence normalized" `Quick
+            test_copycef_confidence_normalized;
+          Alcotest.test_case "latest claim wins" `Quick test_copycef_latest_claim_wins;
+        ] );
+      ( "truthfinder",
+        [
+          Alcotest.test_case "finds truth" `Quick test_truthfinder_finds_truth;
+          Alcotest.test_case "trust ranking" `Quick test_truthfinder_trust_ranking;
+          Alcotest.test_case "copyCEF wins under copying" `Quick
+            test_truthfinder_vs_copycef_on_copiers;
+          Alcotest.test_case "confidence bounds" `Quick
+            test_truthfinder_confidence_bounds;
+        ] );
+    ]
