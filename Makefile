@@ -1,0 +1,23 @@
+.PHONY: all build test check robust lint clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Just the robustness suite: typed errors, budgets, fault injection.
+robust:
+	dune build @robust
+
+lint:
+	sh scripts/lint_failwith.sh
+
+# The gate CI runs: full build, full test suite, error-style lint.
+check:
+	dune build && dune runtest && sh scripts/lint_failwith.sh
+
+clean:
+	dune clean

@@ -21,52 +21,104 @@ let verbose_arg =
 (* Shared loading                                                   *)
 (* ---------------------------------------------------------------- *)
 
-(* Relations are named after their file (stat.csv -> "stat"), so rule
-   files may quantify over them by name ("forall t1, t2 in stat"). *)
-let load_relation path =
-  Relational.Csv.relation_of_rows
-    ~name:(Filename.remove_extension (Filename.basename path))
-    (Relational.Csv.read_file path)
-
+(* Every load step returns a typed Robust.Error.t: unreadable files
+   surface as Io, malformed CSV as Csv_shape with file and row,
+   rule-text problems as Rule_parse with file and line. *)
 let load_spec ~entity_path ~master_path ~rules_path =
-  let entity = load_relation entity_path in
-  let master = Option.map load_relation master_path in
+  let ( let* ) = Result.bind in
+  (* Relations are named after their file (stat.csv -> "stat"), so
+     rule files may quantify over them by name. *)
+  let* entity = Relational.Csv.read_relation entity_path in
+  let* master =
+    match master_path with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (Relational.Csv.read_relation path)
+  in
   let schema = Relational.Relation.schema entity in
   let master_schema = Option.map Relational.Relation.schema master in
-  let text =
-    let ic = open_in_bin rules_path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
+  let* rules =
+    Rules.Parser.parse_file_robust ~schema ?master:master_schema rules_path
   in
-  match Rules.Parser.parse ~schema ?master:master_schema text with
-  | Error e -> Error ("rule parse error: " ^ e)
-  | Ok rules -> (
-      match Rules.Ruleset.make ~schema ?master:master_schema rules with
-      | Error e -> Error ("rule validation error: " ^ e)
-      | Ok ruleset -> (
-          match Core.Specification.make ~entity ?master ruleset with
-          | Error e -> Error ("specification error: " ^ e)
-          | Ok spec -> Ok spec))
+  let* ruleset =
+    Result.map_error Robust.Error.rule_invalid
+      (Rules.Ruleset.make ~schema ?master:master_schema rules)
+  in
+  Result.map_error Robust.Error.spec_invalid
+    (Core.Specification.make ~entity ?master ruleset)
+
+let report_error e =
+  Format.eprintf "relacc: %a@." Robust.Error.pp e;
+  Robust.Error.exit_code e
 
 let entity_arg =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "e"; "entity" ] ~docv:"CSV" ~doc:"Entity instance (CSV with header).")
 
 let master_arg =
   Arg.(
     value
-    & opt (some file) None
+    & opt (some string) None
     & info [ "m"; "master" ] ~docv:"CSV" ~doc:"Master relation (CSV with header).")
 
 let rules_arg =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "r"; "rules" ] ~docv:"FILE" ~doc:"Accuracy rules (relacc syntax).")
+
+(* ---------------------------------------------------------------- *)
+(* Budgets and strictness                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Negative caps are a usage error the parser should catch, not an
+   Invalid_argument escaping from Robust.Budget.limits. *)
+let nonneg (type a) (conv : a Arg.conv) ~(to_float : a -> float) what :
+    a Arg.conv =
+  let parse s =
+    match Arg.conv_parser conv s with
+    | Ok v when to_float v < 0.0 ->
+        Error (`Msg (Printf.sprintf "%s must be non-negative, got %s" what s))
+    | r -> r
+  in
+  Arg.conv (parse, Arg.conv_printer conv)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some (nonneg float ~to_float:Fun.id "SECONDS")) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget. When it trips, the run reports the partial result           deduced so far instead of spinning.")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some (nonneg int ~to_float:float_of_int "N")) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Chase-step budget (per entity). Exhaustion yields a partial result.")
+
+let strict_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "strict" ]
+              ~doc:"Exit with code 8 when a budget trips (partial results are                     still printed)." );
+          ( false,
+            info [ "lenient" ]
+              ~doc:"Degrade gracefully: budget-exhausted partial results exit 0                     (default)." );
+        ])
+
+let limits_of ~timeout ~max_steps =
+  Robust.Budget.limits ?max_steps
+    ?deadline_ms:(Option.map (fun s -> s *. 1000.0) timeout)
+    ()
+
+let budget_exit ~strict meter =
+  if strict then Robust.Error.exit_code (Robust.Budget.to_error meter) else 0
 
 let pp_target schema te =
   Array.iteri
@@ -101,28 +153,41 @@ let demo_cmd =
 (* chase                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let chase verbose entity master rules trace =
+let chase verbose entity master rules trace timeout max_steps strict =
   setup_logs verbose;
   match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
-  | Error e ->
-      Format.eprintf "error: %s@." e;
-      1
+  | Error e -> report_error e
   | Ok spec -> (
       let trace_fn =
         if trace then
           Some (fun step -> Format.printf "  %a@." Rules.Ground.pp_step step)
         else None
       in
-      match Core.Is_cr.run ?trace:trace_fn spec with
-      | Core.Is_cr.Church_rosser inst ->
-          Format.printf "Church-Rosser: yes@.";
-          Format.printf "deduced target (%s):@."
-            (if Core.Instance.te_complete inst then "complete" else "incomplete");
-          pp_target (Core.Specification.schema spec) (Core.Instance.te inst);
-          0
-      | Core.Is_cr.Not_church_rosser { rule; reason } ->
-          Format.printf "Church-Rosser: NO — rule %s: %s@." rule reason;
-          2)
+      let finish = function
+        | Core.Is_cr.Church_rosser inst ->
+            Format.printf "Church-Rosser: yes@.";
+            Format.printf "deduced target (%s):@."
+              (if Core.Instance.te_complete inst then "complete" else "incomplete");
+            pp_target (Core.Specification.schema spec) (Core.Instance.te inst);
+            0
+        | Core.Is_cr.Not_church_rosser { rule; reason } ->
+            Format.printf "Church-Rosser: NO — rule %s: %s@." rule reason;
+            2
+      in
+      let limits = limits_of ~timeout ~max_steps in
+      if Robust.Budget.is_unlimited limits then
+        finish (Core.Is_cr.run ?trace:trace_fn spec)
+      else
+        let meter = Robust.Budget.start limits in
+        let compiled = Core.Is_cr.compile spec in
+        match Core.Is_cr.run_budgeted ?trace:trace_fn ~budget:meter compiled with
+        | Core.Is_cr.Verdict v -> finish v
+        | Core.Is_cr.Exhausted { partial; fired; trip } ->
+            Format.printf "budget exhausted (%s) after %d steps; partial target:@."
+              (Robust.Error.trip_to_string trip)
+              fired;
+            pp_target (Core.Specification.schema spec) (Core.Instance.te partial);
+            budget_exit ~strict meter)
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the chase steps applied.")
@@ -131,7 +196,9 @@ let chase_cmd =
   Cmd.v
     (Cmd.info "chase"
        ~doc:"Check Church-Rosser and deduce the target tuple of an entity instance.")
-    Term.(const chase $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ trace_arg)
+    Term.(
+      const chase $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ trace_arg
+      $ timeout_arg $ max_steps_arg $ strict_arg)
 
 (* ---------------------------------------------------------------- *)
 (* topk                                                             *)
@@ -140,12 +207,10 @@ let chase_cmd =
 let algorithm_conv =
   Arg.enum [ ("topkct", `Topk_ct); ("topkcth", `Topk_ct_h); ("rankjoin", `Rank_join_ct) ]
 
-let topk verbose entity master rules k algorithm =
+let topk verbose entity master rules k algorithm timeout max_steps strict =
   setup_logs verbose;
   match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
-  | Error e ->
-      Format.eprintf "error: %s@." e;
-      1
+  | Error e -> report_error e
   | Ok spec -> (
       let compiled = Core.Is_cr.compile spec in
       match Core.Is_cr.run_compiled compiled with
@@ -158,13 +223,27 @@ let topk verbose entity master rules k algorithm =
           let pref =
             Topk.Preference.of_occurrences (Core.Specification.entity spec)
           in
-          let targets =
+          let limits = limits_of ~timeout ~max_steps in
+          let meter = Robust.Budget.start limits in
+          let budget =
+            if Robust.Budget.is_unlimited limits then None else Some meter
+          in
+          let targets, exhausted =
             match algorithm with
-            | `Topk_ct -> (Topk.Topk_ct.run ~k ~pref compiled te).Topk.Topk_ct.targets
+            | `Topk_ct ->
+                let r = Topk.Topk_ct.run ?max_pops:max_steps ~k ~pref compiled te in
+                (r.Topk.Topk_ct.targets, None)
             | `Topk_ct_h ->
-                (Topk.Topk_ct_h.run ~k ~pref compiled te).Topk.Topk_ct_h.targets
-            | `Rank_join_ct ->
-                (Topk.Rank_join_ct.run ~k ~pref compiled te).Topk.Rank_join_ct.targets
+                let r =
+                  Topk.Topk_ct_h.run ?max_pops:max_steps ~k ~pref compiled te
+                in
+                (r.Topk.Topk_ct_h.targets, None)
+            | `Rank_join_ct -> (
+                let r = Topk.Rank_join_ct.run ?budget ~k ~pref compiled te in
+                ( r.Topk.Rank_join_ct.targets,
+                  match r.Topk.Rank_join_ct.status with
+                  | Topk.Rank_join_ct.Complete -> None
+                  | Topk.Rank_join_ct.Search_exhausted trip -> Some trip ))
           in
           let schema = Core.Specification.schema spec in
           List.iteri
@@ -174,7 +253,13 @@ let topk verbose entity master rules k algorithm =
               pp_target schema t)
             targets;
           if targets = [] then Format.printf "no candidate targets@.";
-          0)
+          (match exhausted with
+          | Some trip ->
+              Format.printf "budget exhausted (%s): best-%d-so-far shown@."
+                (Robust.Error.trip_to_string trip)
+                (List.length targets);
+              budget_exit ~strict meter
+          | None -> 0))
 
 let k_arg =
   Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Number of candidates.")
@@ -191,7 +276,7 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Compute top-k candidate target tuples.")
     Term.(
       const topk $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ k_arg
-      $ algorithm_arg)
+      $ algorithm_arg $ timeout_arg $ max_steps_arg $ strict_arg)
 
 (* ---------------------------------------------------------------- *)
 (* generate                                                         *)
@@ -320,9 +405,7 @@ let experiment_cmd =
 let rules_cmd_impl verbose entity master rules =
   setup_logs verbose;
   match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
-  | Error e ->
-      Format.eprintf "error: %s@." e;
-      1
+  | Error e -> report_error e
   | Ok spec ->
       let ruleset = Core.Specification.ruleset spec in
       Format.printf "%d rules (%d form (1), %d form (2)), all valid:@."
@@ -348,9 +431,7 @@ let rules_cmd =
 let explain verbose entity master rules attr =
   setup_logs verbose;
   match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
-  | Error e ->
-      Format.eprintf "error: %s@." e;
-      1
+  | Error e -> report_error e
   | Ok spec -> (
       let compiled = Core.Is_cr.compile spec in
       let schema = Core.Specification.schema spec in
@@ -388,30 +469,31 @@ let explain_cmd =
 (* clean                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let clean_impl verbose entity master rules out key_attrs threshold =
+let clean_impl verbose entity master rules out key_attrs threshold timeout
+    max_steps retries strict =
   setup_logs verbose;
   match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
-  | Error e ->
-      Format.eprintf "error: %s@." e;
-      1
+  | Error e -> report_error e
   | Ok spec -> (
       let dirty = Core.Specification.entity spec in
       let schema = Core.Specification.schema spec in
-      match
-        List.map
+      let keys, unknown =
+        List.partition_map
           (fun a ->
             match Relational.Schema.index_opt schema a with
-            | Some i -> i
-            | None -> failwith (Printf.sprintf "unknown key attribute %S" a))
+            | Some i -> Either.Left i
+            | None -> Either.Right a)
           key_attrs
-      with
-      | exception Failure e ->
-          Format.eprintf "error: %s@." e;
-          1
-      | keys when keys = [] ->
+      in
+      match (unknown, keys) with
+      | a :: _, _ ->
+          report_error
+            (Robust.Error.spec_invalid
+               (Printf.sprintf "unknown key attribute %S" a))
+      | [], [] ->
           Format.eprintf "error: pass at least one --key attribute for ER@.";
           1
-      | keys ->
+      | [], keys ->
           let er =
             {
               (Er.Resolver.default_config ~key_attrs:keys
@@ -424,6 +506,8 @@ let clean_impl verbose entity master rules out key_attrs threshold =
           let report =
             Framework.Cleaner.clean ~er
               ?master:(Core.Specification.master spec)
+              ~budget:(limits_of ~timeout ~max_steps)
+              ~retries
               (Core.Specification.ruleset spec)
               dirty
           in
@@ -434,7 +518,16 @@ let clean_impl verbose entity master rules out key_attrs threshold =
                 (Relational.Csv.relation_to_rows report.cleaned);
               Format.printf "wrote %s@." path
           | None -> ());
-          0)
+          if strict && report.Framework.Cleaner.quarantined > 0 then begin
+            Format.eprintf "relacc: %d entities quarantined (strict mode)@."
+              report.Framework.Cleaner.quarantined;
+            (* Report the worst error class among the quarantined
+               entities so scripted callers can branch on it. *)
+            match report.Framework.Cleaner.errors with
+            | (_, e) :: _ -> Robust.Error.exit_code e
+            | [] -> 1
+          end
+          else 0)
 
 let clean_cmd =
   Cmd.v
@@ -452,7 +545,13 @@ let clean_cmd =
           & info [ "key" ] ~docv:"ATTR" ~doc:"ER blocking/matching attribute (repeatable).")
       $ Arg.(
           value & opt float 0.72
-          & info [ "threshold" ] ~doc:"ER similarity threshold."))
+          & info [ "threshold" ] ~doc:"ER similarity threshold.")
+      $ timeout_arg $ max_steps_arg
+      $ Arg.(
+          value & opt int 1
+          & info [ "retries" ] ~docv:"N"
+              ~doc:"Budget-relax retries per exhausted entity before quarantine.")
+      $ strict_arg)
 
 (* ---------------------------------------------------------------- *)
 

@@ -8,6 +8,7 @@ type policy =
 type result =
   | Terminal of Instance.t * int
   | Stuck of { rule : string; reason : string }
+  | Exhausted of { partial : Instance.t; steps : int; trip : Robust.Error.trip }
 
 (* LHS satisfaction against the current instance, from scratch. *)
 let pred_holds inst = function
@@ -28,7 +29,7 @@ let changes inst (s : Ground.step) =
   | Instance.Unchanged -> false
   | Instance.Changed _ | Instance.Invalid _ -> true
 
-let run_trace ?(policy = First_applicable) spec =
+let run_trace ?(policy = First_applicable) ?budget ?prepare spec =
   let inst = Instance.init spec in
   let orders =
     Array.init
@@ -42,30 +43,44 @@ let run_trace ?(policy = First_applicable) spec =
       ~master:(Specification.master spec)
       ~orders
   in
+  let steps = match prepare with Some f -> f steps | None -> steps in
+  let charge =
+    match budget with
+    | None -> fun () -> None
+    | Some b ->
+        (match Robust.Budget.charge_instantiations b (List.length steps) with
+        | Some _ -> ()
+        | None -> ());
+        fun () -> Robust.Budget.step b
+  in
   let steps = Array.of_list steps in
   let rec loop applied_rev count =
-    let candidates =
-      Array.to_list steps
-      |> List.filter (fun s -> applicable inst s && changes inst s)
-    in
-    match candidates with
-    | [] -> (Terminal (inst, count), List.rev applied_rev)
-    | _ -> (
-        let chosen =
-          match policy with
-          | First_applicable -> List.hd candidates
-          | Random g ->
-              List.nth candidates (Util.Prng.int g (List.length candidates))
+    match charge () with
+    | Some trip ->
+        (Exhausted { partial = inst; steps = count; trip }, List.rev applied_rev)
+    | None -> (
+        let candidates =
+          Array.to_list steps
+          |> List.filter (fun s -> applicable inst s && changes inst s)
         in
-        match Instance.apply inst chosen.action with
-        | Instance.Changed _ -> loop (chosen :: applied_rev) (count + 1)
-        | Instance.Unchanged ->
-            (* contradicts the [changes] probe *)
-            assert false
-        | Instance.Invalid reason ->
-            (Stuck { rule = chosen.rule_name; reason }, List.rev applied_rev))
+        match candidates with
+        | [] -> (Terminal (inst, count), List.rev applied_rev)
+        | _ -> (
+            let chosen =
+              match policy with
+              | First_applicable -> List.hd candidates
+              | Random g ->
+                  List.nth candidates (Util.Prng.int g (List.length candidates))
+            in
+            match Instance.apply inst chosen.action with
+            | Instance.Changed _ -> loop (chosen :: applied_rev) (count + 1)
+            | Instance.Unchanged ->
+                (* contradicts the [changes] probe *)
+                assert false
+            | Instance.Invalid reason ->
+                (Stuck { rule = chosen.rule_name; reason }, List.rev applied_rev)))
   in
   loop [] 0
 
-let run ?policy spec = fst (run_trace ?policy spec)
+let run ?policy ?budget ?prepare spec = fst (run_trace ?policy ?budget ?prepare spec)
 let chase_sequence ?policy spec = snd (run_trace ?policy spec)

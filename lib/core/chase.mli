@@ -25,8 +25,22 @@ type result =
       (** terminal instance and the number of chase steps applied *)
   | Stuck of { rule : string; reason : string }
       (** an applicable step could not be validly enforced *)
+  | Exhausted of { partial : Instance.t; steps : int; trip : Robust.Error.trip }
+      (** the budget tripped: the orders and target values deduced
+          so far (a sound under-approximation — the chase is
+          monotone), the steps applied, and which limit tripped *)
 
-val run : ?policy:policy -> Specification.t -> result
+val run :
+  ?policy:policy ->
+  ?budget:Robust.Budget.t ->
+  ?prepare:(Rules.Ground.step list -> Rules.Ground.step list) ->
+  Specification.t ->
+  result
+(** [budget] is charged one unit per applied chase step plus |Γ|
+    instantiations up front; when it trips the run stops with
+    {!Exhausted} instead of chasing on. [prepare] post-processes the
+    ground-step list before the chase — the seam
+    {!Robust.Faultinject.drop_steps} plugs into. *)
 
 val chase_sequence : ?policy:policy -> Specification.t -> Rules.Ground.step list
 (** The steps applied by one terminal chasing sequence (empty when

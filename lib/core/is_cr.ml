@@ -147,8 +147,10 @@ let handle_event st event =
             l)
 
 (* Drain the worklist to a terminal or invalid state; reusable by
-   both one-shot runs and incremental sessions. *)
-let drain ?trace c st inst ~fired ~changed =
+   both one-shot runs and incremental sessions. With a budget, each
+   fired step is charged and exhaustion stops the drain — sound as a
+   partial result because the chase state is monotone. *)
+let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
   let stat () =
     {
       ground_steps = Array.length c.steps;
@@ -156,26 +158,40 @@ let drain ?trace c st inst ~fired ~changed =
       changed_steps = !changed;
     }
   in
+  let charge =
+    match budget with
+    | None -> fun () -> None
+    | Some b -> fun () -> Robust.Budget.step b
+  in
   let rec go () =
     match Queue.take_opt st.queue with
-    | None -> (Church_rosser inst, stat ())
+    | None -> (`Done (Church_rosser inst), stat ())
     | Some sid ->
         if Bytes.get st.dead sid = '\001' then go ()
         else begin
-          incr fired;
-          match Instance.apply inst c.steps.(sid).action with
-          | Instance.Unchanged -> go ()
-          | Instance.Changed events ->
-              incr changed;
-              (match trace with Some f -> f c.steps.(sid) | None -> ());
-              List.iter (handle_event st) events;
-              go ()
-          | Instance.Invalid reason ->
-              ( Not_church_rosser { rule = c.steps.(sid).rule_name; reason },
-                stat () )
+          match charge () with
+          | Some trip -> (`Out trip, stat ())
+          | None -> (
+              incr fired;
+              match Instance.apply inst c.steps.(sid).action with
+              | Instance.Unchanged -> go ()
+              | Instance.Changed events ->
+                  incr changed;
+                  (match trace with Some f -> f c.steps.(sid) | None -> ());
+                  List.iter (handle_event st) events;
+                  go ()
+              | Instance.Invalid reason ->
+                  ( `Done
+                      (Not_church_rosser { rule = c.steps.(sid).rule_name; reason }),
+                    stat () ))
         end
   in
   go ()
+
+let drain ?trace c st inst ~fired ~changed =
+  match drain_budgeted ?trace c st inst ~fired ~changed with
+  | `Done verdict, stat -> (verdict, stat)
+  | `Out _, _ -> assert false (* no budget supplied *)
 
 let prepare ?template c =
   let spec =
@@ -202,6 +218,20 @@ let run ?trace spec = fst (run_internal ?trace (compile spec))
 let run_stat spec = run_internal (compile spec)
 
 let run_compiled ?trace ?template c = fst (run_internal ?trace ?template c)
+
+type budgeted =
+  | Verdict of verdict
+  | Exhausted of { partial : Instance.t; fired : int; trip : Robust.Error.trip }
+
+let run_budgeted ?trace ?template ~budget c =
+  let inst, st = prepare ?template c in
+  let fired = ref 0 and changed = ref 0 in
+  match Robust.Budget.charge_instantiations budget (Array.length c.steps) with
+  | Some trip -> Exhausted { partial = inst; fired = 0; trip }
+  | None -> (
+      match drain_budgeted ?trace ~budget c st inst ~fired ~changed with
+      | `Done verdict, _ -> Verdict verdict
+      | `Out trip, _ -> Exhausted { partial = inst; fired = !fired; trip })
 
 let check c tuple =
   if Array.exists Relational.Value.is_null tuple then

@@ -49,6 +49,24 @@ val run_compiled :
 (** Run the chase from scratch with the given initial template
     (default: the specification's own). *)
 
+type budgeted =
+  | Verdict of verdict
+  | Exhausted of { partial : Instance.t; fired : int; trip : Robust.Error.trip }
+      (** the budget tripped mid-drain: [partial] holds every order
+          edge and target value deduced so far (sound — the chase
+          only ever grows them), [fired] the steps enforced *)
+
+val run_budgeted :
+  ?trace:(Rules.Ground.step -> unit) ->
+  ?template:Relational.Value.t array ->
+  budget:Robust.Budget.t ->
+  compiled ->
+  budgeted
+(** {!run_compiled} under a {!Robust.Budget.t}: |Γ| is charged as
+    instantiations up front, then one unit per fired step. Instead
+    of spinning past the limits, the run returns the partial
+    instance with the tripped dimension. *)
+
 val check : compiled -> Relational.Value.t array -> bool
 (** [check c t] — is the complete tuple [t] a candidate target
     (§3)? Runs the chase with [t] as initial template; since [t] is

@@ -34,7 +34,8 @@ let measure_syn ~repeats ~ie ~im ~sigma ~k ~seed =
     best_of repeats (fun () ->
         match Core.Is_cr.run_compiled compiled with
         | Core.Is_cr.Church_rosser inst -> te := Some (Core.Instance.te inst)
-        | Core.Is_cr.Not_church_rosser _ -> failwith "Syn spec must be Church-Rosser")
+        | Core.Is_cr.Not_church_rosser _ ->
+            invalid_arg "Exp4: Syn spec must be Church-Rosser")
   in
   let te = Option.get !te in
   let times =

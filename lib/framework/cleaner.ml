@@ -7,19 +7,24 @@ type outcome =
   | Completed_by_topk
   | Still_incomplete
   | Not_church_rosser of string
+  | Quarantined of Robust.Error.t
 
 type report = {
   cleaned : Relation.t;
   outcomes : (int * outcome) list;
+  errors : (int * Robust.Error.t) list;
   entities : int;
   complete : int;
   completed_by_topk : int;
   still_incomplete : int;
   rejected : int;
+  quarantined : int;
+  retries_used : int;
   cell_changes : int;
 }
 
-let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000) ruleset dirty =
+let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
+    ?(budget = Robust.Budget.unlimited) ?(retries = 1) ruleset dirty =
   let clusters =
     match (er, clusters) with
     | Some config, None -> Er.Resolver.cluster config dirty
@@ -35,10 +40,13 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000) ruleset dirty =
   in
   let schema = Relation.schema dirty in
   let outcomes = ref [] in
+  let errors = ref [] in
   let complete = ref 0
   and by_topk = ref 0
   and incomplete = ref 0
   and rejected = ref 0
+  and quarantined = ref 0
+  and retries_used = ref 0
   and cell_changes = ref 0 in
   let majority = Truth.Voting.resolve in
   let count_changes instance target =
@@ -49,60 +57,120 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000) ruleset dirty =
           incr cell_changes)
       target
   in
+  (* Chase one entity under the budget, relaxing and retrying on
+     transient exhaustion (up to [retries] times, ×4 each time). *)
+  let rec chase_budgeted compiled lim tries =
+    if Robust.Budget.is_unlimited lim then
+      `Verdict (Core.Is_cr.run_compiled compiled)
+    else
+      let meter = Robust.Budget.start lim in
+      match Core.Is_cr.run_budgeted ~budget:meter compiled with
+      | Core.Is_cr.Verdict v -> `Verdict v
+      | Core.Is_cr.Exhausted { trip; fired; _ } ->
+          if tries > 0 then begin
+            incr retries_used;
+            chase_budgeted compiled (Robust.Budget.relax lim) (tries - 1)
+          end
+          else `Exhausted (trip, fired)
+  in
   let tuples =
     List.mapi
       (fun idx members ->
-        let instance =
-          Relation.make schema (List.map (Relation.tuple dirty) members)
+        (* Fault isolation: whatever goes wrong inside this entity —
+           a cluster referencing rows that do not exist, an invalid
+           spec, a budget trip, an unexpected exception — is
+           quarantined into the report and the entity degrades to
+           the majority representative of whatever members are
+           real; the batch carries on. *)
+        let quarantine err =
+          incr quarantined;
+          outcomes := (idx, Quarantined err) :: !outcomes;
+          errors := (idx, err) :: !errors;
+          let valid =
+            List.filter_map
+              (fun i ->
+                if i >= 0 && i < Relation.size dirty then
+                  Some (Relation.tuple dirty i)
+                else None)
+              members
+          in
+          match valid with
+          | [] ->
+              Tuple.make
+                (Array.make (Relational.Schema.arity schema) Value.Null)
+          | _ -> Tuple.make (majority (Relation.make schema valid))
         in
-        let spec = Core.Specification.make_exn ~entity:instance ?master ruleset in
-        let compiled = Core.Is_cr.compile spec in
-        match Core.Is_cr.run_compiled compiled with
-        | Core.Is_cr.Not_church_rosser { rule; _ } ->
-            incr rejected;
-            outcomes := (idx, Not_church_rosser rule) :: !outcomes;
-            (* leave the entity as its majority representative *)
-            Tuple.make (majority instance)
-        | Core.Is_cr.Church_rosser inst ->
-            let te = Core.Instance.te inst in
-            if Core.Instance.te_complete inst then begin
-              incr complete;
-              outcomes := (idx, Complete) :: !outcomes;
-              count_changes instance te;
-              Tuple.make te
-            end
-            else begin
-              let pref = pref_of instance in
-              let result =
-                Topk.Topk_ct.run ~max_pops:k_budget ~k:1 ~pref compiled te
-              in
-              match result.Topk.Topk_ct.targets with
-              | best :: _ ->
-                  incr by_topk;
-                  outcomes := (idx, Completed_by_topk) :: !outcomes;
-                  count_changes instance best;
-                  Tuple.make best
-              | [] ->
-                  incr incomplete;
-                  outcomes := (idx, Still_incomplete) :: !outcomes;
-                  count_changes instance te;
-                  Tuple.make te
-            end)
+        match
+          let instance =
+            Relation.make schema (List.map (Relation.tuple dirty) members)
+          in
+          match Core.Specification.make ~entity:instance ?master ruleset with
+          | Error e -> `Quarantine (Robust.Error.spec_invalid e)
+          | Ok spec -> (
+              let compiled = Core.Is_cr.compile spec in
+              match chase_budgeted compiled budget retries with
+              | `Exhausted (trip, fired) ->
+                  `Quarantine
+                    (Robust.Error.budget_exhausted ~trip ~spent:fired
+                       (Printf.sprintf "entity %d: chase did not finish within %d retries"
+                          idx (max retries 0)))
+              | `Verdict (Core.Is_cr.Not_church_rosser { rule; _ }) ->
+                  incr rejected;
+                  outcomes := (idx, Not_church_rosser rule) :: !outcomes;
+                  (* leave the entity as its majority representative *)
+                  `Tuple (Tuple.make (majority instance))
+              | `Verdict (Core.Is_cr.Church_rosser inst) ->
+                  let te = Core.Instance.te inst in
+                  if Core.Instance.te_complete inst then begin
+                    incr complete;
+                    outcomes := (idx, Complete) :: !outcomes;
+                    count_changes instance te;
+                    `Tuple (Tuple.make te)
+                  end
+                  else begin
+                    let pref = pref_of instance in
+                    let result =
+                      Topk.Topk_ct.run ~max_pops:k_budget ~k:1 ~pref compiled te
+                    in
+                    match result.Topk.Topk_ct.targets with
+                    | best :: _ ->
+                        incr by_topk;
+                        outcomes := (idx, Completed_by_topk) :: !outcomes;
+                        count_changes instance best;
+                        `Tuple (Tuple.make best)
+                    | [] ->
+                        incr incomplete;
+                        outcomes := (idx, Still_incomplete) :: !outcomes;
+                        count_changes instance te;
+                        `Tuple (Tuple.make te)
+                  end)
+        with
+        | `Tuple t -> t
+        | `Quarantine err -> quarantine err
+        | exception e -> quarantine (Robust.Error.of_exn e))
       clusters
   in
   {
     cleaned = Relation.make schema tuples;
     outcomes = List.rev !outcomes;
+    errors = List.rev !errors;
     entities = List.length clusters;
     complete = !complete;
     completed_by_topk = !by_topk;
     still_incomplete = !incomplete;
     rejected = !rejected;
+    quarantined = !quarantined;
+    retries_used = !retries_used;
     cell_changes = !cell_changes;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>%d entities: %d complete by chase, %d completed by top-1, %d still incomplete, %d rejected (non-Church-Rosser); %d cells corrected vs majority@]"
+    "@[<v>%d entities: %d complete by chase, %d completed by top-1, %d still incomplete, %d rejected (non-Church-Rosser), %d quarantined (%d budget retries); %d cells corrected vs majority"
     r.entities r.complete r.completed_by_topk r.still_incomplete r.rejected
-    r.cell_changes
+    r.quarantined r.retries_used r.cell_changes;
+  List.iter
+    (fun (idx, err) ->
+      Format.fprintf ppf "@,  entity %d quarantined: %a" idx Robust.Error.pp err)
+    r.errors;
+  Format.fprintf ppf "@]"

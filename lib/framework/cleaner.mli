@@ -13,25 +13,42 @@
       (a human must revise Σ for them — see {!Revision});
     + the output relation has one tuple per entity: the target.
 
-    The report quantifies the clean: entity counts by outcome and
-    how many cells changed w.r.t. each entity's most-occurring
-    original values. *)
+    {b Fault isolation}: each entity is processed inside its own
+    fault boundary. An invalid specification, a chase that exhausts
+    its {!Robust.Budget.limits} even after bounded
+    retry-with-relaxed-budget, or any unexpected exception
+    quarantines {e that} entity — it degrades to its majority
+    representative and the typed error lands in the report — while
+    the rest of the batch completes. A poisonous entity can no
+    longer take the whole clean down.
+
+    The report quantifies the clean: entity counts by outcome, the
+    quarantine log, and how many cells changed w.r.t. each entity's
+    most-occurring original values. *)
 
 type outcome =
   | Complete  (** chase alone deduced a complete target *)
   | Completed_by_topk  (** null attributes filled by the top-1 candidate *)
   | Still_incomplete  (** no candidate found (budget or empty domain) *)
   | Not_church_rosser of string  (** offending rule name *)
+  | Quarantined of Robust.Error.t
+      (** entity isolated by the fault boundary; left as its
+          majority representative *)
 
 type report = {
   cleaned : Relational.Relation.t;
       (** one tuple per entity, in cluster order *)
   outcomes : (int * outcome) list;  (** per entity (cluster index) *)
+  errors : (int * Robust.Error.t) list;
+      (** the quarantine log: one entry per quarantined entity *)
   entities : int;
   complete : int;
   completed_by_topk : int;
   still_incomplete : int;
   rejected : int;
+  quarantined : int;
+  retries_used : int;
+      (** budget-relax retries spent across the whole batch *)
   cell_changes : int;
       (** target cells that differ from the entity's majority value *)
 }
@@ -42,6 +59,8 @@ val clean :
   ?master:Relational.Relation.t ->
   ?pref_of:(Relational.Relation.t -> Topk.Preference.t) ->
   ?k_budget:int ->
+  ?budget:Robust.Budget.limits ->
+  ?retries:int ->
   Rules.Ruleset.t ->
   Relational.Relation.t ->
   report
@@ -49,6 +68,9 @@ val clean :
     the grouping (raises [Invalid_argument] if both or neither).
     [pref_of] builds the per-entity preference (default
     {!Topk.Preference.of_occurrences}); [k_budget] bounds the top-1
-    search (default 2000 frontier pops). *)
+    search (default 2000 frontier pops). [budget] (default
+    unlimited) caps each entity's chase; on exhaustion the entity is
+    re-chased under a ×4-relaxed budget up to [retries] times
+    (default 1) before being quarantined. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -28,7 +28,9 @@ let attribute t i =
 let index t a =
   match Hashtbl.find_opt t.positions a with
   | Some i -> i
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Schema.index: unknown attribute %S in schema %s" a t.name)
 
 let index_opt t a = Hashtbl.find_opt t.positions a
 let mem t a = Hashtbl.mem t.positions a

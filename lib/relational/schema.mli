@@ -19,7 +19,8 @@ val attribute : t -> int -> string
 (** Name at a position. Raises [Invalid_argument] if out of range. *)
 
 val index : t -> string -> int
-(** Position of a named attribute. Raises [Not_found]. *)
+(** Position of a named attribute. Raises [Invalid_argument] naming
+    the attribute and schema; use {!index_opt} to test. *)
 
 val index_opt : t -> string -> int option
 val mem : t -> string -> bool

@@ -1,0 +1,92 @@
+type limits = {
+  max_steps : int option;
+  max_instantiations : int option;
+  deadline_ms : float option;
+}
+
+let unlimited = { max_steps = None; max_instantiations = None; deadline_ms = None }
+
+let limits ?max_steps ?max_instantiations ?deadline_ms () =
+  (match max_steps with
+  | Some n when n < 0 -> invalid_arg "Budget.limits: negative max_steps"
+  | _ -> ());
+  (match max_instantiations with
+  | Some n when n < 0 -> invalid_arg "Budget.limits: negative max_instantiations"
+  | _ -> ());
+  (match deadline_ms with
+  | Some d when d < 0.0 -> invalid_arg "Budget.limits: negative deadline_ms"
+  | _ -> ());
+  { max_steps; max_instantiations; deadline_ms }
+
+let is_unlimited l =
+  l.max_steps = None && l.max_instantiations = None && l.deadline_ms = None
+
+let relax ?(factor = 4) l =
+  let scale_i = Option.map (fun n ->
+      if n > max_int / factor then max_int else n * factor)
+  in
+  {
+    max_steps = scale_i l.max_steps;
+    max_instantiations = scale_i l.max_instantiations;
+    deadline_ms = Option.map (fun d -> d *. float_of_int factor) l.deadline_ms;
+  }
+
+type t = {
+  lim : limits;
+  started_ms : float;
+  mutable steps : int;
+  mutable instantiations : int;
+  mutable trip : Error.trip option;
+}
+
+let start lim =
+  {
+    lim;
+    started_ms = Util.Timing.now_ms ();
+    steps = 0;
+    instantiations = 0;
+    trip = None;
+  }
+
+let steps_used t = t.steps
+let tripped t = t.trip
+let limits_of t = t.lim
+let elapsed_ms t = Util.Timing.now_ms () -. t.started_ms
+
+(* The deadline is only consulted when set, so unbudgeted runs never
+   touch the clock. *)
+let check t =
+  match t.trip with
+  | Some _ as trip -> trip
+  | None -> (
+      match t.lim.deadline_ms with
+      | Some d when elapsed_ms t > d ->
+          t.trip <- Some Error.Deadline;
+          t.trip
+      | _ -> None)
+
+let step t =
+  match t.trip with
+  | Some _ as trip -> trip
+  | None -> (
+      t.steps <- t.steps + 1;
+      match t.lim.max_steps with
+      | Some cap when t.steps > cap ->
+          t.trip <- Some Error.Steps;
+          t.trip
+      | _ -> check t)
+
+let charge_instantiations t n =
+  match t.trip with
+  | Some _ as trip -> trip
+  | None -> (
+      t.instantiations <- t.instantiations + n;
+      match t.lim.max_instantiations with
+      | Some cap when t.instantiations > cap ->
+          t.trip <- Some Error.Instantiations;
+          t.trip
+      | _ -> check t)
+
+let to_error ?(detail = "partial result returned") t =
+  let trip = match t.trip with Some tr -> tr | None -> Error.Steps in
+  Error.budget_exhausted ~trip ~spent:t.steps detail

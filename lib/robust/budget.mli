@@ -1,0 +1,53 @@
+(** Execution budgets: chase-step caps, ground-instantiation caps
+    and wall-clock deadlines.
+
+    A {!limits} value is a declarative description (what the CLI
+    flags produce); {!start} arms it into a mutable meter that the
+    engines charge as they work. Once any dimension trips, the meter
+    stays tripped — engines observe this and return a tagged
+    {e partial} result instead of spinning. All charge operations
+    are O(1); a meter with no deadline never reads the clock. *)
+
+type limits = {
+  max_steps : int option;  (** chase steps / frontier pulls *)
+  max_instantiations : int option;  (** ground steps |Γ| *)
+  deadline_ms : float option;  (** wall-clock, relative to {!start} *)
+}
+
+val unlimited : limits
+
+val limits :
+  ?max_steps:int ->
+  ?max_instantiations:int ->
+  ?deadline_ms:float ->
+  unit ->
+  limits
+(** Raises [Invalid_argument] on a negative cap. *)
+
+val is_unlimited : limits -> bool
+
+val relax : ?factor:int -> limits -> limits
+(** Multiply every set cap by [factor] (default 4) — the bounded
+    retry policy for transient exhaustion. Saturates at [max_int]. *)
+
+type t
+(** An armed meter. *)
+
+val start : limits -> t
+
+val step : t -> Error.trip option
+(** Charge one unit of work; [Some trip] once exhausted (sticky). *)
+
+val charge_instantiations : t -> int -> Error.trip option
+(** Charge [n] ground-step instantiations at once. *)
+
+val check : t -> Error.trip option
+(** Deadline / sticky-trip check without charging work. *)
+
+val tripped : t -> Error.trip option
+val steps_used : t -> int
+val limits_of : t -> limits
+val elapsed_ms : t -> float
+
+val to_error : ?detail:string -> t -> Error.t
+(** The {!Error.Budget_exhausted} report for a tripped meter. *)

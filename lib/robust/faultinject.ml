@@ -1,0 +1,75 @@
+module Prng = Util.Prng
+
+type config = {
+  cell_rate : float;
+  ragged_rate : float;
+  unterminated_rate : float;
+  rule_token_rate : float;
+  step_drop_rate : float;
+}
+
+let none =
+  {
+    cell_rate = 0.0;
+    ragged_rate = 0.0;
+    unterminated_rate = 0.0;
+    rule_token_rate = 0.0;
+    step_drop_rate = 0.0;
+  }
+
+let scramble g s =
+  if String.length s = 0 then "\x01?"
+  else begin
+    let b = Bytes.of_string s in
+    let i = Prng.int g (Bytes.length b) in
+    (* Map onto a printable non-digit so numeric cells stop parsing
+       as the value the rules expect. *)
+    Bytes.set b i (Char.chr (Char.code 'a' + Prng.int g 26));
+    Bytes.cat b (Bytes.of_string "~")
+    |> Bytes.to_string
+  end
+
+let corrupt_cell g s = scramble g s
+
+let corrupt_row g cfg row =
+  if Prng.bernoulli g cfg.ragged_rate && List.length row > 1 then
+    (* Drop the last field: a ragged row the loader must localise. *)
+    List.filteri (fun i _ -> i < List.length row - 1) row
+  else
+    List.map
+      (fun cell -> if Prng.bernoulli g cfg.cell_rate then scramble g cell else cell)
+      row
+
+let corrupt_rows g cfg rows =
+  match rows with
+  | [] -> []
+  | header :: data ->
+      (* The header survives: shape faults belong to data rows. *)
+      header :: List.map (corrupt_row g cfg) data
+
+let corrupt_csv_text g cfg text =
+  if Prng.bernoulli g cfg.unterminated_rate && String.length text > 0 then
+    (* Open a quote that never closes. *)
+    text ^ "\"oops"
+  else text
+
+let corrupt_rule_text g cfg text =
+  if not (Prng.bernoulli g cfg.rule_token_rate) then text
+  else begin
+    let mutations =
+      [|
+        (fun t -> t ^ "\nrule");  (* truncated trailing rule *)
+        (fun t -> t ^ "\nrule bad: forall t1, t2: t1.nope = t2.nope -> t1 <[nope] t2");
+        (fun t ->
+          (* Break an arrow somewhere in the middle. *)
+          match String.index_opt t '>' with
+          | Some i -> String.sub t 0 i ^ "?" ^ String.sub t (i + 1) (String.length t - i - 1)
+          | None -> t ^ " ???");
+      |]
+    in
+    (Prng.choose g mutations) text
+  end
+
+let keep_step g cfg = not (Prng.bernoulli g cfg.step_drop_rate)
+
+let drop_steps g cfg steps = List.filter (fun _ -> keep_step g cfg) steps

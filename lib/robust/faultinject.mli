@@ -1,0 +1,37 @@
+(** Deterministic fault injection, driven by {!Util.Prng}.
+
+    The harness corrupts the three inputs the engine consumes — CSV
+    rows, rule text, and ground chase steps — at configurable rates,
+    so tests can assert the system {e degrades} (typed errors,
+    quarantined entities, partial results) instead of dying. Same
+    seed, same input ⇒ same faults, so every degradation scenario is
+    replayable. All rates default to 0 in {!none}. *)
+
+type config = {
+  cell_rate : float;  (** per data cell: scramble the text *)
+  ragged_rate : float;  (** per data row: drop the last field *)
+  unterminated_rate : float;  (** per CSV text: open an unclosed quote *)
+  rule_token_rate : float;  (** per rule text: break the syntax *)
+  step_drop_rate : float;  (** per ground chase step: drop it *)
+}
+
+val none : config
+
+val corrupt_cell : Util.Prng.t -> string -> string
+(** Unconditionally scramble one cell (always changes the string,
+    and makes numeric cells non-numeric). *)
+
+val corrupt_row : Util.Prng.t -> config -> string list -> string list
+val corrupt_rows : Util.Prng.t -> config -> string list list -> string list list
+(** Header row (first) is left intact; data rows are corrupted per
+    [ragged_rate] then [cell_rate]. *)
+
+val corrupt_csv_text : Util.Prng.t -> config -> string -> string
+val corrupt_rule_text : Util.Prng.t -> config -> string -> string
+
+val keep_step : Util.Prng.t -> config -> bool
+(** One Bernoulli draw at [step_drop_rate]: [false] to drop. *)
+
+val drop_steps : Util.Prng.t -> config -> 'a list -> 'a list
+(** Filter a ground-step list through {!keep_step} — plugs into
+    [Core.Chase.run ~prepare]. *)

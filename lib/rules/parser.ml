@@ -501,7 +501,7 @@ let parse_rule st schema master =
       fail line "expected quantified variables (t1, t2 or tm), found %s"
         (token_to_string t)
 
-let parse ~schema ?master text =
+let parse_robust ~schema ?master ?file text =
   match
     let st = { toks = tokenize text } in
     let rec go acc =
@@ -514,19 +514,35 @@ let parse ~schema ?master text =
   with
   | rules -> Ok rules
   | exception Syntax_error (line, msg) ->
-      Error (Printf.sprintf "line %d: %s" line msg)
+      Error (Robust.Error.rule_parse ?file ~line msg)
+
+let parse ~schema ?master text =
+  match parse_robust ~schema ?master text with
+  | Ok rules -> Ok rules
+  | Error (Robust.Error.Rule_parse { line = Some line; detail; _ }) ->
+      Error (Printf.sprintf "line %d: %s" line detail)
+  | Error e -> Error (Robust.Error.to_string e)
 
 let parse_exn ~schema ?master text =
   match parse ~schema ?master text with
   | Ok rules -> rules
   | Error e -> invalid_arg ("Parser.parse_exn: " ^ e)
 
+let parse_file_robust ~schema ?master path =
+  match
+    Robust.Error.guard_io ~path (fun () ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+  with
+  | Error _ as e -> e
+  | Ok contents -> parse_robust ~schema ?master ~file:path contents
+
 let parse_file ~schema ?master path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let contents = really_input_string ic n in
-  close_in ic;
-  parse ~schema ?master contents
+  match parse_file_robust ~schema ?master path with
+  | Ok rules -> Ok rules
+  | Error e -> Error (Robust.Error.to_string e)
 
 let to_string ~schema ?master rules =
   let buf = Buffer.create 256 in

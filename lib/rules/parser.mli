@@ -27,18 +27,36 @@
     - the optional [in <name>] after the quantifier is checked
       against the corresponding schema name when present. *)
 
+val parse_robust :
+  schema:Relational.Schema.t ->
+  ?master:Relational.Schema.t ->
+  ?file:string ->
+  string ->
+  (Ar.t list, Robust.Error.t) result
+(** Parses any number of rules; errors are typed
+    {!Robust.Error.Rule_parse} values carrying the file (when given)
+    and the 1-based line of the offending token. *)
+
 val parse :
   schema:Relational.Schema.t ->
   ?master:Relational.Schema.t ->
   string ->
   (Ar.t list, string) result
-(** Parses any number of rules. Errors carry a line number. *)
+(** {!parse_robust} with errors rendered to text. *)
 
 val parse_exn :
   schema:Relational.Schema.t ->
   ?master:Relational.Schema.t ->
   string ->
   Ar.t list
+
+val parse_file_robust :
+  schema:Relational.Schema.t ->
+  ?master:Relational.Schema.t ->
+  string ->
+  (Ar.t list, Robust.Error.t) result
+(** Reads and parses a rule file; unreadable files surface as
+    {!Robust.Error.Io} instead of an exception. *)
 
 val parse_file :
   schema:Relational.Schema.t ->

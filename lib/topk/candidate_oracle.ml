@@ -7,8 +7,10 @@ type result = {
 }
 
 (* Depth-first product enumeration over the null attributes' active
-   domains, invoking the chase on every completion. *)
-let fold_completions ?include_default compiled te ~limit ~f ~init =
+   domains, invoking the chase on every completion. [stop] cuts the
+   enumeration early on the accumulator (no exceptions needed). *)
+let fold_completions ?include_default ?(stop = fun _ -> false) compiled te ~limit
+    ~f ~init =
   let spec = Core.Is_cr.compiled_spec compiled in
   let zattrs =
     List.filter
@@ -28,7 +30,8 @@ let fold_completions ?include_default compiled te ~limit ~f ~init =
     | (attr, values) :: rest ->
         List.fold_left
           (fun acc v ->
-            if !checked >= limit then begin
+            if stop acc then acc
+            else if !checked >= limit then begin
               truncated := true;
               acc
             end
@@ -57,18 +60,14 @@ let enumerate ?include_default ?(limit = 100_000) ~pref compiled te =
   in
   { candidates = List.sort compare_candidates acc; truncated; checked }
 
-exception Found
-
 let exists_candidate ?include_default compiled te =
-  try
-    let _ =
-      fold_completions ?include_default compiled te ~limit:max_int
-        ~f:(fun () completion ->
-          if Core.Is_cr.check compiled completion then raise Found)
-        ~init:()
-    in
-    false
-  with Found -> true
+  let found, _, _ =
+    fold_completions ?include_default compiled te ~limit:max_int
+      ~stop:(fun found -> found)
+      ~f:(fun acc completion -> acc || Core.Is_cr.check compiled completion)
+      ~init:false
+  in
+  found
 
 let count ?include_default ?(limit = 100_000) compiled te =
   let n, truncated, _ =

@@ -7,9 +7,14 @@ type stats = {
   emitted : int;
 }
 
+type status =
+  | Complete
+  | Search_exhausted of Robust.Error.trip
+
 type result = {
   targets : Value.t array list;
   stats : stats;
+  status : status;
 }
 
 type candidate = { values : Value.t array; w : float; ok : bool }
@@ -19,14 +24,26 @@ let cand_cmp a b =
   | 0 -> Relational.Tuple.compare_values (Relational.Tuple.make a.values) (Relational.Tuple.make b.values)
   | c -> c
 
-let run ?include_default ?max_pulls ~k ~pref compiled te =
+let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
   if k < 1 then invalid_arg "Rank_join_ct.run: k < 1";
   let spec = Core.Is_cr.compiled_spec compiled in
   let pulls = ref 0 and combos = ref 0 and checks = ref 0 and emitted = ref 0 in
+  let tripped = ref None in
+  let trip t = if !tripped = None then tripped := Some t in
+  (* One budget unit per generated combination (each costs a chase
+     check, the dominant work); the wall-clock deadline rides along. *)
+  let charge () =
+    match budget with
+    | Some b -> (
+        match Robust.Budget.step b with Some t -> trip t | None -> ())
+    | None -> ()
+  in
   let finish targets =
     {
       targets = List.rev targets;
       stats = { pulls = !pulls; combos = !combos; checks = !checks; emitted = !emitted };
+      status =
+        (match !tripped with None -> Complete | Some t -> Search_exhausted t);
     }
   in
   let verify t =
@@ -79,13 +96,21 @@ let run ?include_default ?max_pulls ~k ~pref compiled te =
        generation: one pull joins against a cross product of all
        seen prefixes, which is itself exponential in m. *)
     let over_budget () =
-      match max_pulls with Some b -> !combos >= b | None -> false
+      (match max_pulls with
+      | Some b when !combos >= b -> trip Robust.Error.Steps
+      | _ -> ());
+      (match budget with
+      | Some b -> (
+          match Robust.Budget.check b with Some t -> trip t | None -> ())
+      | None -> ());
+      !tripped <> None
     in
     let generate i d =
       let rec combos_at j acc score =
         if over_budget () then ()
         else if j = m then begin
           incr combos;
+          charge ();
           let values = Array.copy te in
           List.iter (fun (attr, v) -> values.(attr) <- v) acc;
           let ok = verify values in
@@ -125,13 +150,15 @@ let run ?include_default ?max_pulls ~k ~pref compiled te =
           else pick (tried + 1) ((i + 1) mod m)
         in
         let next_list =
-          match max_pulls with
-          | Some b when !pulls >= b || !combos >= b -> None
-          | Some _ | None -> pick 0 rr
+          (match max_pulls with
+          | Some b when !pulls >= b || !combos >= b -> trip Robust.Error.Steps
+          | _ -> ());
+          if over_budget () then None else pick 0 rr
         in
         match next_list with
         | None ->
-            (* All lists exhausted: drain the buffer. *)
+            (* Lists exhausted or the budget tripped: drain the
+               buffer into a best-k-so-far answer. *)
             let rec drain targets found =
               if found >= k then targets
               else

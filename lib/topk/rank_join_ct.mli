@@ -21,14 +21,24 @@ type stats = {
   emitted : int;
 }
 
+type status =
+  | Complete
+      (** the targets are the exact top-k (or every candidate, when
+          fewer than k exist) *)
+  | Search_exhausted of Robust.Error.trip
+      (** the [max_pulls] cap or the {!Robust.Budget.t} cut the
+          search: the targets are the best-k generated so far *)
+
 type result = {
   targets : Relational.Value.t array list;
   stats : stats;
+  status : status;
 }
 
 val run :
   ?include_default:bool ->
   ?max_pulls:int ->
+  ?budget:Robust.Budget.t ->
   k:int ->
   pref:Preference.t ->
   Core.Is_cr.compiled ->
@@ -38,4 +48,7 @@ val run :
     accesses, like [Topk_ct]'s [max_pops]); sorting the ranked lists
     is part of this algorithm's cost (§6.1: "domain values are often
     not given in ranked lists, and sorting the domains is
-    costly"). *)
+    costly"). [budget] is charged one unit per generated join
+    combination and carries the wall-clock deadline; when either
+    bound trips, the call still returns — tagged
+    {!Search_exhausted} — with the best-k candidates found. *)

@@ -99,14 +99,15 @@ let run ?(config = default_config) ~num_sources claims =
   in
   let rounds = ref 0 in
   update_cells ();
-  (try
-     for r = 1 to config.iterations do
-       rounds := r;
-       let delta = update_trust () in
-       update_cells ();
-       if delta < config.epsilon then raise Exit
-     done
-   with Exit -> ());
+  let rec iterate r =
+    if r <= config.iterations then begin
+      rounds := r;
+      let delta = update_trust () in
+      update_cells ();
+      if delta >= config.epsilon then iterate (r + 1)
+    end
+  in
+  iterate 1;
   { cells; trust; rounds = !rounds }
 
 let truth result ~object_id ~attr =

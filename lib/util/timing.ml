@@ -1,3 +1,5 @@
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
 let time_ms f =
   let start = Unix.gettimeofday () in
   let result = f () in

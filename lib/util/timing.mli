@@ -2,6 +2,10 @@
     Bechamel harness does its own timing; these are for the
     figure-series printers, which report milliseconds like §7). *)
 
+val now_ms : unit -> float
+(** Wall-clock milliseconds since the epoch; the monotonic-enough
+    clock the budget deadlines are measured against. *)
+
 val time_ms : (unit -> 'a) -> 'a * float
 (** [time_ms f] runs [f ()] once and returns its result with the
     elapsed wall time in milliseconds. *)

@@ -430,6 +430,7 @@ let test_naive_chase_stuck_on_example6 () =
          first-applicable policy must eventually trip over the
          conflicting step because it stays applicable. *)
       Alcotest.fail "expected the reference chase to get stuck"
+  | Chase.Exhausted _ -> Alcotest.fail "unbudgeted chase cannot exhaust"
 
 (* Random-policy differential property: on randomly generated
    Church-Rosser workloads (Med entities), every chase order reaches
@@ -449,7 +450,7 @@ let differential_random_policy =
               match Chase.run ~policy:(Chase.Random rng) spec with
               | Chase.Terminal (got, _) ->
                   Array.for_all2 Value.equal (Instance.te expected) (Instance.te got)
-              | Chase.Stuck _ -> false))
+              | Chase.Stuck _ | Chase.Exhausted _ -> false))
         ds.Datagen.Entity_gen.entities)
 
 let test_chase_sequence_nonempty () =

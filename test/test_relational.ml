@@ -210,9 +210,23 @@ let test_csv_quotes () =
     (Csv.parse_string "\"a,b\",\"c\nd\",\"e\"\"f\"\n")
 
 let test_csv_unterminated () =
-  Alcotest.check_raises "unterminated"
-    (Failure "Csv.parse_string: unterminated quoted field") (fun () ->
-      ignore (Csv.parse_string "\"abc"))
+  (* The typed error carries the 1-based row where the quote opened. *)
+  match Csv.parse_string_result "a,b\n\"abc" with
+  | Ok _ -> Alcotest.fail "expected Csv_shape error"
+  | Error (Robust.Error.Csv_shape { row; detail; _ }) ->
+      check Alcotest.(option int) "row" (Some 2) row;
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "mentions quote" true (contains detail "unterminated")
+  | Error e -> Alcotest.failf "wrong error class: %s" (Robust.Error.to_string e)
+
+let test_csv_unterminated_raises () =
+  match Csv.parse_string "\"abc" with
+  | _ -> Alcotest.fail "expected Robust.Error.Error"
+  | exception Robust.Error.Error (Robust.Error.Csv_shape _) -> ()
 
 let csv_qcheck =
   let open QCheck in
@@ -227,11 +241,22 @@ let csv_qcheck =
   ]
 
 let test_csv_ragged_rejected () =
-  Alcotest.check_raises "ragged row" (Failure "Csv.relation_of_rows: ragged row")
-    (fun () ->
-      ignore (Csv.relation_of_rows ~name:"r" [ [ "a"; "b" ]; [ "1" ] ]));
-  Alcotest.check_raises "empty input" (Failure "Csv.relation_of_rows: empty input")
-    (fun () -> ignore (Csv.relation_of_rows ~name:"r" []))
+  (match
+     Csv.relation_of_rows_result ~file:"t.csv" ~name:"r"
+       [ [ "a"; "b" ]; [ "1"; "2" ]; [ "1" ] ]
+   with
+  | Ok _ -> Alcotest.fail "expected ragged-row error"
+  | Error (Robust.Error.Csv_shape { file; row; _ }) ->
+      check Alcotest.(option string) "file" (Some "t.csv") file;
+      (* header is row 1, so the ragged data row is row 3 *)
+      check Alcotest.(option int) "row" (Some 3) row
+  | Error e -> Alcotest.failf "wrong error class: %s" (Robust.Error.to_string e));
+  (match Csv.relation_of_rows_result ~name:"r" [] with
+  | Error (Robust.Error.Csv_shape _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected empty-input error");
+  match Csv.relation_of_rows ~name:"r" [ [ "a" ]; [ "1"; "2" ] ] with
+  | _ -> Alcotest.fail "expected Robust.Error.Error"
+  | exception Robust.Error.Error (Robust.Error.Csv_shape _) -> ()
 
 let test_csv_relation_roundtrip () =
   let r = sample_relation () in
@@ -274,6 +299,8 @@ let () =
           Alcotest.test_case "parse simple" `Quick test_csv_parse_simple;
           Alcotest.test_case "quotes" `Quick test_csv_quotes;
           Alcotest.test_case "unterminated" `Quick test_csv_unterminated;
+          Alcotest.test_case "unterminated raises typed" `Quick
+            test_csv_unterminated_raises;
           Alcotest.test_case "relation roundtrip" `Quick test_csv_relation_roundtrip;
           Alcotest.test_case "ragged/empty rejected" `Quick test_csv_ragged_rejected;
         ]
