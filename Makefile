@@ -1,4 +1,4 @@
-.PHONY: all build test check robust lint clean
+.PHONY: all build test check robust lint bench clean
 
 all: build
 
@@ -14,10 +14,16 @@ robust:
 
 lint:
 	sh scripts/lint_failwith.sh
+	sh scripts/lint_print.sh
 
-# The gate CI runs: full build, full test suite, error-style lint.
+# Machine-readable perf baselines: BENCH_chase.json + BENCH_topk.json
+# at the repo root (kernel wall times + Obs work counters).
+bench:
+	dune exec bench/main.exe -- --bench-json .
+
+# The gate CI runs: full build, full test suite, style lints.
 check:
-	dune build && dune runtest && sh scripts/lint_failwith.sh
+	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh
 
 clean:
 	dune clean

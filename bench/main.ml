@@ -11,11 +11,17 @@
    inside TopKCT's frontier, and the Fig. 4 index vs the naive
    rescanning chase).
 
+   Part 3 (--bench-json [DIR]) times a fixed kernel suite with
+   Util.Timing.best_of and writes machine-readable baselines —
+   BENCH_chase.json and BENCH_topk.json — pairing each kernel's wall
+   time with the Obs work counters of one instrumented run.
+
    Usage:
-     bench/main.exe             experiments + micro-benches
-     bench/main.exe --micro     micro-benches only
-     bench/main.exe --exp       experiments only
-     bench/main.exe --full      paper-scale experiment workloads *)
+     bench/main.exe                 experiments + micro-benches
+     bench/main.exe --micro         micro-benches only
+     bench/main.exe --exp           experiments only
+     bench/main.exe --full          paper-scale experiment workloads
+     bench/main.exe --bench-json .  write BENCH_*.json baselines only *)
 
 open Bechamel
 open Toolkit
@@ -78,11 +84,15 @@ let med_te =
 
 let med_pref = Topk.Preference.of_occurrences med_entity.instance
 
+(* Top-k through the facade; bench kernels discard the outcome. *)
+let solve algo ~k ~pref compiled te =
+  match Topk.solve ~algo ~k ~pref compiled te with
+  | Ok outcome -> outcome.Topk.targets
+  | Error _ -> []
+
 let syn_candidate =
   (* A complete candidate for check(): top-1 of TopKCT. *)
-  match
-    (Topk.Topk_ct.run ~k:1 ~pref:syn.pref syn_compiled syn_te).Topk.Topk_ct.targets
-  with
+  match solve `Ct ~k:1 ~pref:syn.pref syn_compiled syn_te with
   | t :: _ -> t
   | [] -> failwith "Syn must have a candidate target"
 
@@ -119,14 +129,14 @@ let bench_topk =
   Test.make_grouped ~name:"topk (fig6i-l, fig7)"
     [
       Test.make ~name:"topkct-syn300-k5"
-        (staged (fun () -> Topk.Topk_ct.run ~k:5 ~pref:syn.pref syn_compiled syn_te));
+        (staged (fun () -> solve `Ct ~k:5 ~pref:syn.pref syn_compiled syn_te));
       Test.make ~name:"topkcth-syn300-k5"
-        (staged (fun () -> Topk.Topk_ct_h.run ~k:5 ~pref:syn.pref syn_compiled syn_te));
+        (staged (fun () -> solve `Ct_h ~k:5 ~pref:syn.pref syn_compiled syn_te));
       Test.make ~name:"rankjoin-syn300-k5"
         (staged (fun () ->
-             Topk.Rank_join_ct.run ~k:5 ~pref:syn.pref syn_compiled syn_te));
+             solve `Rank_join ~k:5 ~pref:syn.pref syn_compiled syn_te));
       Test.make ~name:"topkct-med-k15"
-        (staged (fun () -> Topk.Topk_ct.run ~k:15 ~pref:med_pref med_compiled med_te));
+        (staged (fun () -> solve `Ct ~k:15 ~pref:med_pref med_compiled med_te));
     ]
 
 (* tbl4 kernels: the truth-discovery methods. *)
@@ -284,6 +294,83 @@ let run_micro () =
         (List.sort compare !rows))
     all_benches
 
+(* ---------------------------------------------------------------- *)
+(* Part 3: JSON baselines (--bench-json)                             *)
+(* ---------------------------------------------------------------- *)
+
+(* Each kernel is timed with Obs off (best of [repeats] runs), then
+   run once more with Obs on to capture the work counters that
+   explain the number — steps fired, candidates checked, queue
+   high-water marks. Two files, one per paper half: the chase
+   kernels (§4/§5) and the top-k kernels (§6). *)
+
+let json_repeats = 5
+
+let chase_kernels =
+  [
+    ("iscr-mj", fun () -> ignore (Core.Is_cr.run_compiled mj_compiled));
+    ("iscr-med", fun () -> ignore (Core.Is_cr.run_compiled med_compiled));
+    ("iscr-syn300", fun () -> ignore (Core.Is_cr.run_compiled syn_compiled));
+    ("compile-med", fun () -> ignore (Core.Is_cr.compile med_spec));
+    ("naive-rescan-mj", fun () -> ignore (Core.Chase.run mj_spec));
+  ]
+
+let topk_kernels =
+  [
+    ( "topkct-syn300-k5",
+      fun () -> ignore (solve `Ct ~k:5 ~pref:syn.pref syn_compiled syn_te) );
+    ( "topkcth-syn300-k5",
+      fun () -> ignore (solve `Ct_h ~k:5 ~pref:syn.pref syn_compiled syn_te) );
+    ( "rankjoin-syn300-k5",
+      fun () -> ignore (solve `Rank_join ~k:5 ~pref:syn.pref syn_compiled syn_te)
+    );
+    ( "topkct-med-k15",
+      fun () -> ignore (solve `Ct ~k:15 ~pref:med_pref med_compiled med_te) );
+  ]
+
+let measure_kernel f =
+  Obs.set_enabled false;
+  let _, ms = Util.Timing.best_of json_repeats f in
+  Obs.set_enabled true;
+  Obs.reset ();
+  f ();
+  Obs.set_enabled false;
+  let counters =
+    List.filter_map
+      (function
+        | name, Obs.Counter v when v > 0 -> Some (name, v) | _ -> None)
+      (Obs.snapshot ())
+  in
+  (ms, counters)
+
+let write_suite ~dir ~suite kernels =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"suite\":\"%s\",\"best_of\":%d,\"results\":[\n" suite
+       json_repeats);
+  List.iteri
+    (fun i (name, f) ->
+      let ms, counters = measure_kernel f in
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  {\"name\":\"%s\",\"ms\":%.6f,\"counters\":{%s}}" name
+           ms
+           (String.concat ","
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v)
+                 counters))))
+    kernels;
+  Buffer.add_string buf "\n]}\n";
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" suite) in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let run_bench_json dir =
+  write_suite ~dir ~suite:"chase" chase_kernels;
+  write_suite ~dir ~suite:"topk" topk_kernels
+
 let () =
   let args = Array.to_list Sys.argv in
   let micro_only = List.mem "--micro" args in
@@ -294,5 +381,15 @@ let () =
     | _ :: rest -> csv_dir rest
     | [] -> None
   in
-  if not micro_only then run_experiments ~scale ~csv_dir:(csv_dir args);
-  if not exp_only then run_micro ()
+  let rec bench_json = function
+    | "--bench-json" :: dir :: _ when String.length dir > 0 && dir.[0] <> '-' ->
+        Some dir
+    | "--bench-json" :: _ -> Some "."
+    | _ :: rest -> bench_json rest
+    | [] -> None
+  in
+  match bench_json args with
+  | Some dir -> run_bench_json dir
+  | None ->
+      if not micro_only then run_experiments ~scale ~csv_dir:(csv_dir args);
+      if not exp_only then run_micro ()

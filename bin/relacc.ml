@@ -6,9 +6,14 @@
      topk   -e CSV -r RULES    top-k candidate targets
      generate DATASET          write a synthetic dataset to CSV files
      experiment [ID..]         reproduce the paper's figures/tables
-     rules  -r RULES           parse, validate and echo a rule file *)
+     rules  -r RULES           parse, validate and echo a rule file
+
+   The loading/chase/top-k/clean subcommands are thin shells over
+   Framework.Pipeline — the CLI parses flags into a Pipeline.config,
+   runs it, and renders the typed report (or error). *)
 
 open Cmdliner
+module Pipeline = Framework.Pipeline
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -16,35 +21,6 @@ let setup_logs verbose =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
-
-(* ---------------------------------------------------------------- *)
-(* Shared loading                                                   *)
-(* ---------------------------------------------------------------- *)
-
-(* Every load step returns a typed Robust.Error.t: unreadable files
-   surface as Io, malformed CSV as Csv_shape with file and row,
-   rule-text problems as Rule_parse with file and line. *)
-let load_spec ~entity_path ~master_path ~rules_path =
-  let ( let* ) = Result.bind in
-  (* Relations are named after their file (stat.csv -> "stat"), so
-     rule files may quantify over them by name. *)
-  let* entity = Relational.Csv.read_relation entity_path in
-  let* master =
-    match master_path with
-    | None -> Ok None
-    | Some path -> Result.map Option.some (Relational.Csv.read_relation path)
-  in
-  let schema = Relational.Relation.schema entity in
-  let master_schema = Option.map Relational.Relation.schema master in
-  let* rules =
-    Rules.Parser.parse_file_robust ~schema ?master:master_schema rules_path
-  in
-  let* ruleset =
-    Result.map_error Robust.Error.rule_invalid
-      (Rules.Ruleset.make ~schema ?master:master_schema rules)
-  in
-  Result.map_error Robust.Error.spec_invalid
-    (Core.Specification.make ~entity ?master ruleset)
 
 let report_error e =
   Format.eprintf "relacc: %a@." Robust.Error.pp e;
@@ -67,6 +43,45 @@ let rules_arg =
     required
     & opt (some string) None
     & info [ "r"; "rules" ] ~docv:"FILE" ~doc:"Accuracy rules (relacc syntax).")
+
+(* ---------------------------------------------------------------- *)
+(* Observability flags                                              *)
+(* ---------------------------------------------------------------- *)
+
+let metrics_conv =
+  Arg.enum [ ("table", `Table); ("json", `Json); ("prometheus", `Prometheus) ]
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some metrics_conv) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Collect engine metrics during the run and print them afterwards:           $(b,table) (human-readable), $(b,json) (one object per line) or           $(b,prometheus) (text exposition format).")
+
+let trace_spans_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Collect trace spans and print the span tree after the run.")
+
+(* Arm collection before the work, render after it. [run_with_obs]
+   brackets a unit -> int action so every subcommand reports the
+   same way; rendering goes to stderr for --trace (diagnostics) and
+   stdout for --metrics (machine-consumable). *)
+let run_with_obs ~metrics ~trace f =
+  if Option.is_some metrics || trace then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end;
+  let code = f () in
+  if trace then Format.eprintf "%a@?" Obs.Span.pp_tree ();
+  (match metrics with
+  | None -> ()
+  | Some `Table -> print_string (Obs.Export.to_table ())
+  | Some `Json -> print_string (Obs.Export.to_json_lines ())
+  | Some `Prometheus -> print_string (Obs.Export.to_prometheus ()));
+  code
 
 (* ---------------------------------------------------------------- *)
 (* Budgets and strictness                                           *)
@@ -117,8 +132,10 @@ let limits_of ~timeout ~max_steps =
     ?deadline_ms:(Option.map (fun s -> s *. 1000.0) timeout)
     ()
 
-let budget_exit ~strict meter =
-  if strict then Robust.Error.exit_code (Robust.Budget.to_error meter) else 0
+let budget_exit ~strict ~trip ~spent =
+  if strict then
+    Robust.Error.exit_code (Robust.Error.budget_exhausted ~trip ~spent "")
+  else 0
 
 let pp_target schema te =
   Array.iteri
@@ -153,113 +170,96 @@ let demo_cmd =
 (* chase                                                            *)
 (* ---------------------------------------------------------------- *)
 
-let chase verbose entity master rules trace timeout max_steps strict =
+let chase verbose entity master rules steps timeout max_steps strict metrics
+    trace =
   setup_logs verbose;
-  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  run_with_obs ~metrics ~trace @@ fun () ->
+  let on_step =
+    if steps then
+      Some (fun step -> Format.printf "  %a@." Rules.Ground.pp_step step)
+    else None
+  in
+  let cfg =
+    Pipeline.config ?master
+      ~limits:(limits_of ~timeout ~max_steps)
+      ~entity ~rules Pipeline.Chase
+  in
+  match Pipeline.run ?on_step cfg with
   | Error e -> report_error e
-  | Ok spec -> (
-      let trace_fn =
-        if trace then
-          Some (fun step -> Format.printf "  %a@." Rules.Ground.pp_step step)
-        else None
-      in
-      let finish = function
-        | Core.Is_cr.Church_rosser inst ->
-            Format.printf "Church-Rosser: yes@.";
-            Format.printf "deduced target (%s):@."
-              (if Core.Instance.te_complete inst then "complete" else "incomplete");
-            pp_target (Core.Specification.schema spec) (Core.Instance.te inst);
-            0
-        | Core.Is_cr.Not_church_rosser { rule; reason } ->
-            Format.printf "Church-Rosser: NO — rule %s: %s@." rule reason;
-            2
-      in
-      let limits = limits_of ~timeout ~max_steps in
-      if Robust.Budget.is_unlimited limits then
-        finish (Core.Is_cr.run ?trace:trace_fn spec)
-      else
-        let meter = Robust.Budget.start limits in
-        let compiled = Core.Is_cr.compile spec in
-        match Core.Is_cr.run_budgeted ?trace:trace_fn ~budget:meter compiled with
-        | Core.Is_cr.Verdict v -> finish v
-        | Core.Is_cr.Exhausted { partial; fired; trip } ->
-            Format.printf "budget exhausted (%s) after %d steps; partial target:@."
-              (Robust.Error.trip_to_string trip)
-              fired;
-            pp_target (Core.Specification.schema spec) (Core.Instance.te partial);
-            budget_exit ~strict meter)
+  | Ok { spec; outcome = Chased c } -> (
+      let schema = Core.Specification.schema spec in
+      match c with
+      | Pipeline.Deduced { te; complete } ->
+          Format.printf "Church-Rosser: yes@.";
+          Format.printf "deduced target (%s):@."
+            (if complete then "complete" else "incomplete");
+          pp_target schema te;
+          0
+      | Pipeline.Not_church_rosser { rule; reason } ->
+          Format.printf "Church-Rosser: NO — rule %s: %s@." rule reason;
+          2
+      | Pipeline.Chase_exhausted { partial; fired; trip } ->
+          Format.printf "budget exhausted (%s) after %d steps; partial target:@."
+            (Robust.Error.trip_to_string trip)
+            fired;
+          pp_target schema partial;
+          budget_exit ~strict ~trip ~spent:fired)
+  | Ok _ -> assert false
 
-let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the chase steps applied.")
+let steps_arg =
+  Arg.(
+    value & flag
+    & info [ "steps" ] ~doc:"Print each chase step as it is applied.")
 
 let chase_cmd =
   Cmd.v
     (Cmd.info "chase"
        ~doc:"Check Church-Rosser and deduce the target tuple of an entity instance.")
     Term.(
-      const chase $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ trace_arg
-      $ timeout_arg $ max_steps_arg $ strict_arg)
+      const chase $ verbose_arg $ entity_arg $ master_arg $ rules_arg
+      $ steps_arg $ timeout_arg $ max_steps_arg $ strict_arg $ metrics_arg
+      $ trace_spans_arg)
 
 (* ---------------------------------------------------------------- *)
 (* topk                                                             *)
 (* ---------------------------------------------------------------- *)
 
 let algorithm_conv =
-  Arg.enum [ ("topkct", `Topk_ct); ("topkcth", `Topk_ct_h); ("rankjoin", `Rank_join_ct) ]
+  Arg.enum [ ("topkct", `Ct); ("topkcth", `Ct_h); ("rankjoin", `Rank_join) ]
 
-let topk verbose entity master rules k algorithm timeout max_steps strict =
+let topk verbose entity master rules k algo timeout max_steps strict metrics
+    trace =
   setup_logs verbose;
-  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  run_with_obs ~metrics ~trace @@ fun () ->
+  let cfg =
+    Pipeline.config ?master
+      ~limits:(limits_of ~timeout ~max_steps)
+      ~entity ~rules
+      (Pipeline.Topk { k; algo })
+  in
+  match Pipeline.run cfg with
+  | Error (Robust.Error.Order_conflict { rule; detail } as e) ->
+      Format.printf "not Church-Rosser (%s: %s); revise the rules first@." rule
+        detail;
+      Robust.Error.exit_code e
   | Error e -> report_error e
-  | Ok spec -> (
-      let compiled = Core.Is_cr.compile spec in
-      match Core.Is_cr.run_compiled compiled with
-      | Core.Is_cr.Not_church_rosser { rule; reason } ->
-          Format.printf "not Church-Rosser (%s: %s); revise the rules first@." rule
-            reason;
-          2
-      | Core.Is_cr.Church_rosser inst ->
-          let te = Core.Instance.te inst in
-          let pref =
-            Topk.Preference.of_occurrences (Core.Specification.entity spec)
-          in
-          let limits = limits_of ~timeout ~max_steps in
-          let meter = Robust.Budget.start limits in
-          let budget =
-            if Robust.Budget.is_unlimited limits then None else Some meter
-          in
-          let targets, exhausted =
-            match algorithm with
-            | `Topk_ct ->
-                let r = Topk.Topk_ct.run ?max_pops:max_steps ~k ~pref compiled te in
-                (r.Topk.Topk_ct.targets, None)
-            | `Topk_ct_h ->
-                let r =
-                  Topk.Topk_ct_h.run ?max_pops:max_steps ~k ~pref compiled te
-                in
-                (r.Topk.Topk_ct_h.targets, None)
-            | `Rank_join_ct -> (
-                let r = Topk.Rank_join_ct.run ?budget ~k ~pref compiled te in
-                ( r.Topk.Rank_join_ct.targets,
-                  match r.Topk.Rank_join_ct.status with
-                  | Topk.Rank_join_ct.Complete -> None
-                  | Topk.Rank_join_ct.Search_exhausted trip -> Some trip ))
-          in
-          let schema = Core.Specification.schema spec in
-          List.iteri
-            (fun i t ->
-              Format.printf "candidate %d (score %.2f):@." (i + 1)
-                (Topk.Preference.score pref t);
-              pp_target schema t)
-            targets;
-          if targets = [] then Format.printf "no candidate targets@.";
-          (match exhausted with
-          | Some trip ->
-              Format.printf "budget exhausted (%s): best-%d-so-far shown@."
-                (Robust.Error.trip_to_string trip)
-                (List.length targets);
-              budget_exit ~strict meter
-          | None -> 0))
+  | Ok { spec; outcome = Ranked { pref; result } } ->
+      let schema = Core.Specification.schema spec in
+      List.iteri
+        (fun i t ->
+          Format.printf "candidate %d (score %.2f):@." (i + 1)
+            (Topk.Preference.score pref t);
+          pp_target schema t)
+        result.Topk.targets;
+      if result.Topk.targets = [] then Format.printf "no candidate targets@.";
+      (match result.Topk.exhausted with
+      | Some trip ->
+          Format.printf "budget exhausted (%s): best-%d-so-far shown@."
+            (Robust.Error.trip_to_string trip)
+            (List.length result.Topk.targets);
+          budget_exit ~strict ~trip ~spent:result.Topk.pulls
+      | None -> 0)
+  | Ok _ -> assert false
 
 let k_arg =
   Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Number of candidates.")
@@ -267,7 +267,7 @@ let k_arg =
 let algorithm_arg =
   Arg.(
     value
-    & opt algorithm_conv `Topk_ct
+    & opt algorithm_conv `Ct
     & info [ "a"; "algorithm" ] ~docv:"ALG"
         ~doc:"One of topkct, topkcth, rankjoin.")
 
@@ -276,7 +276,8 @@ let topk_cmd =
     (Cmd.info "topk" ~doc:"Compute top-k candidate target tuples.")
     Term.(
       const topk $ verbose_arg $ entity_arg $ master_arg $ rules_arg $ k_arg
-      $ algorithm_arg $ timeout_arg $ max_steps_arg $ strict_arg)
+      $ algorithm_arg $ timeout_arg $ max_steps_arg $ strict_arg $ metrics_arg
+      $ trace_spans_arg)
 
 (* ---------------------------------------------------------------- *)
 (* generate                                                         *)
@@ -349,7 +350,7 @@ let generate_cmd =
 (* experiment                                                       *)
 (* ---------------------------------------------------------------- *)
 
-let experiment verbose ids full list_only csv_dir =
+let experiment verbose ids full list_only csv_dir metrics trace =
   setup_logs verbose;
   if list_only then begin
     List.iter
@@ -359,7 +360,8 @@ let experiment verbose ids full list_only csv_dir =
       Experiments.Registry.ids;
     0
   end
-  else begin
+  else
+    run_with_obs ~metrics ~trace @@ fun () ->
     let scale = if full then `Full else `Quick in
     let ids = if ids = [] then Experiments.Registry.ids else ids in
     (match csv_dir with
@@ -376,13 +378,12 @@ let experiment verbose ids full list_only csv_dir =
                 Format.printf "  (csv: %s)@."
                   (Experiments.Report.write_csv ~dir report)
             | None -> ());
-            print_newline ()
+            Format.printf "@."
         | None ->
             Format.eprintf "unknown experiment id %s@." id;
             code := 1)
       ids;
     !code
-  end
 
 let experiment_cmd =
   Cmd.v
@@ -396,7 +397,8 @@ let experiment_cmd =
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each report as DIR/<id>.csv."))
+          & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each report as DIR/<id>.csv.")
+      $ metrics_arg $ trace_spans_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rules                                                            *)
@@ -404,7 +406,7 @@ let experiment_cmd =
 
 let rules_cmd_impl verbose entity master rules =
   setup_logs verbose;
-  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  match Pipeline.load_spec ?master ~entity ~rules () with
   | Error e -> report_error e
   | Ok spec ->
       let ruleset = Core.Specification.ruleset spec in
@@ -430,7 +432,7 @@ let rules_cmd =
 
 let explain verbose entity master rules attr =
   setup_logs verbose;
-  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  match Pipeline.load_spec ?master ~entity ~rules () with
   | Error e -> report_error e
   | Ok spec -> (
       let compiled = Core.Is_cr.compile spec in
@@ -470,64 +472,36 @@ let explain_cmd =
 (* ---------------------------------------------------------------- *)
 
 let clean_impl verbose entity master rules out key_attrs threshold timeout
-    max_steps retries strict =
+    max_steps retries strict metrics trace =
   setup_logs verbose;
-  match load_spec ~entity_path:entity ~master_path:master ~rules_path:rules with
+  run_with_obs ~metrics ~trace @@ fun () ->
+  let cfg =
+    Pipeline.config ?master
+      ~limits:(limits_of ~timeout ~max_steps)
+      ~entity ~rules
+      (Pipeline.Clean { key_attrs; threshold; retries })
+  in
+  match Pipeline.run cfg with
   | Error e -> report_error e
-  | Ok spec -> (
-      let dirty = Core.Specification.entity spec in
-      let schema = Core.Specification.schema spec in
-      let keys, unknown =
-        List.partition_map
-          (fun a ->
-            match Relational.Schema.index_opt schema a with
-            | Some i -> Either.Left i
-            | None -> Either.Right a)
-          key_attrs
-      in
-      match (unknown, keys) with
-      | a :: _, _ ->
-          report_error
-            (Robust.Error.spec_invalid
-               (Printf.sprintf "unknown key attribute %S" a))
-      | [], [] ->
-          Format.eprintf "error: pass at least one --key attribute for ER@.";
-          1
-      | [], keys ->
-          let er =
-            {
-              (Er.Resolver.default_config ~key_attrs:keys
-                 ~compare_attrs:(List.map (fun a -> (a, 1.0)) keys))
-              with
-              use_soundex = true;
-              threshold;
-            }
-          in
-          let report =
-            Framework.Cleaner.clean ~er
-              ?master:(Core.Specification.master spec)
-              ~budget:(limits_of ~timeout ~max_steps)
-              ~retries
-              (Core.Specification.ruleset spec)
-              dirty
-          in
-          Format.printf "%a@." Framework.Cleaner.pp_report report;
-          (match out with
-          | Some path ->
-              Relational.Csv.write_file path
-                (Relational.Csv.relation_to_rows report.cleaned);
-              Format.printf "wrote %s@." path
-          | None -> ());
-          if strict && report.Framework.Cleaner.quarantined > 0 then begin
-            Format.eprintf "relacc: %d entities quarantined (strict mode)@."
-              report.Framework.Cleaner.quarantined;
-            (* Report the worst error class among the quarantined
-               entities so scripted callers can branch on it. *)
-            match report.Framework.Cleaner.errors with
-            | (_, e) :: _ -> Robust.Error.exit_code e
-            | [] -> 1
-          end
-          else 0)
+  | Ok { outcome = Cleaned report; _ } ->
+      Format.printf "%a@." Framework.Cleaner.pp_report report;
+      (match out with
+      | Some path ->
+          Relational.Csv.write_file path
+            (Relational.Csv.relation_to_rows report.cleaned);
+          Format.printf "wrote %s@." path
+      | None -> ());
+      if strict && report.Framework.Cleaner.quarantined > 0 then begin
+        Format.eprintf "relacc: %d entities quarantined (strict mode)@."
+          report.Framework.Cleaner.quarantined;
+        (* Report the worst error class among the quarantined
+           entities so scripted callers can branch on it. *)
+        match report.Framework.Cleaner.errors with
+        | (_, e) :: _ -> Robust.Error.exit_code e
+        | [] -> 1
+      end
+      else 0
+  | Ok _ -> assert false
 
 let clean_cmd =
   Cmd.v
@@ -551,7 +525,7 @@ let clean_cmd =
           value & opt int 1
           & info [ "retries" ] ~docv:"N"
               ~doc:"Budget-relax retries per exhausted entity before quarantine.")
-      $ strict_arg)
+      $ strict_arg $ metrics_arg $ trace_spans_arg)
 
 (* ---------------------------------------------------------------- *)
 

@@ -1,6 +1,11 @@
 module Ground = Rules.Ground
 module Value = Relational.Value
 
+(* The reference engine shares the conflict counter with Is_cr (same
+   registry entry) but counts its own rescanning steps separately. *)
+let m_rescan = Obs.Counter.make ~help:"steps applied by the naive rescanning chase" "chase_rescan_steps_total"
+let m_conflicts = Obs.Counter.make "chase_conflicts_total"
+
 type policy =
   | First_applicable
   | Random of Util.Prng.t
@@ -73,11 +78,14 @@ let run_trace ?(policy = First_applicable) ?budget ?prepare spec =
                   List.nth candidates (Util.Prng.int g (List.length candidates))
             in
             match Instance.apply inst chosen.action with
-            | Instance.Changed _ -> loop (chosen :: applied_rev) (count + 1)
+            | Instance.Changed _ ->
+                Obs.Counter.incr m_rescan;
+                loop (chosen :: applied_rev) (count + 1)
             | Instance.Unchanged ->
                 (* contradicts the [changes] probe *)
                 assert false
             | Instance.Invalid reason ->
+                Obs.Counter.incr m_conflicts;
                 (Stuck { rule = chosen.rule_name; reason }, List.rev applied_rev)))
   in
   loop [] 0

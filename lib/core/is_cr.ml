@@ -1,5 +1,13 @@
 module Ground = Rules.Ground
 
+(* Observability: the Fig. 4 loop's cost drivers. Each mutation is a
+   single flag-check branch when collection is disabled (see Obs). *)
+let m_fired = Obs.Counter.make ~help:"chase steps dequeued and applied" "chase_steps_fired_total"
+let m_changed = Obs.Counter.make ~help:"chase steps that changed the instance" "chase_steps_changed_total"
+let m_decr = Obs.Counter.make ~help:"n_phi predicate-counter decrements" "chase_pred_decrements_total"
+let m_conflicts = Obs.Counter.make ~help:"order conflicts (not Church-Rosser)" "chase_conflicts_total"
+let m_qhwm = Obs.Gauge.make ~help:"worklist Q length high-water mark" "chase_queue_hwm"
+
 type verdict =
   | Church_rosser of Instance.t
   | Not_church_rosser of { rule : string; reason : string }
@@ -114,7 +122,8 @@ let enqueue_if_ready st sid =
     && st.remaining.(sid) = 0
   then begin
     Bytes.set st.queued sid '\001';
-    Queue.add sid st.queue
+    Queue.add sid st.queue;
+    Obs.Gauge.observe_max m_qhwm (float_of_int (Queue.length st.queue))
   end
 
 let satisfy st sid slot =
@@ -122,6 +131,7 @@ let satisfy st sid slot =
   if Bytes.get st.dead sid = '\000' && Bytes.get st.sat flat = '\000' then begin
     Bytes.set st.sat flat '\001';
     st.remaining.(sid) <- st.remaining.(sid) - 1;
+    Obs.Counter.incr m_decr;
     enqueue_if_ready st sid
   end
 
@@ -173,14 +183,17 @@ let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
           | Some trip -> (`Out trip, stat ())
           | None -> (
               incr fired;
+              Obs.Counter.incr m_fired;
               match Instance.apply inst c.steps.(sid).action with
               | Instance.Unchanged -> go ()
               | Instance.Changed events ->
                   incr changed;
+                  Obs.Counter.incr m_changed;
                   (match trace with Some f -> f c.steps.(sid) | None -> ());
                   List.iter (handle_event st) events;
                   go ()
               | Instance.Invalid reason ->
+                  Obs.Counter.incr m_conflicts;
                   ( `Done
                       (Not_church_rosser { rule = c.steps.(sid).rule_name; reason }),
                     stat () ))

@@ -8,11 +8,14 @@ let algorithms = [ "RankJoinCT"; "TopKCT"; "TopKCTh" ]
 let budget = 2_000
 
 let run_algorithm alg ~k ~pref compiled te =
-  match alg with
-  | "RankJoinCT" -> ignore (Topk.Rank_join_ct.run ~max_pulls:budget ~k ~pref compiled te)
-  | "TopKCT" -> ignore (Topk.Topk_ct.run ~max_pops:budget ~k ~pref compiled te)
-  | "TopKCTh" -> ignore (Topk.Topk_ct_h.run ~max_pops:budget ~k ~pref compiled te)
-  | _ -> invalid_arg "unknown algorithm"
+  let algo =
+    match alg with
+    | "RankJoinCT" -> `Rank_join
+    | "TopKCT" -> `Ct
+    | "TopKCTh" -> `Ct_h
+    | _ -> invalid_arg "unknown algorithm"
+  in
+  ignore (Topk.solve ~algo ~max_pops:budget ~k ~pref compiled te)
 
 let best_of repeats f =
   let rec go i best =

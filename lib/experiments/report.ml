@@ -72,7 +72,9 @@ let to_string t =
     (List.rev t.notes);
   Buffer.contents buf
 
-let print t = print_string (to_string t)
+let print ?(ppf = Format.std_formatter) t =
+  Format.pp_print_string ppf (to_string t);
+  Format.pp_print_flush ppf ()
 
 let to_csv t =
   (t.x_label :: t.columns)

@@ -24,8 +24,8 @@ val title : t -> string
 val rows : t -> (string * float list) list
 val columns : t -> string list
 
-val print : t -> unit
-(** Render to stdout. *)
+val print : ?ppf:Format.formatter -> t -> unit
+(** Render to [ppf] (default [Format.std_formatter]) and flush. *)
 
 val to_string : t -> string
 

@@ -67,16 +67,16 @@ let truth_rank ?target algorithm ~k dataset (e : Entity_gen.entity) =
          pathological entities return partial lists (the truth, when
          reachable, almost always ranks near the top anyway). *)
       let budget = 2_000 in
-      let targets =
+      let algo =
         match algorithm with
-        | `Topk_ct ->
-            (Topk.Topk_ct.run ~max_pops:budget ~k ~pref compiled te).Topk.Topk_ct.targets
-        | `Topk_ct_h ->
-            (Topk.Topk_ct_h.run ~max_pops:budget ~k ~pref compiled te)
-              .Topk.Topk_ct_h.targets
-        | `Rank_join_ct ->
-            (Topk.Rank_join_ct.run ~max_pulls:budget ~k ~pref compiled te)
-              .Topk.Rank_join_ct.targets
+        | `Topk_ct -> `Ct
+        | `Topk_ct_h -> `Ct_h
+        | `Rank_join_ct -> `Rank_join
+      in
+      let targets =
+        match Topk.solve ~algo ~max_pops:budget ~k ~pref compiled te with
+        | Ok outcome -> outcome.Topk.targets
+        | Error _ -> []
       in
       let rec scan rank = function
         | [] -> None

@@ -2,6 +2,14 @@ module Value = Relational.Value
 module Relation = Relational.Relation
 module Tuple = Relational.Tuple
 
+(* Observability: batch-level accounting. Per-entity wall time lands
+   in the [span_cleaner_entity_ms] histogram via the span around
+   each entity's fault boundary. *)
+let m_entities = Obs.Counter.make ~help:"entities processed" "cleaner_entities_total"
+let m_quarantined = Obs.Counter.make ~help:"entities quarantined" "cleaner_quarantined_total"
+let m_retries = Obs.Counter.make ~help:"budget-relax retries" "cleaner_retries_total"
+let m_budget_steps = Obs.Counter.make ~help:"chase steps charged to entity budgets" "cleaner_budget_steps_total"
+
 type outcome =
   | Complete
   | Completed_by_topk
@@ -64,11 +72,14 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
       `Verdict (Core.Is_cr.run_compiled compiled)
     else
       let meter = Robust.Budget.start lim in
-      match Core.Is_cr.run_budgeted ~budget:meter compiled with
+      let outcome = Core.Is_cr.run_budgeted ~budget:meter compiled in
+      Obs.Counter.add m_budget_steps (Robust.Budget.steps_used meter);
+      match outcome with
       | Core.Is_cr.Verdict v -> `Verdict v
       | Core.Is_cr.Exhausted { trip; fired; _ } ->
           if tries > 0 then begin
             incr retries_used;
+            Obs.Counter.incr m_retries;
             chase_budgeted compiled (Robust.Budget.relax lim) (tries - 1)
           end
           else `Exhausted (trip, fired)
@@ -76,6 +87,8 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
   let tuples =
     List.mapi
       (fun idx members ->
+        Obs.Counter.incr m_entities;
+        Obs.Span.with_ ~name:"cleaner.entity" @@ fun () ->
         (* Fault isolation: whatever goes wrong inside this entity —
            a cluster referencing rows that do not exist, an invalid
            spec, a budget trip, an unexpected exception — is
@@ -84,6 +97,7 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
            real; the batch carries on. *)
         let quarantine err =
           incr quarantined;
+          Obs.Counter.incr m_quarantined;
           outcomes := (idx, Quarantined err) :: !outcomes;
           errors := (idx, err) :: !errors;
           let valid =
@@ -129,10 +143,15 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
                   end
                   else begin
                     let pref = pref_of instance in
-                    let result =
-                      Topk.Topk_ct.run ~max_pops:k_budget ~k:1 ~pref compiled te
+                    let targets =
+                      match
+                        Topk.solve ~algo:`Ct ~max_pops:k_budget ~k:1 ~pref
+                          compiled te
+                      with
+                      | Ok outcome -> outcome.Topk.targets
+                      | Error _ -> []
                     in
-                    match result.Topk.Topk_ct.targets with
+                    match targets with
                     | best :: _ ->
                         incr by_topk;
                         outcomes := (idx, Completed_by_topk) :: !outcomes;

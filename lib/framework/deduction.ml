@@ -24,14 +24,15 @@ type algorithm = [ `Topk_ct | `Topk_ct_h | `Rank_join_ct ]
    (§6.2); a partial list only makes the user reveal one more value. *)
 let candidates_of algorithm ~k ~pref compiled te =
   let budget = 2_000 in
-  match algorithm with
-  | `Topk_ct ->
-      (Topk.Topk_ct.run ~max_pops:budget ~k ~pref compiled te).Topk.Topk_ct.targets
-  | `Topk_ct_h ->
-      (Topk.Topk_ct_h.run ~max_pops:budget ~k ~pref compiled te).Topk.Topk_ct_h.targets
-  | `Rank_join_ct ->
-      (Topk.Rank_join_ct.run ~max_pulls:budget ~k ~pref compiled te)
-        .Topk.Rank_join_ct.targets
+  let algo =
+    match algorithm with
+    | `Topk_ct -> `Ct
+    | `Topk_ct_h -> `Ct_h
+    | `Rank_join_ct -> `Rank_join
+  in
+  match Topk.solve ~algo ~max_pops:budget ~k ~pref compiled te with
+  | Ok outcome -> outcome.Topk.targets
+  | Error _ -> []
 
 let run ?(k = 15) ?(algorithm = `Topk_ct) ?(max_rounds = 20) ~pref ~user spec =
   (* The loop rides one incremental chase session: each user fill is

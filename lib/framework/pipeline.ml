@@ -1,0 +1,156 @@
+let ( let* ) = Result.bind
+
+type task =
+  | Chase
+  | Topk of { k : int; algo : Topk.algo }
+  | Clean of { key_attrs : string list; threshold : float; retries : int }
+
+type config = {
+  entity : string;
+  master : string option;
+  rules : string;
+  task : task;
+  limits : Robust.Budget.limits;
+}
+
+let config ?master ?(limits = Robust.Budget.unlimited) ~entity ~rules task =
+  { entity; master; rules; task; limits }
+
+type chase_outcome =
+  | Deduced of { te : Relational.Value.t array; complete : bool }
+  | Not_church_rosser of { rule : string; reason : string }
+  | Chase_exhausted of {
+      partial : Relational.Value.t array;
+      fired : int;
+      trip : Robust.Error.trip;
+    }
+
+type outcome =
+  | Chased of chase_outcome
+  | Ranked of { pref : Topk.Preference.t; result : Topk.outcome }
+  | Cleaned of Cleaner.report
+
+type report = { spec : Core.Specification.t; outcome : outcome }
+
+let load_spec ?master ~entity ~rules () =
+  Obs.Span.with_ ~name:"pipeline.load" @@ fun () ->
+  (* Relations are named after their file (stat.csv -> "stat"), so
+     rule files may quantify over them by name. *)
+  let* entity = Relational.Csv.read_relation entity in
+  let* master =
+    match master with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (Relational.Csv.read_relation path)
+  in
+  let schema = Relational.Relation.schema entity in
+  let master_schema = Option.map Relational.Relation.schema master in
+  let* parsed =
+    Rules.Parser.parse_file_robust ~schema ?master:master_schema rules
+  in
+  let* ruleset =
+    Result.map_error Robust.Error.rule_invalid
+      (Rules.Ruleset.make ~schema ?master:master_schema parsed)
+  in
+  Result.map_error Robust.Error.spec_invalid
+    (Core.Specification.make ~entity ?master ruleset)
+
+let compile spec =
+  Obs.Span.with_ ~name:"pipeline.compile" @@ fun () -> Core.Is_cr.compile spec
+
+let verdict_outcome = function
+  | Core.Is_cr.Church_rosser inst ->
+      Deduced
+        {
+          te = Core.Instance.te inst;
+          complete = Core.Instance.te_complete inst;
+        }
+  | Core.Is_cr.Not_church_rosser { rule; reason } ->
+      Not_church_rosser { rule; reason }
+
+let run_chase ?on_step limits spec =
+  Obs.Span.with_ ~name:"pipeline.chase" @@ fun () ->
+  if Robust.Budget.is_unlimited limits then
+    verdict_outcome (Core.Is_cr.run ?trace:on_step spec)
+  else
+    let meter = Robust.Budget.start limits in
+    let compiled = compile spec in
+    match Core.Is_cr.run_budgeted ?trace:on_step ~budget:meter compiled with
+    | Core.Is_cr.Verdict v -> verdict_outcome v
+    | Core.Is_cr.Exhausted { partial; fired; trip } ->
+        Chase_exhausted { partial = Core.Instance.te partial; fired; trip }
+
+let run_topk ~k ~algo limits spec =
+  let compiled = compile spec in
+  let verdict =
+    Obs.Span.with_ ~name:"pipeline.chase" @@ fun () ->
+    Core.Is_cr.run_compiled compiled
+  in
+  match verdict with
+  | Core.Is_cr.Not_church_rosser { rule; reason } ->
+      (* No well-defined target exists to complete. *)
+      Error (Robust.Error.order_conflict ~rule reason)
+  | Core.Is_cr.Church_rosser inst ->
+      let te = Core.Instance.te inst in
+      let pref =
+        Topk.Preference.of_occurrences (Core.Specification.entity spec)
+      in
+      let budget =
+        if Robust.Budget.is_unlimited limits then None
+        else Some (Robust.Budget.start limits)
+      in
+      Obs.Span.with_ ~name:"pipeline.topk" @@ fun () ->
+      Result.map
+        (fun result -> Ranked { pref; result })
+        (Topk.solve ~algo ?budget ~k ~pref compiled te)
+
+let run_clean ~key_attrs ~threshold ~retries limits spec =
+  let schema = Core.Specification.schema spec in
+  let* keys =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        match Relational.Schema.index_opt schema name with
+        | Some i -> Ok (i :: acc)
+        | None ->
+            Error
+              (Robust.Error.spec_invalid
+                 (Printf.sprintf "unknown key attribute %S" name)))
+      (Ok []) key_attrs
+  in
+  match List.rev keys with
+  | [] ->
+      Error
+        (Robust.Error.spec_invalid
+           "clean: pass at least one key attribute for entity resolution")
+  | keys ->
+      let er =
+        {
+          (Er.Resolver.default_config ~key_attrs:keys
+             ~compare_attrs:(List.map (fun a -> (a, 1.0)) keys))
+          with
+          use_soundex = true;
+          threshold;
+        }
+      in
+      let report =
+        Obs.Span.with_ ~name:"pipeline.clean" @@ fun () ->
+        Cleaner.clean ~er
+          ?master:(Core.Specification.master spec)
+          ~budget:limits ~retries
+          (Core.Specification.ruleset spec)
+          (Core.Specification.entity spec)
+      in
+      Ok (Cleaned report)
+
+let run ?on_step cfg =
+  let* spec =
+    load_spec ?master:cfg.master ~entity:cfg.entity ~rules:cfg.rules ()
+  in
+  let* outcome =
+    match cfg.task with
+    | Chase -> Ok (Chased (run_chase ?on_step cfg.limits spec))
+    | Topk { k; algo } -> run_topk ~k ~algo cfg.limits spec
+    | Clean { key_attrs; threshold; retries } ->
+        run_clean ~key_attrs ~threshold ~retries cfg.limits spec
+  in
+  Ok { spec; outcome }

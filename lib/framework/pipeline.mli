@@ -1,0 +1,82 @@
+(** The one-call facade over the whole engine.
+
+    [run] takes a declarative {!config} — file paths, a {!task}, a
+    budget — and drives loading (CSV + rules + specification
+    validation), the IsCR chase, and optionally top-k completion or
+    whole-relation cleaning, returning either a typed {!report} or a
+    {!Robust.Error.t}. The CLI subcommands and the test suite share
+    this code path, so an embedding application gets exactly the
+    behaviour the command line has: the same typed errors, the same
+    budget semantics, the same graceful degradation.
+
+    Every phase is wrapped in an {!Obs.Span}: [pipeline.load],
+    [pipeline.compile], [pipeline.chase], [pipeline.topk],
+    [pipeline.clean]. Enable collection with [Obs.set_enabled true]
+    to get per-phase wall times and the engines' counters. *)
+
+type task =
+  | Chase  (** check Church-Rosser and deduce the target tuple *)
+  | Topk of { k : int; algo : Topk.algo }
+      (** deduce, then complete with the top-[k] candidate targets *)
+  | Clean of { key_attrs : string list; threshold : float; retries : int }
+      (** ER-cluster the whole relation on [key_attrs], then deduce
+          and complete one target per entity *)
+
+type config = {
+  entity : string;  (** entity instance CSV (with header) *)
+  master : string option;  (** master relation CSV *)
+  rules : string;  (** accuracy-rule file (relacc syntax) *)
+  task : task;
+  limits : Robust.Budget.limits;
+}
+
+val config :
+  ?master:string ->
+  ?limits:Robust.Budget.limits ->
+  entity:string ->
+  rules:string ->
+  task ->
+  config
+(** [limits] defaults to {!Robust.Budget.unlimited}. *)
+
+type chase_outcome =
+  | Deduced of { te : Relational.Value.t array; complete : bool }
+  | Not_church_rosser of { rule : string; reason : string }
+      (** reported as data, not an error: an order conflict is a
+          meaningful verdict of the [Chase] task *)
+  | Chase_exhausted of {
+      partial : Relational.Value.t array;
+      fired : int;
+      trip : Robust.Error.trip;
+    }  (** the budget tripped; [partial] is sound as far as it got *)
+
+type outcome =
+  | Chased of chase_outcome
+  | Ranked of { pref : Topk.Preference.t; result : Topk.outcome }
+  | Cleaned of Cleaner.report
+
+type report = { spec : Core.Specification.t; outcome : outcome }
+
+val load_spec :
+  ?master:string ->
+  entity:string ->
+  rules:string ->
+  unit ->
+  (Core.Specification.t, Robust.Error.t) result
+(** Just the loading phase: read the CSVs (relations are named after
+    their file, [stat.csv] -> [stat], so rule files may quantify
+    over them by name), parse and validate the rules against the
+    schemas, and assemble the specification. Unreadable files
+    surface as [Io], malformed CSV as [Csv_shape] with file and row,
+    rule-text problems as [Rule_parse] with file and line. *)
+
+val run :
+  ?on_step:(Rules.Ground.step -> unit) ->
+  config ->
+  (report, Robust.Error.t) result
+(** Load, then execute the task. [on_step] observes each applied
+    chase step (only meaningful for the [Chase] task).
+
+    For [Topk], a non-Church-Rosser verdict is an
+    [Order_conflict] error — there is no well-defined target to
+    complete. For [Chase] it is a verdict, carried in the report. *)

@@ -1,0 +1,356 @@
+(* The collection flag. Mutators read it through one bool ref so
+   the disabled path is a single branch, no allocation. *)
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+let epoch_ms = now_ms ()
+
+(* ------------------------------------------------------------------ *)
+(* Metric storage                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; c_help : string; mutable c_v : int }
+type gauge = { g_name : string; g_help : string; mutable g_v : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_bounds : float array; (* strictly increasing upper bounds *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 (+inf) *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name m =
+  match Hashtbl.find_opt registry name with
+  | None ->
+      Hashtbl.add registry name m;
+      m
+  | Some existing ->
+      let compatible =
+        match (existing, m) with
+        | C _, C _ | G _, G _ -> true
+        | H h1, H h2 -> h1.h_bounds = h2.h_bounds
+        | _ -> false
+      in
+      if not compatible then
+        invalid_arg
+          (Printf.sprintf "Obs: metric %S already registered as a %s" name
+             (kind_name existing));
+      existing
+
+module Counter = struct
+  type t = counter
+
+  let make ?(help = "") name =
+    match register name (C { c_name = name; c_help = help; c_v = 0 }) with
+    | C c -> c
+    | _ -> assert false
+
+  let incr c = if !on then c.c_v <- c.c_v + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
+    if !on then c.c_v <- c.c_v + n
+
+  let value c = c.c_v
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(help = "") name =
+    match register name (G { g_name = name; g_help = help; g_v = 0.0 }) with
+    | G g -> g
+    | _ -> assert false
+
+  let set g v = if !on then g.g_v <- v
+  let observe_max g v = if !on && v > g.g_v then g.g_v <- v
+  let value g = g.g_v
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let default_ms_buckets = [| 0.01; 0.1; 1.0; 10.0; 100.0; 1000.0; 10000.0 |]
+
+  let make ?(help = "") ?(buckets = default_ms_buckets) name =
+    for i = 1 to Array.length buckets - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg "Obs.Histogram.make: bucket bounds must be strictly increasing"
+    done;
+    match
+      register name
+        (H
+           {
+             h_name = name;
+             h_help = help;
+             h_bounds = Array.copy buckets;
+             h_counts = Array.make (Array.length buckets + 1) 0;
+             h_sum = 0.0;
+             h_count = 0;
+           })
+    with
+    | H h -> h
+    | _ -> assert false
+
+  (* Buckets store per-bin counts internally; the cumulative view is
+     assembled at read time, keeping [observe] to one increment. *)
+  let observe h v =
+    if !on then begin
+      let n = Array.length h.h_bounds in
+      let rec bin i = if i < n && v > h.h_bounds.(i) then bin (i + 1) else i in
+      let i = bin 0 in
+      h.h_counts.(i) <- h.h_counts.(i) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1
+    end
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+
+  let bucket_counts h =
+    let acc = ref 0 and out = ref [] in
+    Array.iteri
+      (fun i bound ->
+        acc := !acc + h.h_counts.(i);
+        out := (bound, !acc) :: !out)
+      h.h_bounds;
+    acc := !acc + h.h_counts.(Array.length h.h_bounds);
+    out := (infinity, !acc) :: !out;
+    List.rev !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide views                                                *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : (float * int) list; sum : float; count : int }
+
+let value_of = function
+  | C c -> Counter c.c_v
+  | G g -> Gauge g.g_v
+  | H h ->
+      Histogram
+        { buckets = Histogram.bucket_counts h; sum = h.h_sum; count = h.h_count }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find name = Option.map value_of (Hashtbl.find_opt registry name)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type event = { name : string; depth : int; start_ms : float; dur_ms : float }
+
+  let capacity = 4096
+  let buf : event option array = Array.make capacity None
+  let next = ref 0 (* total completed spans; buf index is [mod capacity] *)
+  let depth = ref 0
+
+  let sanitize name =
+    String.map
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | '0' .. '9' | '_' -> ch
+        | 'A' .. 'Z' -> Char.lowercase_ascii ch
+        | _ -> '_')
+      name
+
+  let hist_for :
+      (string, Histogram.t) Hashtbl.t =
+    Hashtbl.create 16
+
+  let duration_hist name =
+    match Hashtbl.find_opt hist_for name with
+    | Some h -> h
+    | None ->
+        let h =
+          Histogram.make
+            ~help:(Printf.sprintf "wall time of span %s" name)
+            (Printf.sprintf "span_%s_ms" (sanitize name))
+        in
+        Hashtbl.add hist_for name h;
+        h
+
+  let record ev =
+    buf.(!next mod capacity) <- Some ev;
+    incr next
+
+  let with_ ~name f =
+    if not !on then f ()
+    else begin
+      let d = !depth in
+      depth := d + 1;
+      let t0 = now_ms () in
+      let close () =
+        let dur = Float.max 0.0 (now_ms () -. t0) in
+        depth := d;
+        Histogram.observe (duration_hist name) dur;
+        record { name; depth = d; start_ms = t0 -. epoch_ms; dur_ms = dur }
+      in
+      match f () with
+      | v ->
+          close ();
+          v
+      | exception e ->
+          close ();
+          raise e
+    end
+
+  let events () =
+    let n = !next in
+    let lo = max 0 (n - capacity) in
+    let evs = ref [] in
+    for i = n - 1 downto lo do
+      match buf.(i mod capacity) with
+      | Some e -> evs := e :: !evs
+      | None -> ()
+    done;
+    List.sort
+      (fun a b ->
+        match Float.compare a.start_ms b.start_ms with
+        | 0 -> Int.compare a.depth b.depth
+        | c -> c)
+      !evs
+
+  let clear () =
+    Array.fill buf 0 capacity None;
+    next := 0;
+    depth := 0
+
+  let pp_tree ppf () =
+    match events () with
+    | [] -> Format.fprintf ppf "(no spans recorded)@."
+    | evs ->
+        List.iter
+          (fun e ->
+            Format.fprintf ppf "%s%-*s %8.3f ms  (+%.3f ms)@."
+              (String.concat "" (List.init e.depth (fun _ -> "  ")))
+              (max 1 (32 - (2 * e.depth)))
+              e.name e.dur_ms e.start_ms)
+          evs
+end
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c_v <- 0
+      | G g -> g.g_v <- 0.0
+      | H h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry;
+  Span.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Export = struct
+  let float_str v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+
+  let bound_str b = if b = infinity then "inf" else float_str b
+
+  let to_table () =
+    let b = Buffer.create 512 in
+    let width =
+      List.fold_left (fun w (n, _) -> max w (String.length n)) 24 (snapshot ())
+    in
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter n -> Printf.bprintf b "%-*s  %d\n" width name n
+        | Gauge g -> Printf.bprintf b "%-*s  %s\n" width name (float_str g)
+        | Histogram { sum; count; buckets } ->
+            Printf.bprintf b "%-*s  count=%d sum=%s\n" width name count
+              (float_str sum);
+            List.iter
+              (fun (bound, c) ->
+                Printf.bprintf b "%-*s    le=%s: %d\n" width "" (bound_str bound)
+                  c)
+              buckets)
+      (snapshot ());
+    Buffer.contents b
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_json_lines () =
+    let b = Buffer.create 512 in
+    List.iter
+      (fun (name, v) ->
+        let name = json_escape name in
+        match v with
+        | Counter n ->
+            Printf.bprintf b "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+              name n
+        | Gauge g ->
+            Printf.bprintf b "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}\n"
+              name (float_str g)
+        | Histogram { sum; count; buckets } ->
+            Printf.bprintf b
+              "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}\n"
+              name count (float_str sum)
+              (String.concat ","
+                 (List.map
+                    (fun (bound, c) ->
+                      if bound = infinity then Printf.sprintf "[\"inf\",%d]" c
+                      else Printf.sprintf "[%s,%d]" (float_str bound) c)
+                    buckets)))
+      (snapshot ());
+    Buffer.contents b
+
+  let to_prometheus () =
+    let b = Buffer.create 512 in
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter n ->
+            Printf.bprintf b "# TYPE %s counter\n%s %d\n" name name n
+        | Gauge g ->
+            Printf.bprintf b "# TYPE %s gauge\n%s %s\n" name name (float_str g)
+        | Histogram { sum; count; buckets } ->
+            Printf.bprintf b "# TYPE %s histogram\n" name;
+            List.iter
+              (fun (bound, c) ->
+                Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" name
+                  (if bound = infinity then "+Inf" else float_str bound)
+                  c)
+              buckets;
+            Printf.bprintf b "%s_sum %s\n" name (float_str sum);
+            Printf.bprintf b "%s_count %d\n" name count)
+      (snapshot ());
+    Buffer.contents b
+end

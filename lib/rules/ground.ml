@@ -2,6 +2,12 @@ module Value = Relational.Value
 module Relation = Relational.Relation
 module Attr_order = Ordering.Attr_order
 
+(* Observability: |Γ| by rule form, plus how many candidate ground
+   steps the canonical-key dedup discarded. *)
+let m_form1 = Obs.Counter.make ~help:"ground steps emitted from form (1) rules" "instantiation_form1_steps_total"
+let m_form2 = Obs.Counter.make ~help:"ground steps emitted from form (2) rules" "instantiation_form2_steps_total"
+let m_dedup = Obs.Counter.make ~help:"duplicate ground steps discarded" "instantiation_dedup_skipped_total"
+
 type action =
   | Add_order of { attr : int; c1 : int; c2 : int }
   | Refresh of int
@@ -88,14 +94,16 @@ let instantiate ~ruleset ~entity ~master ~orders =
   let steps = ref [] in
   let count = ref 0 in
   let seen = Hashtbl.create 256 in
-  let emit rule_name preds action =
+  let emit rule_name ~form preds action =
     let preds = dedup_preds preds in
     let key = step_key preds action in
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
       steps := { sid = !count; rule_name; preds; action } :: !steps;
+      Obs.Counter.incr (match form with `Form1 -> m_form1 | `Form2 -> m_form2);
       incr count
     end
+    else Obs.Counter.incr m_dedup
   in
   (* A form (1) rule only reads a handful of attributes on each
      tuple variable; two tuples whose value classes agree on that
@@ -170,7 +178,7 @@ let instantiate ~ruleset ~entity ~master ~orders =
                 let action =
                   if c1 = c2 then Refresh attr else Add_order { attr; c1; c2 }
                 in
-                emit r.f1_name (List.rev preds) action)
+                emit r.f1_name ~form:`Form1 (List.rev preds) action)
           reps2)
       reps1
   in
@@ -199,7 +207,7 @@ let instantiate ~ruleset ~entity ~master ~orders =
           | Some preds ->
               let value = tm r.f2_tm_attr in
               if not (Value.is_null value) then
-                emit r.f2_name (List.rev preds)
+                emit r.f2_name ~form:`Form2 (List.rev preds)
                   (Assign { attr = r.f2_te_attr; value })
         done
   in

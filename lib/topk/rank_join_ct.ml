@@ -1,5 +1,13 @@
 module Value = Relational.Value
 
+(* Observability: ranked-list traffic of the §6.1 rank join. Check
+   and prune counters are shared with TopKCT/TopKCTh. *)
+let m_pulls = Obs.Counter.make ~help:"ranked-list pulls" "rank_join_pulls_total"
+let m_combos = Obs.Counter.make ~help:"combinations generated and checked" "rank_join_combos_total"
+let m_checks = Obs.Counter.make "topk_checks_total"
+let m_pruned = Obs.Counter.make "topk_pruned_total"
+let m_hwm = Obs.Gauge.make ~help:"output buffer depth high-water mark" "rank_join_buffer_hwm"
+
 type stats = {
   pulls : int;
   combos : int;
@@ -48,7 +56,10 @@ let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
   in
   let verify t =
     incr checks;
-    Core.Is_cr.check compiled t
+    Obs.Counter.incr m_checks;
+    let ok = Core.Is_cr.check compiled t in
+    if not ok then Obs.Counter.incr m_pruned;
+    ok
   in
   let zattrs =
     Array.of_list
@@ -110,11 +121,14 @@ let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
         if over_budget () then ()
         else if j = m then begin
           incr combos;
+          Obs.Counter.incr m_combos;
           charge ();
           let values = Array.copy te in
           List.iter (fun (attr, v) -> values.(attr) <- v) acc;
           let ok = verify values in
-          Pqueue.Binary_heap.add buffer { values; w = score; ok }
+          Pqueue.Binary_heap.add buffer { values; w = score; ok };
+          Obs.Gauge.observe_max m_hwm
+            (float_of_int (Pqueue.Binary_heap.length buffer))
         end
         else if j = i then
           let v, w = lists.(i).(d) in
@@ -174,6 +188,7 @@ let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
             finish (drain targets found)
         | Some i ->
             incr pulls;
+            Obs.Counter.incr m_pulls;
             let d = depth.(i) in
             depth.(i) <- d + 1;
             generate i d;

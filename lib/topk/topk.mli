@@ -1,0 +1,60 @@
+(** Top-k candidate targets (§6): the preference model, active
+    domains, and one entry point — {!solve} — over the three
+    completion algorithms.
+
+    [solve] is the supported API: it validates its inputs into typed
+    {!Robust.Error.t} values (instead of raising), normalises the
+    three algorithms' budget knobs, and reports exhaustion uniformly.
+    The per-algorithm modules remain available for code that needs
+    their detailed statistics, but their direct use is deprecated. *)
+
+module Preference = Preference
+module Active_domain = Active_domain
+module Candidate_oracle = Candidate_oracle
+
+module Rank_join_ct = Rank_join_ct
+[@@deprecated "Use Topk.solve ~algo:`Rank_join instead."]
+
+module Topk_ct = Topk_ct [@@deprecated "Use Topk.solve ~algo:`Ct instead."]
+
+module Topk_ct_h = Topk_ct_h
+[@@deprecated "Use Topk.solve ~algo:`Ct_h instead."]
+
+type algo = [ `Rank_join  (** RankJoinCT, §6.1 *)
+            | `Ct  (** TopKCT, §6.2 (Fig. 5) — the default *)
+            | `Ct_h  (** TopKCTh, §6.3 greedy repair *) ]
+
+val algo_name : algo -> string
+
+type outcome = {
+  targets : Relational.Value.t array list;
+      (** best-score-first, at most [k] *)
+  exhausted : Robust.Error.trip option;
+      (** [Some _] when a budget stopped the search before it either
+          found [k] targets or proved no more exist; the targets are
+          then a sound best-so-far prefix *)
+  checks : int;  (** candidate chase checks spent *)
+  pulls : int;  (** frontier pops / ranked-list pulls *)
+}
+
+val solve :
+  ?algo:algo ->
+  ?include_default:bool ->
+  ?max_pops:int ->
+  ?budget:Robust.Budget.t ->
+  k:int ->
+  pref:Preference.t ->
+  Core.Is_cr.compiled ->
+  Relational.Value.t array ->
+  (outcome, Robust.Error.t) result
+(** [solve compiled te] completes the deduced target [te] with the
+    [k] best candidates under [pref].
+
+    [max_pops] caps frontier pops (TopKCT/TopKCTh) or list pulls and
+    combinations (RankJoinCT); [budget] additionally imposes an
+    armed meter — wall-clock deadlines are only enforced by
+    [`Rank_join] (the others translate the meter's step cap).
+
+    Errors instead of exceptions: [k < 1] and (with
+    [~include_default:false]) an empty active domain for a null
+    attribute surface as {!Robust.Error.Spec_invalid}. *)

@@ -1,5 +1,14 @@
 module Value = Relational.Value
 
+(* Observability: frontier traffic of the Fig. 5 lattice walk.
+   [topk_checks_total] and [topk_pruned_total] are shared with the
+   other two algorithms (same registry entries). *)
+let m_pops = Obs.Counter.make ~help:"frontier queue pops" "topk_frontier_pops_total"
+let m_heap_pops = Obs.Counter.make ~help:"per-attribute domain heap pops" "topk_heap_pops_total"
+let m_checks = Obs.Counter.make ~help:"candidate chase checks" "topk_checks_total"
+let m_pruned = Obs.Counter.make ~help:"candidates rejected by the chase check" "topk_pruned_total"
+let m_hwm = Obs.Gauge.make ~help:"frontier queue depth high-water mark" "topk_frontier_hwm"
+
 type stats = {
   heap_pops : int;
   queue_pops : int;
@@ -63,7 +72,10 @@ let run ?(check = true) ?include_default ?max_pops ~k ~pref compiled te =
     if not check then true
     else begin
       incr checks;
-      Core.Is_cr.check compiled t
+      Obs.Counter.incr m_checks;
+      let ok = Core.Is_cr.check compiled t in
+      if not ok then Obs.Counter.incr m_pruned;
+      ok
     end
   in
   let finish targets =
@@ -112,6 +124,7 @@ let run ?(check = true) ?include_default ?max_pops ~k ~pref compiled te =
       match Pqueue.Binary_heap.pop heaps.(i) with
       | Some vw ->
           incr heap_pops;
+          Obs.Counter.incr m_heap_pops;
           Vec.push buffers.(i) vw;
           true
       | None -> false
@@ -141,6 +154,7 @@ let run ?(check = true) ?include_default ?max_pops ~k ~pref compiled te =
         | Some (o, q') ->
             queue := q';
             incr queue_pops;
+            Obs.Counter.incr m_pops;
             let targets, found =
               if verify o.values then (Array.copy o.values :: targets, found + 1)
               else (targets, found)
@@ -165,7 +179,9 @@ let run ?(check = true) ?include_default ?max_pops ~k ~pref compiled te =
                   let pos = Array.copy o.pos in
                   pos.(i) <- next;
                   let o' = { values; pos; w = o.w -. w_old +. w_new } in
-                  queue := Pqueue.Brodal_queue.insert o' !queue
+                  queue := Pqueue.Brodal_queue.insert o' !queue;
+                  Obs.Gauge.observe_max m_hwm
+                    (float_of_int (Pqueue.Brodal_queue.size !queue))
                 end
               end
             done;

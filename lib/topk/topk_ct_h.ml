@@ -1,6 +1,12 @@
 module Value = Relational.Value
 module Relation = Relational.Relation
 
+(* Observability: the greedy-repair loop's work. Checks are shared
+   with the exact algorithms' counter. *)
+let m_revisions = Obs.Counter.make ~help:"greedy single-attribute revisions" "topk_heuristic_revisions_total"
+let m_repaired = Obs.Counter.make ~help:"seeds repaired into valid candidates" "topk_heuristic_repaired_total"
+let m_checks = Obs.Counter.make "topk_checks_total"
+
 type stats = {
   seeds : int;
   revisions : int;
@@ -44,6 +50,7 @@ let run ?include_default ?max_pops ~k ~pref compiled te =
   let revisions = ref 0 and checks = ref 0 and repaired = ref 0 in
   let check t =
     incr checks;
+    Obs.Counter.incr m_checks;
     Core.Is_cr.check compiled t
   in
   let zattrs =
@@ -63,6 +70,7 @@ let run ?include_default ?max_pops ~k ~pref compiled te =
       else if i >= m then None
       else begin
         incr revisions;
+        Obs.Counter.incr m_revisions;
         match best_cooccurring entity zattrs t with
         | None -> None
         | Some anchor ->
@@ -86,7 +94,9 @@ let run ?include_default ?max_pops ~k ~pref compiled te =
     in
     let result = attempt 0 in
     (match result with
-    | Some t' when not (Array.for_all2 Value.equal t' seed) -> incr repaired
+    | Some t' when not (Array.for_all2 Value.equal t' seed) ->
+        incr repaired;
+        Obs.Counter.incr m_repaired
     | _ -> ());
     result
   in
