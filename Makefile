@@ -15,15 +15,17 @@ robust:
 lint:
 	sh scripts/lint_failwith.sh
 	sh scripts/lint_print.sh
+	sh scripts/lint_domainsafe.sh
 
-# Machine-readable perf baselines: BENCH_chase.json + BENCH_topk.json
-# at the repo root (kernel wall times + Obs work counters).
+# Machine-readable perf baselines: BENCH_chase.json, BENCH_topk.json
+# and BENCH_clean.json (batch cleaning at 1/2/4 worker domains) at
+# the repo root (kernel wall times + Obs work counters).
 bench:
 	dune exec bench/main.exe -- --bench-json .
 
 # The gate CI runs: full build, full test suite, style lints.
 check:
-	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh
+	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh && sh scripts/lint_domainsafe.sh
 
 clean:
 	dune clean

@@ -13,7 +13,8 @@
 
    Part 3 (--bench-json [DIR]) times a fixed kernel suite with
    Util.Timing.best_of and writes machine-readable baselines —
-   BENCH_chase.json and BENCH_topk.json — pairing each kernel's wall
+   BENCH_chase.json, BENCH_topk.json and BENCH_clean.json (batch
+   cleaning at 1/2/4 worker domains) — pairing each kernel's wall
    time with the Obs work counters of one instrumented run.
 
    Usage:
@@ -328,6 +329,46 @@ let topk_kernels =
       fun () -> ignore (solve `Ct ~k:15 ~pref:med_pref med_compiled med_te) );
   ]
 
+(* Batch cleaning at 1/2/4 worker domains — the same batch, the same
+   (byte-identical) report, only the wall time moves. The fixture is
+   built once, outside the timed region. Speedup tracks the host's
+   real parallelism (the "host_domains" field of the JSON): with
+   fewer cores than jobs, domains cost instead of pay — OCaml 5
+   minor collections synchronise every domain, so oversubscription
+   is actively slower than serial, not just flat. *)
+
+let clean_batch =
+  lazy
+    (let ds = Datagen.Med_gen.dataset ~entities:60 ~seed:44 () in
+     let flat =
+       Relational.Relation.make ds.schema
+         (List.concat_map
+            (fun (e : Datagen.Entity_gen.entity) ->
+              Relational.Relation.tuples e.instance)
+            ds.entities)
+     in
+     let clusters, _ =
+       List.fold_left
+         (fun (acc, offset) (e : Datagen.Entity_gen.entity) ->
+           let n = Relational.Relation.size e.instance in
+           (List.init n (fun i -> offset + i) :: acc, offset + n))
+         ([], 0) ds.entities
+     in
+     (ds, flat, List.rev clusters))
+
+let clean_kernel jobs () =
+  let ds, flat, clusters = Lazy.force clean_batch in
+  ignore
+    (Framework.Cleaner.clean ~clusters ~master:ds.master ~jobs ds.ruleset flat
+      : Framework.Cleaner.report)
+
+let clean_kernels =
+  [
+    ("clean-med60-jobs1", clean_kernel 1);
+    ("clean-med60-jobs2", clean_kernel 2);
+    ("clean-med60-jobs4", clean_kernel 4);
+  ]
+
 let measure_kernel f =
   Obs.set_enabled false;
   let _, ms = Util.Timing.best_of json_repeats f in
@@ -346,8 +387,10 @@ let measure_kernel f =
 let write_suite ~dir ~suite kernels =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "{\"suite\":\"%s\",\"best_of\":%d,\"results\":[\n" suite
-       json_repeats);
+    (Printf.sprintf
+       "{\"suite\":\"%s\",\"best_of\":%d,\"host_domains\":%d,\"results\":[\n"
+       suite json_repeats
+       (Domain.recommended_domain_count ()));
   List.iteri
     (fun i (name, f) ->
       let ms, counters = measure_kernel f in
@@ -369,7 +412,8 @@ let write_suite ~dir ~suite kernels =
 
 let run_bench_json dir =
   write_suite ~dir ~suite:"chase" chase_kernels;
-  write_suite ~dir ~suite:"topk" topk_kernels
+  write_suite ~dir ~suite:"topk" topk_kernels;
+  write_suite ~dir ~suite:"clean" clean_kernels
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -132,6 +132,22 @@ let limits_of ~timeout ~max_steps =
     ?deadline_ms:(Option.map (fun s -> s *. 1000.0) timeout)
     ()
 
+let jobs_arg =
+  let jobs_conv =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok v when v < 1 ->
+          Error (`Msg (Printf.sprintf "JOBS must be at least 1, got %s" s))
+      | r -> r
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value & opt jobs_conv 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the per-entity work. The output is identical for           every value; $(docv) only changes the wall time.")
+
 let budget_exit ~strict ~trip ~spent =
   if strict then
     Robust.Error.exit_code (Robust.Error.budget_exhausted ~trip ~spent "")
@@ -350,7 +366,7 @@ let generate_cmd =
 (* experiment                                                       *)
 (* ---------------------------------------------------------------- *)
 
-let experiment verbose ids full list_only csv_dir metrics trace =
+let experiment verbose ids full list_only csv_dir jobs metrics trace =
   setup_logs verbose;
   if list_only then begin
     List.iter
@@ -367,10 +383,19 @@ let experiment verbose ids full list_only csv_dir metrics trace =
     (match csv_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
+    (* Run on the pool (each experiment is independent), but print —
+       and write CSVs — serially in id order, so the output is the
+       same for every --jobs. *)
+    let pool = Parallel.Pool.create ~jobs () in
+    let reports =
+      Parallel.Pool.map pool
+        (fun id -> Experiments.Registry.run ~scale id)
+        (Array.of_list ids)
+    in
     let code = ref 0 in
-    List.iter
-      (fun id ->
-        match Experiments.Registry.run ~scale id with
+    List.iteri
+      (fun i id ->
+        match reports.(i) with
         | Some report ->
             Experiments.Report.print report;
             (match csv_dir with
@@ -398,7 +423,7 @@ let experiment_cmd =
           value
           & opt (some string) None
           & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each report as DIR/<id>.csv.")
-      $ metrics_arg $ trace_spans_arg)
+      $ jobs_arg $ metrics_arg $ trace_spans_arg)
 
 (* ---------------------------------------------------------------- *)
 (* rules                                                            *)
@@ -472,14 +497,14 @@ let explain_cmd =
 (* ---------------------------------------------------------------- *)
 
 let clean_impl verbose entity master rules out key_attrs threshold timeout
-    max_steps retries strict metrics trace =
+    max_steps retries jobs strict metrics trace =
   setup_logs verbose;
   run_with_obs ~metrics ~trace @@ fun () ->
   let cfg =
     Pipeline.config ?master
       ~limits:(limits_of ~timeout ~max_steps)
       ~entity ~rules
-      (Pipeline.Clean { key_attrs; threshold; retries })
+      (Pipeline.Clean { key_attrs; threshold; retries; jobs })
   in
   match Pipeline.run cfg with
   | Error e -> report_error e
@@ -525,7 +550,7 @@ let clean_cmd =
           value & opt int 1
           & info [ "retries" ] ~docv:"N"
               ~doc:"Budget-relax retries per exhausted entity before quarantine.")
-      $ strict_arg $ metrics_arg $ trace_spans_arg)
+      $ jobs_arg $ strict_arg $ metrics_arg $ trace_spans_arg)
 
 (* ---------------------------------------------------------------- *)
 

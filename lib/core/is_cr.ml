@@ -113,6 +113,9 @@ let fresh_state c =
       Queue.add sid st.queue
     end
   done;
+  (* The initial worklist — typically every axiom step — is often the
+     queue's true peak; [enqueue_if_ready] alone would miss it. *)
+  Obs.Gauge.observe_max m_qhwm (float_of_int (Queue.length st.queue));
   st
 
 let enqueue_if_ready st sid =
@@ -180,7 +183,14 @@ let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
         if Bytes.get st.dead sid = '\001' then go ()
         else begin
           match charge () with
-          | Some trip -> (`Out trip, stat ())
+          | Some trip ->
+              (* The dequeued step has not fired: put it back so the
+                 exhausted state remains a sound description of the
+                 pending work (its [queued] flag is still set, so a
+                 later [satisfy] would never re-add it) and a resumed
+                 drain picks it up again. *)
+              Queue.add sid st.queue;
+              (`Out trip, stat ())
           | None -> (
               incr fired;
               Obs.Counter.incr m_fired;
@@ -264,11 +274,17 @@ type session = {
   mutable broken : bool;
 }
 
-let session_start ?template c =
+let session_start ?template ?budget c =
   let inst, st = prepare ?template c in
-  match drain c st inst ~fired:(ref 0) ~changed:(ref 0) with
-  | Church_rosser _, _ -> Ok { sc = c; sst = st; sinst = inst; broken = false }
-  | Not_church_rosser { rule; reason }, _ -> Error (rule, reason)
+  match drain_budgeted ?budget c st inst ~fired:(ref 0) ~changed:(ref 0) with
+  | `Done (Church_rosser _), _ ->
+      Ok { sc = c; sst = st; sinst = inst; broken = false }
+  | `Done (Not_church_rosser { rule; reason }), _ -> Error (rule, reason)
+  | `Out _, _ ->
+      (* Budget tripped mid-drain: the state is sound and the
+         worklist retains every pending step, so the session can be
+         resumed by any later fill (including an empty one). *)
+      Ok { sc = c; sst = st; sinst = inst; broken = false }
 
 let session_te s = Instance.te s.sinst
 let session_complete s = Instance.te_complete s.sinst

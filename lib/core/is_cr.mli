@@ -86,10 +86,16 @@ type session
 
 val session_start :
   ?template:Relational.Value.t array ->
+  ?budget:Robust.Budget.t ->
   compiled ->
   (session, string * string) result
 (** Chase to the terminal instance; [Error (rule, reason)] when the
-    specification is not Church-Rosser. *)
+    specification is not Church-Rosser. With a [budget], a tripped
+    drain still returns [Ok]: the session holds a sound partial state
+    whose worklist retains every pending step — including the one in
+    hand when the budget tripped — and the next {!session_fill}
+    (possibly with an empty fill list) resumes the drain where it
+    stopped. *)
 
 val session_te : session -> Relational.Value.t array
 (** Current deduced target. *)
@@ -105,7 +111,9 @@ val session_fill :
     [Invalid_argument] otherwise) and continue the chase. [Error]
     when a fill contradicts a deduced value or the continuation hits
     a conflict; the session is then {e broken} and any further
-    [session_fill] raises. *)
+    [session_fill] raises. An empty fill list is allowed and simply
+    drains whatever work is pending (the resume path for sessions
+    started under a {!Robust.Budget.t} that tripped). *)
 
 val run_stat : Specification.t -> verdict * stat
 

@@ -4,11 +4,14 @@ module Tuple = Relational.Tuple
 
 (* Observability: batch-level accounting. Per-entity wall time lands
    in the [span_cleaner_entity_ms] histogram via the span around
-   each entity's fault boundary. *)
+   each entity's fault boundary. All counters are Obs atomics, so
+   worker domains may bump them concurrently; the totals are
+   independent of the schedule. *)
 let m_entities = Obs.Counter.make ~help:"entities processed" "cleaner_entities_total"
 let m_quarantined = Obs.Counter.make ~help:"entities quarantined" "cleaner_quarantined_total"
 let m_retries = Obs.Counter.make ~help:"budget-relax retries" "cleaner_retries_total"
 let m_budget_steps = Obs.Counter.make ~help:"chase steps charged to entity budgets" "cleaner_budget_steps_total"
+let m_jobs = Obs.Gauge.make ~help:"worker domains of the last clean" "cleaner_jobs"
 
 type outcome =
   | Complete
@@ -31,8 +34,22 @@ type report = {
   cell_changes : int;
 }
 
+(* Everything one entity contributes to the report. [clean] folds
+   these in cluster order, so the report is a pure function of the
+   per-entity results — the parallel path's determinism rests on
+   this (each entity's result is computed in isolation; the fold
+   never sees scheduling order). *)
+type entity_result = {
+  r_tuple : Tuple.t;
+  r_outcome : outcome;
+  r_retries : int;  (** budget-relax retries this entity consumed *)
+  r_changes : int;  (** target cells differing from the majority *)
+}
+
 let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
-    ?(budget = Robust.Budget.unlimited) ?(retries = 1) ruleset dirty =
+    ?(budget = Robust.Budget.unlimited) ?(retries = 1) ?(jobs = 1) ruleset dirty =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Cleaner.clean: jobs = %d" jobs);
   let clusters =
     match (er, clusters) with
     | Some config, None -> Er.Resolver.cluster config dirty
@@ -47,27 +64,23 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
     | None -> fun instance -> Topk.Preference.of_occurrences instance
   in
   let schema = Relation.schema dirty in
-  let outcomes = ref [] in
-  let errors = ref [] in
-  let complete = ref 0
-  and by_topk = ref 0
-  and incomplete = ref 0
-  and rejected = ref 0
-  and quarantined = ref 0
-  and retries_used = ref 0
-  and cell_changes = ref 0 in
+  Obs.Gauge.set m_jobs (float_of_int jobs);
   let majority = Truth.Voting.resolve in
   let count_changes instance target =
     let base = majority instance in
+    let changed = ref 0 in
     Array.iteri
       (fun a v ->
         if (not (Value.is_null v)) && not (Value.equal v base.(a)) then
-          incr cell_changes)
-      target
+          incr changed)
+      target;
+    !changed
   in
   (* Chase one entity under the budget, relaxing and retrying on
-     transient exhaustion (up to [retries] times, ×4 each time). *)
-  let rec chase_budgeted compiled lim tries =
+     transient exhaustion (up to [retries] times, ×4 each time).
+     A fresh meter per attempt: budgets are per-entity, never shared
+     across entities or domains. *)
+  let rec chase_budgeted ~used compiled lim tries =
     if Robust.Budget.is_unlimited lim then
       `Verdict (Core.Is_cr.run_compiled compiled)
     else
@@ -78,109 +91,153 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
       | Core.Is_cr.Verdict v -> `Verdict v
       | Core.Is_cr.Exhausted { trip; fired; _ } ->
           if tries > 0 then begin
-            incr retries_used;
+            incr used;
             Obs.Counter.incr m_retries;
-            chase_budgeted compiled (Robust.Budget.relax lim) (tries - 1)
+            chase_budgeted ~used compiled (Robust.Budget.relax lim) (tries - 1)
           end
           else `Exhausted (trip, fired)
   in
-  let tuples =
-    List.mapi
-      (fun idx members ->
-        Obs.Counter.incr m_entities;
-        Obs.Span.with_ ~name:"cleaner.entity" @@ fun () ->
-        (* Fault isolation: whatever goes wrong inside this entity —
-           a cluster referencing rows that do not exist, an invalid
-           spec, a budget trip, an unexpected exception — is
-           quarantined into the report and the entity degrades to
-           the majority representative of whatever members are
-           real; the batch carries on. *)
-        let quarantine err =
-          incr quarantined;
-          Obs.Counter.incr m_quarantined;
-          outcomes := (idx, Quarantined err) :: !outcomes;
-          errors := (idx, err) :: !errors;
-          let valid =
-            List.filter_map
-              (fun i ->
-                if i >= 0 && i < Relation.size dirty then
-                  Some (Relation.tuple dirty i)
-                else None)
-              members
-          in
-          match valid with
-          | [] ->
-              Tuple.make
-                (Array.make (Relational.Schema.arity schema) Value.Null)
-          | _ -> Tuple.make (majority (Relation.make schema valid))
-        in
-        match
-          let instance =
-            Relation.make schema (List.map (Relation.tuple dirty) members)
-          in
-          match Core.Specification.make ~entity:instance ?master ruleset with
-          | Error e -> `Quarantine (Robust.Error.spec_invalid e)
-          | Ok spec -> (
-              let compiled = Core.Is_cr.compile spec in
-              match chase_budgeted compiled budget retries with
-              | `Exhausted (trip, fired) ->
-                  `Quarantine
-                    (Robust.Error.budget_exhausted ~trip ~spent:fired
-                       (Printf.sprintf "entity %d: chase did not finish within %d retries"
-                          idx (max retries 0)))
-              | `Verdict (Core.Is_cr.Not_church_rosser { rule; _ }) ->
-                  incr rejected;
-                  outcomes := (idx, Not_church_rosser rule) :: !outcomes;
-                  (* leave the entity as its majority representative *)
-                  `Tuple (Tuple.make (majority instance))
-              | `Verdict (Core.Is_cr.Church_rosser inst) ->
-                  let te = Core.Instance.te inst in
-                  if Core.Instance.te_complete inst then begin
-                    incr complete;
-                    outcomes := (idx, Complete) :: !outcomes;
-                    count_changes instance te;
-                    `Tuple (Tuple.make te)
-                  end
-                  else begin
-                    let pref = pref_of instance in
-                    let targets =
-                      match
-                        Topk.solve ~algo:`Ct ~max_pops:k_budget ~k:1 ~pref
-                          compiled te
-                      with
-                      | Ok outcome -> outcome.Topk.targets
-                      | Error _ -> []
-                    in
-                    match targets with
-                    | best :: _ ->
-                        incr by_topk;
-                        outcomes := (idx, Completed_by_topk) :: !outcomes;
-                        count_changes instance best;
-                        `Tuple (Tuple.make best)
-                    | [] ->
-                        incr incomplete;
-                        outcomes := (idx, Still_incomplete) :: !outcomes;
-                        count_changes instance te;
-                        `Tuple (Tuple.make te)
-                  end)
-        with
-        | `Tuple t -> t
-        | `Quarantine err -> quarantine err
-        | exception e -> quarantine (Robust.Error.of_exn e))
-      clusters
+  (* Fault degradation: the entity collapses to the majority
+     representative of whatever members are real, with the typed
+     error in its result. *)
+  let quarantined_result members err =
+    Obs.Counter.incr m_quarantined;
+    let valid =
+      List.filter_map
+        (fun i ->
+          if i >= 0 && i < Relation.size dirty then
+            Some (Relation.tuple dirty i)
+          else None)
+        members
+    in
+    let tuple =
+      match valid with
+      | [] ->
+          Tuple.make (Array.make (Relational.Schema.arity schema) Value.Null)
+      | _ -> Tuple.make (majority (Relation.make schema valid))
+    in
+    { r_tuple = tuple; r_outcome = Quarantined err; r_retries = 0; r_changes = 0 }
   in
+  (* One entity, in isolation: whatever goes wrong inside — a
+     cluster referencing rows that do not exist, an invalid spec, a
+     budget trip, an unexpected exception — is quarantined into this
+     entity's result and the batch carries on. The only shared state
+     this function touches is the (domain-safe) Obs registry and
+     read-only inputs, which is what makes it safe to run on a
+     worker domain. *)
+  let process (idx, members) =
+    Obs.Counter.incr m_entities;
+    Obs.Span.with_ ~name:"cleaner.entity" @@ fun () ->
+    let used = ref 0 in
+    match
+      let instance =
+        Relation.make schema (List.map (Relation.tuple dirty) members)
+      in
+      match Core.Specification.make ~entity:instance ?master ruleset with
+      | Error e -> `Quarantine (Robust.Error.spec_invalid e)
+      | Ok spec -> (
+          let compiled = Core.Is_cr.compile spec in
+          match chase_budgeted ~used compiled budget retries with
+          | `Exhausted (trip, fired) ->
+              `Quarantine
+                (Robust.Error.budget_exhausted ~trip ~spent:fired
+                   (Printf.sprintf "entity %d: chase did not finish within %d retries"
+                      idx (max retries 0)))
+          | `Verdict (Core.Is_cr.Not_church_rosser { rule; _ }) ->
+              (* leave the entity as its majority representative *)
+              `Result
+                {
+                  r_tuple = Tuple.make (majority instance);
+                  r_outcome = Not_church_rosser rule;
+                  r_retries = !used;
+                  r_changes = 0;
+                }
+          | `Verdict (Core.Is_cr.Church_rosser inst) ->
+              let te = Core.Instance.te inst in
+              if Core.Instance.te_complete inst then
+                `Result
+                  {
+                    r_tuple = Tuple.make te;
+                    r_outcome = Complete;
+                    r_retries = !used;
+                    r_changes = count_changes instance te;
+                  }
+              else begin
+                let pref = pref_of instance in
+                let targets =
+                  match
+                    Topk.solve ~algo:`Ct ~max_pops:k_budget ~k:1 ~pref
+                      compiled te
+                  with
+                  | Ok outcome -> outcome.Topk.targets
+                  | Error _ -> []
+                in
+                match targets with
+                | best :: _ ->
+                    `Result
+                      {
+                        r_tuple = Tuple.make best;
+                        r_outcome = Completed_by_topk;
+                        r_retries = !used;
+                        r_changes = count_changes instance best;
+                      }
+                | [] ->
+                    `Result
+                      {
+                        r_tuple = Tuple.make te;
+                        r_outcome = Still_incomplete;
+                        r_retries = !used;
+                        r_changes = count_changes instance te;
+                      }
+              end)
+    with
+    | `Result r -> r
+    (* Retries spent before the quarantine still count. *)
+    | `Quarantine err ->
+        { (quarantined_result members err) with r_retries = !used }
+    | exception e ->
+        { (quarantined_result members (Robust.Error.of_exn e)) with
+          r_retries = !used }
+  in
+  let tasks = Array.of_list (List.mapi (fun idx members -> (idx, members)) clusters) in
+  let results =
+    if jobs = 1 then Array.map process tasks
+    else
+      let pool = Parallel.Pool.create ~jobs () in
+      Array.mapi
+        (fun i -> function
+          | Ok r -> r
+          | Error e ->
+              (* Pool-level backstop: [process] quarantines its own
+                 exceptions, so this only fires if the boundary
+                 itself is broken. *)
+              quarantined_result (snd tasks.(i)) (Robust.Error.of_exn e))
+        (Parallel.Pool.map_result pool process tasks)
+  in
+  (* The fold over per-entity results, in cluster order. *)
+  let outcomes =
+    Array.to_list (Array.mapi (fun idx r -> (idx, r.r_outcome)) results)
+  in
+  let errors =
+    List.filter_map
+      (fun (idx, o) ->
+        match o with Quarantined err -> Some (idx, err) | _ -> None)
+      outcomes
+  in
+  let count p = Array.fold_left (fun n r -> if p r.r_outcome then n + 1 else n) 0 results in
   {
-    cleaned = Relation.make schema tuples;
-    outcomes = List.rev !outcomes;
-    errors = List.rev !errors;
-    entities = List.length clusters;
-    complete = !complete;
-    completed_by_topk = !by_topk;
-    still_incomplete = !incomplete;
-    rejected = !rejected;
-    quarantined = !quarantined;
-    retries_used = !retries_used;
-    cell_changes = !cell_changes;
+    cleaned =
+      Relation.make schema (Array.to_list (Array.map (fun r -> r.r_tuple) results));
+    outcomes;
+    errors;
+    entities = Array.length results;
+    complete = count (function Complete -> true | _ -> false);
+    completed_by_topk = count (function Completed_by_topk -> true | _ -> false);
+    still_incomplete = count (function Still_incomplete -> true | _ -> false);
+    rejected = count (function Not_church_rosser _ -> true | _ -> false);
+    quarantined = count (function Quarantined _ -> true | _ -> false);
+    retries_used = Array.fold_left (fun n r -> n + r.r_retries) 0 results;
+    cell_changes = Array.fold_left (fun n r -> n + r.r_changes) 0 results;
   }
 
 let pp_report ppf r =

@@ -61,6 +61,7 @@ val clean :
   ?k_budget:int ->
   ?budget:Robust.Budget.limits ->
   ?retries:int ->
+  ?jobs:int ->
   Rules.Ruleset.t ->
   Relational.Relation.t ->
   report
@@ -71,6 +72,15 @@ val clean :
     search (default 2000 frontier pops). [budget] (default
     unlimited) caps each entity's chase; on exhaustion the entity is
     re-chased under a ×4-relaxed budget up to [retries] times
-    (default 1) before being quarantined. *)
+    (default 1) before being quarantined.
+
+    [jobs] (default 1) runs the per-entity compile→chase→top-k work
+    on a {!Parallel.Pool} of that many domains. The report —
+    [cleaned] rows, [outcomes], [errors], every counter — is
+    {e identical} for every [jobs] value: entities are independent,
+    results are reassembled in cluster order, and quarantine/retry
+    semantics are per entity. [jobs = 1] takes the plain serial path
+    with no domain spawned. Raises [Invalid_argument] when
+    [jobs < 1]. *)
 
 val pp_report : Format.formatter -> report -> unit

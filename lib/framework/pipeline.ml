@@ -3,7 +3,12 @@ let ( let* ) = Result.bind
 type task =
   | Chase
   | Topk of { k : int; algo : Topk.algo }
-  | Clean of { key_attrs : string list; threshold : float; retries : int }
+  | Clean of {
+      key_attrs : string list;
+      threshold : float;
+      retries : int;
+      jobs : int;
+    }
 
 type config = {
   entity : string;
@@ -103,7 +108,7 @@ let run_topk ~k ~algo limits spec =
         (fun result -> Ranked { pref; result })
         (Topk.solve ~algo ?budget ~k ~pref compiled te)
 
-let run_clean ~key_attrs ~threshold ~retries limits spec =
+let run_clean ~key_attrs ~threshold ~retries ~jobs limits spec =
   let schema = Core.Specification.schema spec in
   let* keys =
     List.fold_left
@@ -136,7 +141,7 @@ let run_clean ~key_attrs ~threshold ~retries limits spec =
         Obs.Span.with_ ~name:"pipeline.clean" @@ fun () ->
         Cleaner.clean ~er
           ?master:(Core.Specification.master spec)
-          ~budget:limits ~retries
+          ~budget:limits ~retries ~jobs
           (Core.Specification.ruleset spec)
           (Core.Specification.entity spec)
       in
@@ -150,7 +155,7 @@ let run ?on_step cfg =
     match cfg.task with
     | Chase -> Ok (Chased (run_chase ?on_step cfg.limits spec))
     | Topk { k; algo } -> run_topk ~k ~algo cfg.limits spec
-    | Clean { key_attrs; threshold; retries } ->
-        run_clean ~key_attrs ~threshold ~retries cfg.limits spec
+    | Clean { key_attrs; threshold; retries; jobs } ->
+        run_clean ~key_attrs ~threshold ~retries ~jobs cfg.limits spec
   in
   Ok { spec; outcome }

@@ -18,9 +18,16 @@ type task =
   | Chase  (** check Church-Rosser and deduce the target tuple *)
   | Topk of { k : int; algo : Topk.algo }
       (** deduce, then complete with the top-[k] candidate targets *)
-  | Clean of { key_attrs : string list; threshold : float; retries : int }
+  | Clean of {
+      key_attrs : string list;
+      threshold : float;
+      retries : int;
+      jobs : int;
+    }
       (** ER-cluster the whole relation on [key_attrs], then deduce
-          and complete one target per entity *)
+          and complete one target per entity — on [jobs] worker
+          domains (see {!Cleaner.clean}; the report is identical for
+          every [jobs] value) *)
 
 type config = {
   entity : string;  (** entity instance CSV (with header) *)

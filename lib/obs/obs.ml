@@ -1,35 +1,69 @@
-(* The collection flag. Mutators read it through one bool ref so
+(* Domain-safety discipline (see DESIGN.md §9): every mutable cell in
+   this module is either an [Atomic.t], a [Mutex]-guarded structure
+   (the registries, touched only on metric creation and export), or
+   per-domain state reached through [Domain.DLS] (the span stacks).
+   Engines running on worker domains may therefore mutate metrics
+   concurrently; counters and histogram bins are exact under
+   contention, gauges converge to the true high-water mark, and each
+   domain records its spans into its own bounded buffer, merged at
+   read time. scripts/lint_domainsafe.sh enforces the "no module-level
+   [ref]/[mutable]" part mechanically. *)
+
+(* The collection flag. Mutators read it through one atomic load so
    the disabled path is a single branch, no allocation. *)
-let on = ref false
-let enabled () = !on
-let set_enabled b = on := b
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 let epoch_ms = now_ms ()
+
+(* A monotone float cell: [fmax] keeps the maximum, [fadd] the sum.
+   [compare_and_set] on a boxed float compares the box physically,
+   which is exactly the read-didn't-race check the loops need. *)
+let rec fmax cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then fmax cell v
+
+let rec fadd cell v =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. v)) then fadd cell v
 
 (* ------------------------------------------------------------------ *)
 (* Metric storage                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { c_name : string; c_help : string; mutable c_v : int }
-type gauge = { g_name : string; g_help : string; mutable g_v : float }
+type counter = { c_name : string; c_help : string; c_v : int Atomic.t }
+type gauge = { g_name : string; g_help : string; g_v : float Atomic.t }
 
 type histogram = {
   h_name : string;
   h_help : string;
   h_bounds : float array; (* strictly increasing upper bounds *)
-  h_counts : int array; (* length = Array.length h_bounds + 1 (+inf) *)
-  mutable h_sum : float;
-  mutable h_count : int;
+  h_counts : int Atomic.t array; (* length = Array.length h_bounds + 1 (+inf) *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
 }
 
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
+
+let locked mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register name m =
+  locked registry_mu @@ fun () ->
   match Hashtbl.find_opt registry name with
   | None ->
       Hashtbl.add registry name m;
@@ -51,30 +85,32 @@ module Counter = struct
   type t = counter
 
   let make ?(help = "") name =
-    match register name (C { c_name = name; c_help = help; c_v = 0 }) with
+    match register name (C { c_name = name; c_help = help; c_v = Atomic.make 0 }) with
     | C c -> c
     | _ -> assert false
 
-  let incr c = if !on then c.c_v <- c.c_v + 1
+  let incr c = if Atomic.get on then Atomic.incr c.c_v
 
   let add c n =
     if n < 0 then invalid_arg "Obs.Counter.add: negative increment";
-    if !on then c.c_v <- c.c_v + n
+    if Atomic.get on then ignore (Atomic.fetch_and_add c.c_v n : int)
 
-  let value c = c.c_v
+  let value c = Atomic.get c.c_v
 end
 
 module Gauge = struct
   type t = gauge
 
   let make ?(help = "") name =
-    match register name (G { g_name = name; g_help = help; g_v = 0.0 }) with
+    match
+      register name (G { g_name = name; g_help = help; g_v = Atomic.make 0.0 })
+    with
     | G g -> g
     | _ -> assert false
 
-  let set g v = if !on then g.g_v <- v
-  let observe_max g v = if !on && v > g.g_v then g.g_v <- v
-  let value g = g.g_v
+  let set g v = if Atomic.get on then Atomic.set g.g_v v
+  let observe_max g v = if Atomic.get on then fmax g.g_v v
+  let value g = Atomic.get g.g_v
 end
 
 module Histogram = struct
@@ -94,9 +130,9 @@ module Histogram = struct
              h_name = name;
              h_help = help;
              h_bounds = Array.copy buckets;
-             h_counts = Array.make (Array.length buckets + 1) 0;
-             h_sum = 0.0;
-             h_count = 0;
+             h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+             h_sum = Atomic.make 0.0;
+             h_count = Atomic.make 0;
            })
     with
     | H h -> h
@@ -105,26 +141,25 @@ module Histogram = struct
   (* Buckets store per-bin counts internally; the cumulative view is
      assembled at read time, keeping [observe] to one increment. *)
   let observe h v =
-    if !on then begin
+    if Atomic.get on then begin
       let n = Array.length h.h_bounds in
       let rec bin i = if i < n && v > h.h_bounds.(i) then bin (i + 1) else i in
-      let i = bin 0 in
-      h.h_counts.(i) <- h.h_counts.(i) + 1;
-      h.h_sum <- h.h_sum +. v;
-      h.h_count <- h.h_count + 1
+      Atomic.incr h.h_counts.(bin 0);
+      fadd h.h_sum v;
+      Atomic.incr h.h_count
     end
 
-  let count h = h.h_count
-  let sum h = h.h_sum
+  let count h = Atomic.get h.h_count
+  let sum h = Atomic.get h.h_sum
 
   let bucket_counts h =
     let acc = ref 0 and out = ref [] in
     Array.iteri
       (fun i bound ->
-        acc := !acc + h.h_counts.(i);
+        acc := !acc + Atomic.get h.h_counts.(i);
         out := (bound, !acc) :: !out)
       h.h_bounds;
-    acc := !acc + h.h_counts.(Array.length h.h_bounds);
+    acc := !acc + Atomic.get h.h_counts.(Array.length h.h_bounds);
     out := (infinity, !acc) :: !out;
     List.rev !out
 end
@@ -139,17 +174,25 @@ type value =
   | Histogram of { buckets : (float * int) list; sum : float; count : int }
 
 let value_of = function
-  | C c -> Counter c.c_v
-  | G g -> Gauge g.g_v
+  | C c -> Counter (Atomic.get c.c_v)
+  | G g -> Gauge (Atomic.get g.g_v)
   | H h ->
       Histogram
-        { buckets = Histogram.bucket_counts h; sum = h.h_sum; count = h.h_count }
+        {
+          buckets = Histogram.bucket_counts h;
+          sum = Atomic.get h.h_sum;
+          count = Atomic.get h.h_count;
+        }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  locked registry_mu (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  |> List.map (fun (name, m) -> (name, value_of m))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let find name = Option.map value_of (Hashtbl.find_opt registry name)
+let find name =
+  Option.map value_of
+    (locked registry_mu (fun () -> Hashtbl.find_opt registry name))
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                              *)
@@ -159,9 +202,35 @@ module Span = struct
   type event = { name : string; depth : int; start_ms : float; dur_ms : float }
 
   let capacity = 4096
-  let buf : event option array = Array.make capacity None
-  let next = ref 0 (* total completed spans; buf index is [mod capacity] *)
-  let depth = ref 0
+
+  (* Per-domain recording state: each domain owns a bounded ring of
+     completed spans and its own nesting depth, so [with_] never
+     contends. The states of every domain that ever recorded are
+     kept in a global list (CAS-pushed once per domain) and merged —
+     sorted by start time — when the trace is read. *)
+  type dstate = {
+    d_buf : event option array;
+    d_next : int Atomic.t; (* completed spans; buf index is [mod capacity] *)
+    d_depth : int Atomic.t;
+  }
+
+  let states : dstate list Atomic.t = Atomic.make []
+
+  let rec push_state s =
+    let cur = Atomic.get states in
+    if not (Atomic.compare_and_set states cur (s :: cur)) then push_state s
+
+  let dls_key =
+    Domain.DLS.new_key (fun () ->
+        let s =
+          {
+            d_buf = Array.make capacity None;
+            d_next = Atomic.make 0;
+            d_depth = Atomic.make 0;
+          }
+        in
+        push_state s;
+        s)
 
   let sanitize name =
     String.map
@@ -172,37 +241,39 @@ module Span = struct
         | _ -> '_')
       name
 
-  let hist_for :
-      (string, Histogram.t) Hashtbl.t =
-    Hashtbl.create 16
+  let hist_for : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+  let hist_mu = Mutex.create ()
 
   let duration_hist name =
-    match Hashtbl.find_opt hist_for name with
+    match locked hist_mu (fun () -> Hashtbl.find_opt hist_for name) with
     | Some h -> h
     | None ->
+        (* [Histogram.make] is idempotent, so a race here at worst
+           caches the same registered histogram twice. *)
         let h =
           Histogram.make
             ~help:(Printf.sprintf "wall time of span %s" name)
             (Printf.sprintf "span_%s_ms" (sanitize name))
         in
-        Hashtbl.add hist_for name h;
+        locked hist_mu (fun () -> Hashtbl.replace hist_for name h);
         h
 
-  let record ev =
-    buf.(!next mod capacity) <- Some ev;
-    incr next
+  let record st ev =
+    let n = Atomic.fetch_and_add st.d_next 1 in
+    st.d_buf.(n mod capacity) <- Some ev
 
   let with_ ~name f =
-    if not !on then f ()
+    if not (Atomic.get on) then f ()
     else begin
-      let d = !depth in
-      depth := d + 1;
+      let st = Domain.DLS.get dls_key in
+      let d = Atomic.get st.d_depth in
+      Atomic.set st.d_depth (d + 1);
       let t0 = now_ms () in
       let close () =
         let dur = Float.max 0.0 (now_ms () -. t0) in
-        depth := d;
+        Atomic.set st.d_depth d;
         Histogram.observe (duration_hist name) dur;
-        record { name; depth = d; start_ms = t0 -. epoch_ms; dur_ms = dur }
+        record st { name; depth = d; start_ms = t0 -. epoch_ms; dur_ms = dur }
       in
       match f () with
       | v ->
@@ -214,14 +285,17 @@ module Span = struct
     end
 
   let events () =
-    let n = !next in
-    let lo = max 0 (n - capacity) in
     let evs = ref [] in
-    for i = n - 1 downto lo do
-      match buf.(i mod capacity) with
-      | Some e -> evs := e :: !evs
-      | None -> ()
-    done;
+    List.iter
+      (fun st ->
+        let n = Atomic.get st.d_next in
+        let lo = max 0 (n - capacity) in
+        for i = n - 1 downto lo do
+          match st.d_buf.(i mod capacity) with
+          | Some e -> evs := e :: !evs
+          | None -> ()
+        done)
+      (Atomic.get states);
     List.sort
       (fun a b ->
         match Float.compare a.start_ms b.start_ms with
@@ -230,9 +304,12 @@ module Span = struct
       !evs
 
   let clear () =
-    Array.fill buf 0 capacity None;
-    next := 0;
-    depth := 0
+    List.iter
+      (fun st ->
+        Array.fill st.d_buf 0 capacity None;
+        Atomic.set st.d_next 0;
+        Atomic.set st.d_depth 0)
+      (Atomic.get states)
 
   let pp_tree ppf () =
     match events () with
@@ -248,16 +325,16 @@ module Span = struct
 end
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | C c -> c.c_v <- 0
-      | G g -> g.g_v <- 0.0
-      | H h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
-    registry;
+  locked registry_mu (fun () ->
+      Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  |> List.iter (fun m ->
+         match m with
+         | C c -> Atomic.set c.c_v 0
+         | G g -> Atomic.set g.g_v 0.0
+         | H h ->
+             Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+             Atomic.set h.h_sum 0.0;
+             Atomic.set h.h_count 0);
   Span.clear ()
 
 (* ------------------------------------------------------------------ *)

@@ -16,7 +16,17 @@
 
     The library deliberately depends on nothing but the stdlib and
     [Unix.gettimeofday] (the same clock {!Robust.Budget} deadlines
-    use), so it can sit below every other layer of the system. *)
+    use), so it can sit below every other layer of the system.
+
+    {b Domain safety}: the registry is safe to mutate from any
+    number of domains concurrently (the {!Parallel} worker pool
+    does). Counters and histograms use atomic increments and are
+    exact under contention; gauges converge to the true high-water
+    mark through a compare-and-set loop; each domain records
+    {!Span.with_} events into its own bounded buffer (no contention
+    on the hot path), and {!Span.events} merges every domain's
+    buffer in start order. {!reset} and {!set_enabled} are meant to
+    be called from the orchestrating domain while no workers run. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -103,13 +113,18 @@ module Span : sig
   (** Run the thunk inside a named span. When collection is enabled,
       the span's wall time is observed into the histogram
       [span_<name>_ms] (name sanitised to \[a-z0-9_\]) and an
-      {!event} is appended to a bounded trace buffer (the oldest
-      events are dropped past {!capacity}). Exceptions propagate;
-      the span still closes. Disabled: calls the thunk directly. *)
+      {!event} is appended to the calling domain's bounded trace
+      buffer (the oldest events are dropped past {!capacity}).
+      Exceptions propagate; the span still closes. Disabled: calls
+      the thunk directly. *)
 
   val capacity : int
+  (** Per-domain buffer capacity. *)
+
   val events : unit -> event list
-  (** Completed spans in start order. *)
+  (** Completed spans of {e every} domain, merged in start order
+      (the per-domain stacks joined back together; nesting depth is
+      per domain). *)
 
   val pp_tree : Format.formatter -> unit -> unit
   (** The trace as an indented tree with per-span durations. *)

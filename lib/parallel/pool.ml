@@ -1,0 +1,75 @@
+(* Domain-safety discipline: no module-level mutable state at all —
+   every cursor and slot array below is local to one [map_result]
+   call, and cross-domain hand-off happens through [Atomic] cursors
+   (claiming) and [Domain.join] (publication of the slot writes).
+   scripts/lint_domainsafe.sh keeps it that way. *)
+
+type t = { pool_jobs : int }
+
+let create ?jobs () =
+  let pool_jobs =
+    match jobs with
+    | None -> Domain.recommended_domain_count ()
+    | Some j when j < 1 ->
+        invalid_arg (Printf.sprintf "Parallel.Pool.create: jobs = %d" j)
+    | Some j -> j
+  in
+  { pool_jobs }
+
+let jobs t = t.pool_jobs
+
+(* Contiguous block shards, the remainder spread over the first
+   shards: shard [s] of [n] items across [w] workers owns
+   [lo s, lo (s+1)). *)
+let shard_lo n w s =
+  let base = n / w and extra = n mod w in
+  (s * base) + min s extra
+
+let run_one f x = match f x with v -> Ok v | exception e -> Error e
+
+let map_result t f items =
+  let n = Array.length items in
+  let w = min t.pool_jobs n in
+  if w <= 1 then Array.map (run_one f) items
+  else begin
+    let slots = Array.make n None in
+    (* One atomic cursor per shard; [fetch_and_add] claims each index
+       exactly once, whether by the owner or by a thief. *)
+    let cursors = Array.init w (fun s -> Atomic.make (shard_lo n w s)) in
+    let his = Array.init w (fun s -> shard_lo n w (s + 1)) in
+    let rec drain s =
+      let i = Atomic.fetch_and_add cursors.(s) 1 in
+      if i < his.(s) then begin
+        slots.(i) <- Some (run_one f items.(i));
+        drain s
+      end
+    in
+    let worker s () =
+      drain s;
+      for d = 1 to w - 1 do
+        drain ((s + d) mod w)
+      done
+    in
+    let domains =
+      (* The caller is worker 0. If a spawn fails (fd/thread limits),
+         run with the domains we got: work-stealing already covers
+         the orphaned shards. *)
+      let rec spawn acc s =
+        if s >= w then List.rev acc
+        else
+          match Domain.spawn (worker s) with
+          | d -> spawn (d :: acc) (s + 1)
+          | exception _ -> List.rev acc
+      in
+      spawn [] 1
+    in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Array.map (function Some r -> r | None -> assert false) slots
+  end
+
+let map t f items =
+  let out = map_result t f items in
+  Array.map
+    (function Ok v -> v | Error e -> raise e)
+    out

@@ -1,0 +1,50 @@
+(** A fixed-size OCaml 5 [Domain] worker pool over a sharded work
+    queue, built for the per-entity batch workloads of the cleaner:
+    many independent compile→chase→top-k units whose per-unit cost
+    the paper bounds at [O((|Ie|² + |Im|)·|Σ|)] — embarrassingly
+    parallel, wildly variable per unit.
+
+    {b Sharding}: the input indices are cut into [jobs] contiguous
+    shards, one per worker, each drained through its own atomic
+    cursor; a worker that exhausts its shard steals from the others'
+    cursors, so a shard of expensive entities cannot strand the
+    batch on one domain. Every index is claimed exactly once.
+
+    {b Deterministic ordering}: results land in a slot array at
+    their input index, so the output order equals the input order no
+    matter which domain ran which item or in what interleaving. Any
+    fold over the results is therefore independent of [jobs] —
+    the property the cleaner's [jobs:n ≡ jobs:1] guarantee rests on.
+
+    {b Fault isolation}: an exception escaping [f] on one item is
+    caught on the worker, stored as that item's [Error], and the
+    rest of the batch continues; one poisonous item cannot take down
+    a domain (or the batch). {!map} re-raises the first error by
+    {e input} order — again independent of scheduling.
+
+    {b No shared state}: the pool itself holds only its size; all
+    per-batch state is local to the call. [f] must only touch
+    domain-safe shared state (the {!Obs} registry qualifies;
+    {!Robust.Budget} meters must be created per item, never shared
+    across items). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] is the worker count — the exact number of domains a batch
+    uses (the caller's domain is worker 0; [jobs - 1] are spawned).
+    Defaults to {!Domain.recommended_domain_count}. Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map_result : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map_result pool f items] — apply [f] to every item on the pool,
+    each item's exceptions captured as its own [Error]. Output index
+    [i] holds the outcome of [items.(i)]. With [jobs = 1] (or a
+    single item) everything runs on the calling domain, in input
+    order, with no domain spawned — the bit-for-bit serial path. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!map_result}, but re-raises the lowest-indexed error after
+    the whole batch has run (all items are attempted either way). *)

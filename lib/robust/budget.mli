@@ -31,7 +31,11 @@ val relax : ?factor:int -> limits -> limits
     retry policy for transient exhaustion. Saturates at [max_int]. *)
 
 type t
-(** An armed meter. *)
+(** An armed meter. Meters are plain mutable state, {e not}
+    domain-safe: arm one per unit of work, on the domain doing that
+    work, and never share it. The {!Framework.Cleaner} honours this
+    by calling {!start} per entity {e inside} the worker — the
+    [limits] value (immutable) is what crosses domains. *)
 
 val start : limits -> t
 

@@ -2,6 +2,7 @@ type trip =
   | Steps
   | Instantiations
   | Deadline
+  | Combos
 
 type t =
   | Io of { path : string; detail : string }
@@ -28,6 +29,7 @@ let trip_to_string = function
   | Steps -> "max-steps"
   | Instantiations -> "max-instantiations"
   | Deadline -> "deadline"
+  | Combos -> "max-combos"
 
 let class_name = function
   | Io _ -> "io"

@@ -12,6 +12,9 @@ type trip =
   | Steps  (** the chase-step budget ran out *)
   | Instantiations  (** the ground-step (|Γ|) budget ran out *)
   | Deadline  (** the wall-clock deadline passed *)
+  | Combos
+      (** the join-combination budget of the rank-join search ran
+          out ({!Topk.Rank_join_ct}'s [max_combos]) *)
 
 type t =
   | Io of { path : string; detail : string }

@@ -32,8 +32,14 @@ let cand_cmp a b =
   | 0 -> Relational.Tuple.compare_values (Relational.Tuple.make a.values) (Relational.Tuple.make b.values)
   | c -> c
 
-let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
+let run ?include_default ?max_pulls ?max_combos ?budget ~k ~pref compiled te =
   if k < 1 then invalid_arg "Rank_join_ct.run: k < 1";
+  (* Two distinct units, two distinct caps: [max_pulls] bounds ranked-
+     list accesses and trips [Steps]; [max_combos] bounds generated
+     join combinations and trips [Combos]. When only [max_pulls] is
+     given, the combination bound defaults to the same value — the
+     historical behaviour of the single cap. *)
+  let max_combos = match max_combos with Some _ as c -> c | None -> max_pulls in
   let spec = Core.Is_cr.compiled_spec compiled in
   let pulls = ref 0 and combos = ref 0 and checks = ref 0 and emitted = ref 0 in
   let tripped = ref None in
@@ -107,8 +113,8 @@ let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
        generation: one pull joins against a cross product of all
        seen prefixes, which is itself exponential in m. *)
     let over_budget () =
-      (match max_pulls with
-      | Some b when !combos >= b -> trip Robust.Error.Steps
+      (match max_combos with
+      | Some b when !combos >= b -> trip Robust.Error.Combos
       | _ -> ());
       (match budget with
       | Some b -> (
@@ -165,7 +171,7 @@ let run ?include_default ?max_pulls ?budget ~k ~pref compiled te =
         in
         let next_list =
           (match max_pulls with
-          | Some b when !pulls >= b || !combos >= b -> trip Robust.Error.Steps
+          | Some b when !pulls >= b -> trip Robust.Error.Steps
           | _ -> ());
           if over_budget () then None else pick 0 rr
         in

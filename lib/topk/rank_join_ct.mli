@@ -26,8 +26,11 @@ type status =
       (** the targets are the exact top-k (or every candidate, when
           fewer than k exist) *)
   | Search_exhausted of Robust.Error.trip
-      (** the [max_pulls] cap or the {!Robust.Budget.t} cut the
-          search: the targets are the best-k generated so far *)
+      (** a cap or the {!Robust.Budget.t} cut the search: the
+          targets are the best-k generated so far. The trip names
+          the bound that fired — [Steps] for [max_pulls], [Combos]
+          for [max_combos], and whatever dimension of the budget
+          meter tripped otherwise *)
 
 type result = {
   targets : Relational.Value.t array list;
@@ -38,17 +41,27 @@ type result = {
 val run :
   ?include_default:bool ->
   ?max_pulls:int ->
+  ?max_combos:int ->
   ?budget:Robust.Budget.t ->
   k:int ->
   pref:Preference.t ->
   Core.Is_cr.compiled ->
   Relational.Value.t array ->
   result
-(** Same contract as {!Topk_ct.run} ([max_pulls] bounds list
-    accesses, like [Topk_ct]'s [max_pops]); sorting the ranked lists
-    is part of this algorithm's cost (§6.1: "domain values are often
-    not given in ranked lists, and sorting the domains is
-    costly"). [budget] is charged one unit per generated join
-    combination and carries the wall-clock deadline; when either
-    bound trips, the call still returns — tagged
-    {!Search_exhausted} — with the best-k candidates found. *)
+(** Same contract as {!Topk_ct.run}; sorting the ranked lists is
+    part of this algorithm's cost (§6.1: "domain values are often
+    not given in ranked lists, and sorting the domains is costly").
+
+    Two independent work caps, in the algorithm's two units:
+    [max_pulls] bounds ranked-list accesses (like [Topk_ct]'s
+    [max_pops]) and trips {!Robust.Error.Steps}; [max_combos] bounds
+    generated join combinations — one pull joins against a cross
+    product of all seen prefixes, which is exponential in the number
+    of null attributes, so the two can diverge wildly — and trips
+    {!Robust.Error.Combos}. When only [max_pulls] is given,
+    [max_combos] defaults to the same value (the historical
+    single-cap behaviour). [budget] is charged one unit per
+    generated join combination and carries the wall-clock deadline.
+    When any bound trips, the call still returns — tagged
+    {!Search_exhausted} with the bound that fired — with the best-k
+    candidates found. *)

@@ -411,6 +411,71 @@ let test_explain_non_cr_empty () =
   check Alcotest.int "no derivation" 0 (List.length e.derivation)
 
 (* ------------------------------------------------------------------ *)
+(* Budgeted-drain regressions                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: on a budget trip, the drain used to drop the ready
+   step it had just dequeued — its [queued] flag stayed set, so no
+   later event could re-add it, and a resumed session silently lost
+   that step's deductions. A budgeted session resumed with an empty
+   fill must now reach exactly the unbudgeted terminal target, no
+   matter where the budget cut the drain. *)
+let test_session_budget_trip_resume () =
+  let compiled = Is_cr.compile Mj.specification in
+  let full =
+    match Is_cr.run_compiled compiled with
+    | Is_cr.Church_rosser inst -> Instance.te inst
+    | Is_cr.Not_church_rosser _ -> Alcotest.fail "MJ must be Church-Rosser"
+  in
+  for max_steps = 0 to 16 do
+    let budget = Robust.Budget.start (Robust.Budget.limits ~max_steps ()) in
+    match Is_cr.session_start ~budget compiled with
+    | Error (rule, reason) ->
+        Alcotest.failf "budgeted session must start (%s: %s)" rule reason
+    | Ok session ->
+        (match Is_cr.session_fill session [] with
+        | Ok () -> ()
+        | Error (rule, reason) ->
+            Alcotest.failf "resume must succeed (%s: %s)" rule reason);
+        check
+          (Alcotest.array value_testable)
+          (Printf.sprintf "resume after max_steps=%d equals full run" max_steps)
+          full (Is_cr.session_te session)
+  done
+
+(* Regression: the [chase_queue_hwm] gauge only observed the queue on
+   [enqueue_if_ready], missing the initial worklist seeding — for
+   axiom-heavy workloads (every Γ step with an empty residue is
+   seeded) the true peak. Count the predicate-free ground steps
+   independently and require the gauge to sit at or above it. *)
+let test_chase_queue_hwm_counts_seeding () =
+  let spec = Mj.specification in
+  let seeded =
+    let inst = Instance.init spec in
+    let orders =
+      Array.init (Schema.arity (Spec.schema spec)) (Instance.order inst)
+    in
+    let steps =
+      Rules.Ground.instantiate ~ruleset:(Spec.ruleset spec)
+        ~entity:(Spec.entity spec) ~master:(Spec.master spec) ~orders
+    in
+    List.length (List.filter (fun s -> s.Rules.Ground.preds = []) steps)
+  in
+  check Alcotest.bool "fixture seeds a non-trivial worklist" true (seeded > 1);
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  ignore (Is_cr.run spec : Is_cr.verdict);
+  Obs.set_enabled was;
+  match Obs.find "chase_queue_hwm" with
+  | Some (Obs.Gauge hwm) ->
+      check Alcotest.bool
+        (Printf.sprintf "hwm %.0f >= %d seeded steps" hwm seeded)
+        true
+        (hwm >= float_of_int seeded)
+  | _ -> Alcotest.fail "chase_queue_hwm gauge must be registered"
+
+(* ------------------------------------------------------------------ *)
 (* Naive chase: differential testing                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -510,7 +575,14 @@ let () =
             test_session_conflicting_fill;
           Alcotest.test_case "null fill rejected" `Quick
             test_session_null_fill_rejected;
+          Alcotest.test_case "budget trip resumes without losing steps" `Quick
+            test_session_budget_trip_resume;
           QCheck_alcotest.to_alcotest session_incremental_property;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "queue hwm sees initial seeding" `Quick
+            test_chase_queue_hwm_counts_seeding;
         ] );
       ( "explain",
         [

@@ -108,6 +108,22 @@ let poset_qcheck =
         | None -> true
         | Some m ->
             List.for_all (fun x -> x = m || Poset.mem p x m) (List.init 8 Fun.id));
+    (* maximum/minimum against brute force over every size, n = 1
+       included (where the unique element is vacuously both). *)
+    Test.make ~count:300 ~name:"maximum/minimum agree with brute force"
+      (pair (int_range 1 8) edges)
+      (fun (n, es) ->
+        let p = Poset.create n in
+        List.iter (fun (a, b) -> ignore (Poset.add p (a mod n) (b mod n))) es;
+        let all = List.init n Fun.id in
+        let dominating mem =
+          List.filter (fun m -> List.for_all (fun x -> x = m || mem x m) all) all
+        in
+        let agrees got brute =
+          match got with Some m -> brute = [ m ] | None -> brute = []
+        in
+        agrees (Poset.maximum p) (dominating (fun x m -> Poset.mem p x m))
+        && agrees (Poset.minimum p) (dominating (fun x m -> Poset.mem p m x)));
     Test.make ~count:300 ~name:"copy is independent" edges (fun es ->
         let p = Poset.create 8 in
         List.iter (fun (a, b) -> ignore (Poset.add p a b)) es;

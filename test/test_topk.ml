@@ -194,6 +194,38 @@ let test_rankjoin_checks_all_combos () =
   (* §6.1: every generated combination is checked. *)
   check Alcotest.int "checks = combos" r.stats.combos r.stats.checks
 
+(* Regression: pulls (list accesses) and combos (join combinations)
+   used to share the single [max_pulls] cap, conflating two units
+   that diverge exponentially (one pull joins against a cross
+   product of seen prefixes). Each cap must bound its own unit and
+   name itself in the trip. *)
+let test_rankjoin_pulls_vs_combos_trips () =
+  let compiled, te = example9 () in
+  let exhausted r =
+    match r.Topk.Rank_join_ct.status with
+    | Topk.Rank_join_ct.Search_exhausted t -> Robust.Error.trip_to_string t
+    | Topk.Rank_join_ct.Complete -> Alcotest.fail "cap must trip on this fixture"
+  in
+  (* A pulls cap with combos uncapped trips Steps. *)
+  let p =
+    Topk.Rank_join_ct.run ~max_pulls:1 ~max_combos:max_int ~k:2
+      ~pref:tie_free_pref compiled te
+  in
+  check Alcotest.string "pulls cap trips Steps" "max-steps" (exhausted p);
+  check Alcotest.int "pull count capped" 1 p.stats.pulls;
+  (* A combos cap alone trips Combos; pulls are not bounded by it. *)
+  let c =
+    Topk.Rank_join_ct.run ~max_combos:1 ~k:2 ~pref:tie_free_pref compiled te
+  in
+  check Alcotest.string "combos cap trips Combos" "max-combos" (exhausted c);
+  check Alcotest.bool "pulls ran past the combos cap" true (c.stats.pulls > 1);
+  (* Only [max_pulls] given: the historical single cap — combos are
+     bounded by the same value. *)
+  let h =
+    Topk.Rank_join_ct.run ~max_pulls:3 ~k:2 ~pref:tie_free_pref compiled te
+  in
+  check Alcotest.bool "combos inherit the pulls cap" true (h.stats.combos <= 3)
+
 (* ------------------------------------------------------------------ *)
 (* TopKCTh                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -368,6 +400,8 @@ let () =
         [
           Alcotest.test_case "exact algorithms agree" `Quick test_exact_algorithms_agree;
           Alcotest.test_case "checks every combo" `Quick test_rankjoin_checks_all_combos;
+          Alcotest.test_case "pulls and combos trip their own caps" `Quick
+            test_rankjoin_pulls_vs_combos_trips;
         ] );
       ( "oracle",
         [
