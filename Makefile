@@ -1,4 +1,4 @@
-.PHONY: all build test check robust lint bench clean
+.PHONY: all build test check robust lint bench bench-smoke clean
 
 all: build
 
@@ -16,16 +16,23 @@ lint:
 	sh scripts/lint_failwith.sh
 	sh scripts/lint_print.sh
 	sh scripts/lint_domainsafe.sh
+	sh scripts/lint_hotpath.sh
 
-# Machine-readable perf baselines: BENCH_chase.json, BENCH_topk.json
-# and BENCH_clean.json (batch cleaning at 1/2/4 worker domains) at
-# the repo root (kernel wall times + Obs work counters).
+# Machine-readable perf baselines: BENCH_chase.json, BENCH_ground.json,
+# BENCH_topk.json and BENCH_clean.json (batch cleaning at 1/2/4 worker
+# domains) at the repo root (kernel wall times, allocated bytes and
+# Obs work counters).
 bench:
 	dune exec bench/main.exe -- --bench-json .
 
+# The bench suite into a throwaway directory: proves every kernel
+# still runs end to end (CI) without touching the committed baselines.
+bench-smoke:
+	mkdir -p _build/bench-smoke && dune exec bench/main.exe -- --bench-json _build/bench-smoke
+
 # The gate CI runs: full build, full test suite, style lints.
 check:
-	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh && sh scripts/lint_domainsafe.sh
+	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh && sh scripts/lint_domainsafe.sh && sh scripts/lint_hotpath.sh
 
 clean:
 	dune clean

@@ -13,9 +13,11 @@
 
    Part 3 (--bench-json [DIR]) times a fixed kernel suite with
    Util.Timing.best_of and writes machine-readable baselines —
-   BENCH_chase.json, BENCH_topk.json and BENCH_clean.json (batch
-   cleaning at 1/2/4 worker domains) — pairing each kernel's wall
-   time with the Obs work counters of one instrumented run.
+   BENCH_chase.json, BENCH_ground.json (instantiation in isolation,
+   with allocation volume), BENCH_topk.json and BENCH_clean.json
+   (batch cleaning at 1/2/4 worker domains) — pairing each kernel's
+   wall time with the Obs work counters and allocated bytes of one
+   instrumented run.
 
    Usage:
      bench/main.exe                 experiments + micro-benches
@@ -369,12 +371,37 @@ let clean_kernels =
     ("clean-med60-jobs4", clean_kernel 4);
   ]
 
+(* Grounding in isolation (§5 instantiation): wall time, steps
+   emitted vs dedup-discarded (via the instantiation counters), and
+   bytes allocated — the structural-key dedup's whole point is to
+   keep the hot path off the allocator, so the allocation volume is
+   part of the baseline. *)
+let ground_kernel spec () =
+  ignore
+    (Rules.Ground.instantiate
+       ~ruleset:(Core.Specification.ruleset spec)
+       ~entity:(Core.Specification.entity spec)
+       ~master:(Core.Specification.master spec)
+       ~orders:(Core.Specification.numbering spec)
+      : Rules.Ground.step list)
+
+let ground_kernels =
+  [
+    ("ground-mj", ground_kernel mj_spec);
+    ("ground-med", ground_kernel med_spec);
+    ("ground-syn300", ground_kernel syn.spec);
+  ]
+
 let measure_kernel f =
   Obs.set_enabled false;
   let _, ms = Util.Timing.best_of json_repeats f in
   Obs.set_enabled true;
   Obs.reset ();
+  (* The instrumented run also meters allocation; Obs counters are
+     plain atomics, so their own footprint is noise-level. *)
+  let a0 = Gc.allocated_bytes () in
   f ();
+  let alloc = Gc.allocated_bytes () -. a0 in
   Obs.set_enabled false;
   let counters =
     List.filter_map
@@ -382,7 +409,7 @@ let measure_kernel f =
         | name, Obs.Counter v when v > 0 -> Some (name, v) | _ -> None)
       (Obs.snapshot ())
   in
-  (ms, counters)
+  (ms, alloc, counters)
 
 let write_suite ~dir ~suite kernels =
   let buf = Buffer.create 1024 in
@@ -393,11 +420,12 @@ let write_suite ~dir ~suite kernels =
        (Domain.recommended_domain_count ()));
   List.iteri
     (fun i (name, f) ->
-      let ms, counters = measure_kernel f in
+      let ms, alloc, counters = measure_kernel f in
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf
-        (Printf.sprintf "  {\"name\":\"%s\",\"ms\":%.6f,\"counters\":{%s}}" name
-           ms
+        (Printf.sprintf
+           "  {\"name\":\"%s\",\"ms\":%.6f,\"alloc_bytes\":%.0f,\"counters\":{%s}}"
+           name ms alloc
            (String.concat ","
               (List.map
                  (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v)
@@ -412,6 +440,7 @@ let write_suite ~dir ~suite kernels =
 
 let run_bench_json dir =
   write_suite ~dir ~suite:"chase" chase_kernels;
+  write_suite ~dir ~suite:"ground" ground_kernels;
   write_suite ~dir ~suite:"topk" topk_kernels;
   write_suite ~dir ~suite:"clean" clean_kernels
 

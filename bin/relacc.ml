@@ -136,8 +136,8 @@ let jobs_arg =
   let jobs_conv =
     let parse s =
       match Arg.conv_parser Arg.int s with
-      | Ok v when v < 1 ->
-          Error (`Msg (Printf.sprintf "JOBS must be at least 1, got %s" s))
+      | Ok v when v < 0 ->
+          Error (`Msg (Printf.sprintf "JOBS must be 0 (auto) or positive, got %s" s))
       | r -> r
     in
     Arg.conv (parse, Arg.conv_printer Arg.int)
@@ -146,7 +146,7 @@ let jobs_arg =
     value & opt jobs_conv 1
     & info [ "j"; "jobs" ] ~docv:"JOBS"
         ~doc:
-          "Worker domains for the per-entity work. The output is identical for           every value; $(docv) only changes the wall time.")
+          "Worker domains for the per-entity work; 0 picks the host's           recommended domain count. The output is identical for every value;           $(docv) only changes the wall time.")
 
 let budget_exit ~strict ~trip ~spent =
   if strict then

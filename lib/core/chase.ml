@@ -36,17 +36,12 @@ let changes inst (s : Ground.step) =
 
 let run_trace ?(policy = First_applicable) ?budget ?prepare spec =
   let inst = Instance.init spec in
-  let orders =
-    Array.init
-      (Relational.Schema.arity (Specification.schema spec))
-      (Instance.order inst)
-  in
   let steps =
     Ground.instantiate
       ~ruleset:(Specification.ruleset spec)
       ~entity:(Specification.entity spec)
       ~master:(Specification.master spec)
-      ~orders
+      ~orders:(Specification.numbering spec)
   in
   let steps = match prepare with Some f -> f steps | None -> steps in
   let charge =
@@ -84,7 +79,7 @@ let run_trace ?(policy = First_applicable) ?budget ?prepare spec =
             | Instance.Unchanged ->
                 (* contradicts the [changes] probe *)
                 assert false
-            | Instance.Invalid reason ->
+            | Instance.Invalid { reason; _ } ->
                 Obs.Counter.incr m_conflicts;
                 (Stuck { rule = chosen.rule_name; reason }, List.rev applied_rev)))
   in

@@ -17,15 +17,11 @@ type event =
 type outcome =
   | Unchanged
   | Changed of event list
-  | Invalid of string
+  | Invalid of { reason : string; applied : event list }
 
 let init spec =
   let relation = Specification.entity spec in
-  let schema = Relation.schema relation in
-  let orders =
-    Array.init (Schema.arity schema) (fun a ->
-        Attr_order.of_column (Relation.column relation a))
-  in
+  let orders = Array.map Attr_order.of_numbering (Specification.numbering spec) in
   { relation; orders; te = Specification.template spec }
 
 let relation t = t.relation
@@ -73,7 +69,7 @@ let apply t action =
       match lambda t attr with
       | Ok [] -> Unchanged
       | Ok events -> Changed events
-      | Error e -> Invalid e)
+      | Error reason -> Invalid { reason; applied = [] })
   | Rules.Ground.Assign { attr; value } ->
       assert (not (Value.is_null value));
       if Value.is_null t.te.(attr) then begin
@@ -83,31 +79,51 @@ let apply t action =
       else if Value.equal t.te.(attr) value then Unchanged
       else
         Invalid
-          (Printf.sprintf "te[%s] already holds %s, master asserts %s"
-             (Schema.attribute (schema t) attr)
-             (Value.to_string t.te.(attr))
-             (Value.to_string value))
+          {
+            reason =
+              Printf.sprintf "te[%s] already holds %s, master asserts %s"
+                (Schema.attribute (schema t) attr)
+                (Value.to_string t.te.(attr))
+                (Value.to_string value);
+            applied = [];
+          }
   | Rules.Ground.Add_order { attr; c1; c2 } -> (
       match Attr_order.add_classes t.orders.(attr) c1 c2 with
       | Attr_order.Conflict ->
           Invalid
-            (Printf.sprintf
-               "ordering %s and %s both ways on attribute %s"
-               (Value.to_string (Attr_order.class_value t.orders.(attr) c1))
-               (Value.to_string (Attr_order.class_value t.orders.(attr) c2))
-               (Schema.attribute (schema t) attr))
+            {
+              reason =
+                Printf.sprintf "ordering %s and %s both ways on attribute %s"
+                  (Value.to_string (Attr_order.class_value t.orders.(attr) c1))
+                  (Value.to_string (Attr_order.class_value t.orders.(attr) c2))
+                  (Schema.attribute (schema t) attr);
+              applied = [];
+            }
       | Attr_order.No_change -> (
           (* The pair is already implied: enforcing the rule changes
              nothing (λ cannot have new information either). *)
           match lambda t attr with
           | Ok [] -> Unchanged
           | Ok events -> Changed events
-          | Error e -> Invalid e)
+          | Error reason -> Invalid { reason; applied = [] })
       | Attr_order.Extended pairs -> (
           let edges = List.map (fun (c1, c2) -> Edge { attr; c1; c2 }) pairs in
           match lambda t attr with
           | Ok more -> Changed (edges @ more)
-          | Error e -> Invalid e))
+          | Error reason ->
+              (* The order extension has already happened; report it
+                 so a rolling-back caller can undo it (a one-shot
+                 engine just stops, for which this is harmless). *)
+              Invalid { reason; applied = edges }))
+
+(* Reverse one event. Sound for any multiset of previously applied
+   events, in any order: [Te_set] is write-once (undo = reset to
+   null) and every [Edge] of one [Extended] batch is reported, so a
+   caller undoing a whole suffix of the event stream restores the
+   exact poset bitmap (see {!Poset.remove_pair}). *)
+let undo_event t = function
+  | Te_set { attr; value = _ } -> t.te.(attr) <- Value.Null
+  | Edge { attr; c1; c2 } -> Attr_order.remove_classes t.orders.(attr) c1 c2
 
 let leq t attr t1 t2 = Attr_order.leq_tuples t.orders.(attr) t1 t2
 let lt t attr t1 t2 = Attr_order.lt_tuples t.orders.(attr) t1 t2

@@ -17,10 +17,14 @@ type event =
 type outcome =
   | Unchanged  (** not a chase step: the instance is unaffected *)
   | Changed of event list
-  | Invalid of string
+  | Invalid of { reason : string; applied : event list }
       (** the step would violate validity: an order cycle between
           distinct values, or a change to a non-null [te] attribute
-          (directly or through λ) *)
+          (directly or through λ). [applied] lists the events that
+          mutated the instance before the violation surfaced (a
+          failed [Add_order] may extend the order before λ detects
+          the clash) — callers that roll back must {!undo_event}
+          them; one-shot engines can ignore them and stop. *)
 
 val init : Specification.t -> t
 (** [D0] with the specification's initial template; accuracy orders
@@ -57,8 +61,15 @@ val apply : t -> Rules.Ground.action -> outcome
       [Invalid] when a different non-null value is present.
 
     [Invalid] leaves the instance unchanged except that a failed
-    [Add_order] may have recorded the (harmless, since the engine
-    stops) extension before λ detection. *)
+    [Add_order] may have recorded the extension before λ detection —
+    such events are reported in the [applied] payload. *)
+
+val undo_event : t -> event -> unit
+(** Reverse one previously applied event: a [Te_set] resets the
+    attribute to null (te is write-once, so null is always the prior
+    state), an [Edge] removes the strict class pair. Undoing every
+    event of a suffix of the event stream — in any order — restores
+    the instance to its state before that suffix. *)
 
 val leq : t -> int -> int -> int -> bool
 (** [leq inst attr t1 t2] — current [t1 ⪯_A t2] at tuple level. *)

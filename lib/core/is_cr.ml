@@ -7,6 +7,8 @@ let m_changed = Obs.Counter.make ~help:"chase steps that changed the instance" "
 let m_decr = Obs.Counter.make ~help:"n_phi predicate-counter decrements" "chase_pred_decrements_total"
 let m_conflicts = Obs.Counter.make ~help:"order conflicts (not Church-Rosser)" "chase_conflicts_total"
 let m_qhwm = Obs.Gauge.make ~help:"worklist Q length high-water mark" "chase_queue_hwm"
+let m_snapshots = Obs.Counter.make ~help:"candidate-independent base fixpoints built" "chase_snapshot_builds_total"
+let m_delta = Obs.Counter.make ~help:"candidate checks answered from a snapshot delta" "chase_delta_checks_total"
 
 type verdict =
   | Church_rosser of Instance.t
@@ -33,22 +35,17 @@ type compiled = {
 }
 
 let compile spec =
-  (* A throwaway instance supplies the value-class numbering; class
-     ids are a pure function of the entity relation, so they agree
-     with every future run's orders. *)
-  let inst = Instance.init spec in
-  let orders =
-    Array.init
-      (Relational.Schema.arity (Specification.schema spec))
-      (Instance.order inst)
-  in
+  (* The value-class numbering is a pure function of the entity
+     relation, cached on the specification; class ids therefore
+     agree with every future run's orders without building a
+     throwaway instance here. *)
   let steps =
     Array.of_list
       (Ground.instantiate
          ~ruleset:(Specification.ruleset spec)
          ~entity:(Specification.entity spec)
          ~master:(Specification.master spec)
-         ~orders)
+         ~orders:(Specification.numbering spec))
   in
   let preds = Array.map (fun (s : Ground.step) -> Array.of_list s.preds) steps in
   let slot_base = Array.make (Array.length steps) 0 in
@@ -85,7 +82,20 @@ let compile spec =
 let compiled_spec c = c.cspec
 let ground_size c = Array.length c.steps
 
-(* Mutable per-run state. *)
+(* One reversal record of the undo log. Rollback is order-
+   independent: each entry resets one monotone bit (or counter tick)
+   to its pre-delta state, and no two entries target the same bit —
+   [satisfy] and the dead/queued transitions each fire at most once
+   per slot/step, and [Instance.undo_event] is sound for any order
+   (see its contract). *)
+type undo =
+  | U_slot of { flat : int; sid : int }  (** un-satisfy one predicate slot *)
+  | U_dead of int  (** revive a step killed by a te mismatch *)
+  | U_queued of int  (** clear a queued flag set during the delta *)
+  | U_event of Instance.event  (** reverse an instance mutation *)
+
+(* Mutable per-run state. [logging] turns the undo log on for
+   snapshot deltas; plain runs never pay more than the flag check. *)
 type run_state = {
   c : compiled;
   remaining : int array;
@@ -93,7 +103,11 @@ type run_state = {
   dead : Bytes.t;
   queued : Bytes.t;
   queue : int Queue.t;
+  mutable logging : bool;
+  mutable log : undo list;
 }
+
+let record st u = if st.logging then st.log <- u :: st.log
 
 let fresh_state c =
   let n = Array.length c.steps in
@@ -105,6 +119,8 @@ let fresh_state c =
       dead = Bytes.make n '\000';
       queued = Bytes.make n '\000';
       queue = Queue.create ();
+      logging = false;
+      log = [];
     }
   in
   for sid = 0 to n - 1 do
@@ -124,6 +140,7 @@ let enqueue_if_ready st sid =
     && Bytes.get st.queued sid = '\000'
     && st.remaining.(sid) = 0
   then begin
+    record st (U_queued sid);
     Bytes.set st.queued sid '\001';
     Queue.add sid st.queue;
     Obs.Gauge.observe_max m_qhwm (float_of_int (Queue.length st.queue))
@@ -132,6 +149,7 @@ let enqueue_if_ready st sid =
 let satisfy st sid slot =
   let flat = st.c.slot_base.(sid) + slot in
   if Bytes.get st.dead sid = '\000' && Bytes.get st.sat flat = '\000' then begin
+    record st (U_slot { flat; sid });
     Bytes.set st.sat flat '\001';
     st.remaining.(sid) <- st.remaining.(sid) - 1;
     Obs.Counter.incr m_decr;
@@ -154,10 +172,31 @@ let handle_event st event =
                 match st.c.preds.(sid).(slot) with
                 | Ground.P_te { op; value = expected; _ } ->
                     if Rules.Ar.eval_op op value expected then satisfy st sid slot
-                    else Bytes.set st.dead sid '\001'
+                    else begin
+                      record st (U_dead sid);
+                      Bytes.set st.dead sid '\001'
                       (* te is write-once: this step can never fire *)
+                    end
                 | Ground.P_ord _ -> assert false)
             l)
+
+(* Reverse everything logged since [logging] was switched on,
+   restoring the exact pre-delta state. The queue is simply cleared:
+   deltas only start from a fully drained snapshot, so the pre-delta
+   queue is empty. *)
+let rollback st inst =
+  List.iter
+    (function
+      | U_slot { flat; sid } ->
+          Bytes.set st.sat flat '\000';
+          st.remaining.(sid) <- st.remaining.(sid) + 1
+      | U_dead sid -> Bytes.set st.dead sid '\000'
+      | U_queued sid -> Bytes.set st.queued sid '\000'
+      | U_event e -> Instance.undo_event inst e)
+    st.log;
+  st.log <- [];
+  st.logging <- false;
+  Queue.clear st.queue
 
 (* Drain the worklist to a terminal or invalid state; reusable by
    both one-shot runs and incremental sessions. With a budget, each
@@ -200,10 +239,12 @@ let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
                   incr changed;
                   Obs.Counter.incr m_changed;
                   (match trace with Some f -> f c.steps.(sid) | None -> ());
+                  List.iter (fun e -> record st (U_event e)) events;
                   List.iter (handle_event st) events;
                   go ()
-              | Instance.Invalid reason ->
+              | Instance.Invalid { reason; applied } ->
                   Obs.Counter.incr m_conflicts;
+                  List.iter (fun e -> record st (U_event e)) applied;
                   ( `Done
                       (Not_church_rosser { rule = c.steps.(sid).rule_name; reason }),
                     stat () ))
@@ -264,6 +305,110 @@ let check c tuple =
   | Not_church_rosser _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot–delta candidate checking                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [check c t] replaces the template entirely, so the candidate-
+   independent part of every such run is the fixpoint from the
+   ALL-NULL template (not the specification's own template, which a
+   check never sees). A snapshot drains that base fixpoint once;
+   each candidate then resumes from it by applying its attribute
+   values as fills — exactly the incremental-session argument, which
+   the session QCheck property already establishes — and an undo log
+   restores the snapshot afterwards, so one snapshot serves any
+   number of candidates.
+
+   If the base fixpoint itself conflicts, those conflicting steps
+   have no te predicates left unsatisfied — they fire under every
+   template — so no candidate can pass: [base_cr = false] answers
+   every check with [false] without touching any state. *)
+type snapshot = {
+  zc : compiled;
+  zst : run_state;
+  zinst : Instance.t;
+  base_cr : bool;
+  base_te : Relational.Value.t array;
+      (* te at the base fixpoint (all-null template): every value
+         here is forced by the rules alone, so a candidate disagreeing
+         with a non-null entry conflicts without running the delta. *)
+}
+
+let snapshot c =
+  Obs.Counter.incr m_snapshots;
+  let arity = Relational.Schema.arity (Specification.schema c.cspec) in
+  let tpl = Array.make arity Relational.Value.Null in
+  let inst, st = prepare ~template:tpl c in
+  let base_cr =
+    match drain c st inst ~fired:(ref 0) ~changed:(ref 0) with
+    | Church_rosser _, _ -> true
+    | Not_church_rosser _, _ -> false
+  in
+  { zc = c; zst = st; zinst = inst; base_cr; base_te = Instance.te inst }
+
+let snapshot_compiled z = z.zc
+let snapshot_base_cr z = z.base_cr
+let snapshot_base_te z = Array.copy z.base_te
+
+(* Resume the snapshot with the candidate's fills, drain, roll back.
+   Raises [Invalid_argument] on a null attribute (like [check]). *)
+let delta_run ?budget z tuple =
+  if Array.exists Relational.Value.is_null tuple then
+    invalid_arg "Is_cr.check: candidate target has a null attribute";
+  if not z.base_cr then `Verdict false
+  else if
+    (* Fast path: the base fixpoint already forced a different value. *)
+    Array.exists2
+      (fun forced cand ->
+        (not (Relational.Value.is_null forced))
+        && not (Relational.Value.equal forced cand))
+      z.base_te tuple
+  then begin
+    Obs.Counter.incr m_delta;
+    `Verdict false
+  end
+  else begin
+    Obs.Counter.incr m_delta;
+    let st = z.zst and inst = z.zinst in
+    st.logging <- true;
+    st.log <- [];
+    let conflict = ref false in
+    Array.iteri
+      (fun attr value ->
+        if (not !conflict) && Relational.Value.is_null z.base_te.(attr) then
+          match Instance.apply inst (Ground.Assign { attr; value }) with
+          | Instance.Unchanged -> ()
+          | Instance.Changed events ->
+              List.iter (fun e -> record st (U_event e)) events;
+              List.iter (handle_event st) events
+          | Instance.Invalid { applied; _ } ->
+              List.iter (fun e -> record st (U_event e)) applied;
+              conflict := true)
+      tuple;
+    let out =
+      if !conflict then `Verdict false
+      else
+        match
+          drain_budgeted ?budget z.zc st inst ~fired:(ref 0) ~changed:(ref 0)
+        with
+        | `Done (Church_rosser _), _ -> `Verdict true
+        | `Done (Not_church_rosser _), _ -> `Verdict false
+        | `Out trip, _ -> `Out trip
+    in
+    rollback st inst;
+    out
+  end
+
+let check_snapshot z tuple =
+  match delta_run z tuple with
+  | `Verdict v -> v
+  | `Out _ -> assert false (* no budget supplied *)
+
+let check_snapshot_budgeted ~budget z tuple =
+  match delta_run ~budget z tuple with
+  | `Verdict v -> Ok v
+  | `Out trip -> Error trip
+
+(* ------------------------------------------------------------------ *)
 (* Incremental sessions                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -306,7 +451,7 @@ let session_fill s fills =
         | Instance.Changed events ->
             List.iter (handle_event s.sst) events;
             apply_fills rest
-        | Instance.Invalid reason -> fail "user-fill" reason)
+        | Instance.Invalid { reason; _ } -> fail "user-fill" reason)
   in
   match apply_fills fills with
   | Error _ as e -> e

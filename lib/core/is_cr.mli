@@ -74,6 +74,50 @@ val check : compiled -> Relational.Value.t array -> bool
     target iff the run is Church-Rosser. Raises [Invalid_argument]
     if [t] has a null attribute. *)
 
+type snapshot
+(** The candidate-independent part of {!check}, computed once: the
+    chase fixpoint from the ALL-NULL template (every [check] replaces
+    the template, so the specification's own template never
+    contributes). A candidate check {e resumes} this fixpoint by
+    assigning the candidate's attribute values as fills and draining
+    only the steps those assignments wake up, then rolls the shared
+    state back through an undo log — so one snapshot answers any
+    number of [check] calls, each touching only the delta its
+    candidate actually causes. Not domain-safe: a snapshot mutates
+    shared state during each check; confine it to one domain. *)
+
+val snapshot : compiled -> snapshot
+(** Build the base fixpoint (one full drain; every later check is a
+    delta). If the base itself conflicts, the conflicting steps fire
+    under {e every} template, so the snapshot answers all checks
+    with [false] outright. *)
+
+val snapshot_compiled : snapshot -> compiled
+
+val snapshot_base_cr : snapshot -> bool
+(** Whether the base fixpoint is Church-Rosser. *)
+
+val snapshot_base_te : snapshot -> Relational.Value.t array
+(** The target template at the base fixpoint: values forced by the
+    rules alone. A candidate disagreeing with any non-null entry is
+    rejected without running a delta. *)
+
+val check_snapshot : snapshot -> Relational.Value.t array -> bool
+(** Same answer as [check (snapshot_compiled z)] (property-tested),
+    in time proportional to the candidate's delta. Raises
+    [Invalid_argument] if the tuple has a null attribute. *)
+
+val check_snapshot_budgeted :
+  budget:Robust.Budget.t ->
+  snapshot ->
+  Relational.Value.t array ->
+  (bool, Robust.Error.trip) result
+(** {!check_snapshot} with each delta-fired step charged one budget
+    unit (the snapshot's own construction is not charged). On a trip
+    the delta is rolled back before returning, so the snapshot stays
+    valid and the same check can be retried later under a fresh
+    budget. *)
+
 type session
 (** An {e incremental} chase: the terminal state of one run, kept
     alive so that later target-template assignments (the user fills

@@ -2,12 +2,26 @@ module Schema = Relational.Schema
 module Relation = Relational.Relation
 module Value = Relational.Value
 
+module Attr_order = Ordering.Attr_order
+
 type t = {
   entity : Relation.t;
   master : Relation.t option;
   ruleset : Rules.Ruleset.t;
   template : Value.t array;
+  (* Value-class numbering per attribute: a pure function of
+     [entity], computed on first use and shared by every derived
+     specification ([with_template]/[with_ruleset] keep the same
+     lazy cell), so compiling and instantiating never rehash the
+     entity columns twice. *)
+  numbering : Attr_order.numbering array Lazy.t;
 }
+
+let numbering_of_entity entity =
+  lazy
+    (Array.init
+       (Schema.arity (Relation.schema entity))
+       (fun a -> Attr_order.numbering_of_column (Relation.column entity a)))
 
 let make ?template ~entity ?master ruleset =
   let schema = Rules.Ruleset.schema ruleset in
@@ -41,7 +55,14 @@ let make ?template ~entity ?master ruleset =
               | Some tpl -> Array.copy tpl
               | None -> Array.make arity Value.Null
             in
-            Ok { entity; master; ruleset; template })
+            Ok
+              {
+                entity;
+                master;
+                ruleset;
+                template;
+                numbering = numbering_of_entity entity;
+              })
 
 let make_exn ?template ~entity ?master ruleset =
   match make ?template ~entity ?master ruleset with
@@ -50,6 +71,7 @@ let make_exn ?template ~entity ?master ruleset =
 
 let entity t = t.entity
 let master t = t.master
+let numbering t = Lazy.force t.numbering
 let ruleset t = t.ruleset
 let schema t = Rules.Ruleset.schema t.ruleset
 let template t = Array.copy t.template

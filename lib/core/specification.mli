@@ -30,6 +30,13 @@ val master : t -> Relational.Relation.t option
 val ruleset : t -> Rules.Ruleset.t
 val schema : t -> Relational.Schema.t
 
+val numbering : t -> Ordering.Attr_order.numbering array
+(** The per-attribute value-class numbering of the entity relation —
+    a pure function of the entity, computed once and cached (shared
+    by {!with_template}/{!with_ruleset} derivatives). This is what
+    ground-step compilation and every fresh {!Instance} order are
+    built from, so neither allocates a throwaway instance. *)
+
 val template : t -> Relational.Value.t array
 (** Fresh copy of the initial template. *)
 

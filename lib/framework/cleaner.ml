@@ -48,8 +48,12 @@ type entity_result = {
 
 let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
     ?(budget = Robust.Budget.unlimited) ?(retries = 1) ?(jobs = 1) ruleset dirty =
-  if jobs < 1 then
+  if jobs < 0 then
     invalid_arg (Printf.sprintf "Cleaner.clean: jobs = %d" jobs);
+  (* jobs = 0 is auto: let the pool resolve the host's recommended
+     domain count. *)
+  let pool = if jobs = 1 then None else Some (Parallel.Pool.create ~jobs ()) in
+  let jobs = match pool with None -> 1 | Some p -> Parallel.Pool.jobs p in
   let clusters =
     match (er, clusters) with
     | Some config, None -> Er.Resolver.cluster config dirty
@@ -136,7 +140,10 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
       match Core.Specification.make ~entity:instance ?master ruleset with
       | Error e -> `Quarantine (Robust.Error.spec_invalid e)
       | Ok spec -> (
-          let compiled = Core.Is_cr.compile spec in
+          (* Per-cluster artifacts are cached process-wide: repeated
+             cleans of the same batch (retries, benchmark runs,
+             incremental re-cleans) reuse the grounding. *)
+          let compiled = Compile_cache.compile spec in
           match chase_budgeted ~used compiled budget retries with
           | `Exhausted (trip, fired) ->
               `Quarantine
@@ -201,9 +208,9 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
   in
   let tasks = Array.of_list (List.mapi (fun idx members -> (idx, members)) clusters) in
   let results =
-    if jobs = 1 then Array.map process tasks
-    else
-      let pool = Parallel.Pool.create ~jobs () in
+    match pool with
+    | None -> Array.map process tasks
+    | Some pool ->
       Array.mapi
         (fun i -> function
           | Ok r -> r

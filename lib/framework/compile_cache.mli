@@ -1,0 +1,27 @@
+(** Compile-once / run-many: a process-wide cache of
+    {!Core.Is_cr.compiled} artifacts.
+
+    Grounding is the specification-level analogue of query
+    compilation — a pure function of (ruleset, entity, master,
+    template) — so repeated cleans, benchmarks, or pipeline runs
+    over the same entity cluster reuse one artifact instead of
+    re-instantiating Γ. Rulesets and master relations are keyed by
+    physical identity; the entity relation and template by content
+    ([Value.equal]-wise, with a physical shortcut), which is exactly
+    the granularity at which {!Cleaner} rebuilds per-cluster
+    relations from shared tuples.
+
+    Domain-safe: lookups and insertions are mutex-guarded (the
+    compile itself runs outside the lock; a racing duplicate compile
+    is idempotent). The cache is bounded ([1024] entries) and resets
+    wholesale when full. Hits and misses are observable as
+    [compile_cache_hits_total] / [compile_cache_misses_total]. *)
+
+val compile : Core.Specification.t -> Core.Is_cr.compiled
+(** Cached {!Core.Is_cr.compile}. *)
+
+val clear : unit -> unit
+(** Drop every cached artifact (tests and memory-sensitive callers). *)
+
+val size : unit -> int
+(** Current number of cached artifacts. *)

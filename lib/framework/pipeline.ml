@@ -60,7 +60,7 @@ let load_spec ?master ~entity ~rules () =
     (Core.Specification.make ~entity ?master ruleset)
 
 let compile spec =
-  Obs.Span.with_ ~name:"pipeline.compile" @@ fun () -> Core.Is_cr.compile spec
+  Obs.Span.with_ ~name:"pipeline.compile" @@ fun () -> Compile_cache.compile spec
 
 let verdict_outcome = function
   | Core.Is_cr.Church_rosser inst ->

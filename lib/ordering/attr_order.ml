@@ -1,9 +1,20 @@
 module Value = Relational.Value
 
-type t = {
+(* The value-class numbering of one column is a pure function of the
+   entity relation, independent of any chase state, so it is split
+   out of the order proper: one [numbering] can back every
+   {!t} (and every ground-step compilation) over the same column
+   without rehashing the values. All three arrays are immutable
+   after construction and may be shared freely across instances and
+   domains. *)
+type numbering = {
   tuple_class : int array; (* tuple index -> class id *)
   class_values : Value.t array; (* class id -> its value *)
   members : int list array; (* class id -> member tuple indices *)
+}
+
+type t = {
+  nb : numbering;
   order : Poset.t; (* strict order over classes *)
 }
 
@@ -22,7 +33,7 @@ let class_key v =
   | Value.Float f -> "d" ^ string_of_float f
   | Value.String s -> "s" ^ s
 
-let of_column column =
+let numbering_of_column column =
   let n = Array.length column in
   let tuple_class = Array.make n (-1) in
   let values = ref [] and count = ref 0 in
@@ -42,31 +53,40 @@ let of_column column =
   for ti = n - 1 downto 0 do
     members.(tuple_class.(ti)) <- ti :: members.(tuple_class.(ti))
   done;
-  { tuple_class; class_values; members; order = Poset.create !count }
+  { tuple_class; class_values; members }
 
-let num_tuples t = Array.length t.tuple_class
-let num_classes t = Array.length t.class_values
-let class_of_tuple t ti = t.tuple_class.(ti)
-let class_value t c = t.class_values.(c)
+let numbering_tuples nb = Array.length nb.tuple_class
+let numbering_classes nb = Array.length nb.class_values
+let numbering_class_of_tuple nb ti = nb.tuple_class.(ti)
+let numbering_class_value nb c = nb.class_values.(c)
+
+let of_numbering nb = { nb; order = Poset.create (numbering_classes nb) }
+let of_column column = of_numbering (numbering_of_column column)
+let numbering t = t.nb
+
+let num_tuples t = numbering_tuples t.nb
+let num_classes t = numbering_classes t.nb
+let class_of_tuple t ti = t.nb.tuple_class.(ti)
+let class_value t c = t.nb.class_values.(c)
 
 let class_of_value t v =
   let rec scan c =
-    if c = Array.length t.class_values then None
-    else if Value.equal t.class_values.(c) v then Some c
+    if c = Array.length t.nb.class_values then None
+    else if Value.equal t.nb.class_values.(c) v then Some c
     else scan (c + 1)
   in
   scan 0
 
-let tuples_of_class t c = t.members.(c)
+let tuples_of_class t c = t.nb.members.(c)
 
 let lt_classes t c1 c2 = Poset.mem t.order c1 c2
 
 let leq_tuples t t1 t2 =
-  let c1 = t.tuple_class.(t1) and c2 = t.tuple_class.(t2) in
+  let c1 = t.nb.tuple_class.(t1) and c2 = t.nb.tuple_class.(t2) in
   c1 = c2 || Poset.mem t.order c1 c2
 
 let lt_tuples t t1 t2 =
-  let c1 = t.tuple_class.(t1) and c2 = t.tuple_class.(t2) in
+  let c1 = t.nb.tuple_class.(t1) and c2 = t.nb.tuple_class.(t2) in
   c1 <> c2 && Poset.mem t.order c1 c2
 
 let lift = function
@@ -77,22 +97,19 @@ let lift = function
 let add_classes t c1 c2 = lift (Poset.add t.order c1 c2)
 
 let add_tuples t t1 t2 =
-  add_classes t t.tuple_class.(t1) t.tuple_class.(t2)
+  add_classes t t.nb.tuple_class.(t1) t.nb.tuple_class.(t2)
+
+let remove_classes t c1 c2 = Poset.remove_pair t.order c1 c2
 
 let greatest t =
   match Poset.maximum t.order with
-  | Some c -> Some t.class_values.(c)
+  | Some c -> Some t.nb.class_values.(c)
   | None -> None
 
 let strict_pair_count t = Poset.pair_count t.order
 
-let copy t =
-  {
-    tuple_class = Array.copy t.tuple_class;
-    class_values = Array.copy t.class_values;
-    members = Array.copy t.members;
-    order = Poset.copy t.order;
-  }
+(* The numbering is immutable, so a copy only needs its own order. *)
+let copy t = { nb = t.nb; order = Poset.copy t.order }
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>classes={";
@@ -100,5 +117,5 @@ let pp ppf t =
     (fun c v ->
       if c > 0 then Format.fprintf ppf "; ";
       Format.fprintf ppf "%d:%a" c Value.pp v)
-    t.class_values;
+    t.nb.class_values;
   Format.fprintf ppf "} order=%a@]" Poset.pp t.order

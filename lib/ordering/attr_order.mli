@@ -16,15 +16,38 @@
 
 type t
 
+type numbering
+(** The value-class numbering of one column — tuple→class map, class
+    values and class members — without any order state. A pure
+    function of the column, so one numbering can back every fresh
+    order (and every ground-step compilation) over the same entity
+    relation without rehashing the values. Immutable; safe to share
+    across instances and domains. *)
+
 type add_result =
   | No_change  (** already implied (same class or existing edge) *)
   | Extended of (int * int) list
       (** new strict class pairs added by transitive closure *)
   | Conflict  (** would order two distinct values both ways *)
 
+val numbering_of_column : Relational.Value.t array -> numbering
+
+val of_numbering : numbering -> t
+(** A fresh edge-free order over an existing numbering (shared, not
+    copied). *)
+
+val numbering : t -> numbering
+(** The numbering underlying an order. *)
+
+val numbering_tuples : numbering -> int
+val numbering_classes : numbering -> int
+val numbering_class_of_tuple : numbering -> int -> int
+val numbering_class_value : numbering -> int -> Relational.Value.t
+
 val of_column : Relational.Value.t array -> t
 (** Build the empty order from the A-column of [Ie] (tuple order
-    defines tuple indices). *)
+    defines tuple indices). [of_column c] is
+    [of_numbering (numbering_of_column c)]. *)
 
 val num_tuples : t -> int
 val num_classes : t -> int
@@ -47,6 +70,11 @@ val add_tuples : t -> int -> int -> add_result
     [No_change]. *)
 
 val add_classes : t -> int -> int -> add_result
+
+val remove_classes : t -> int -> int -> unit
+(** Undo one strict class pair previously reported by
+    {!add_result.Extended} — see {!Poset.remove_pair} for the
+    batch-undo contract. *)
 
 val greatest : t -> Relational.Value.t option
 (** The value [v] such that every tuple [t'] satisfies [t' ⪯_A t]

@@ -59,6 +59,14 @@ let add t a b =
     Extended !added
   end
 
+let remove_pair t a b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg "Poset.remove_pair: element out of range";
+  if not (mem t a b) then invalid_arg "Poset.remove_pair: pair not present";
+  Bytes.unsafe_set t.reach ((a * t.n) + b) '\000';
+  t.pred_count.(b) <- t.pred_count.(b) - 1;
+  t.pairs <- t.pairs - 1
+
 let pair_count t = t.pairs
 
 let pairs t =

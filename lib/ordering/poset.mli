@@ -35,6 +35,14 @@ val add : t -> int -> int -> add_result
 (** [add t a b] asserts [a < b] and transitively closes. Reflexive
     asserts return [No_change]. *)
 
+val remove_pair : t -> int -> int -> unit
+(** [remove_pair t a b] deletes the pair [a < b] from the closure —
+    the undo primitive for a pair previously reported by
+    {!add_result.Extended}. The result is only a valid closure when
+    every pair of one [Extended] batch is removed together (the
+    snapshot–delta chase's rollback does exactly that). Raises
+    [Invalid_argument] when the pair is absent. *)
+
 val pair_count : t -> int
 (** Number of pairs currently in the closure. *)
 

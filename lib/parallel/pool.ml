@@ -6,14 +6,24 @@
 
 type t = { pool_jobs : int }
 
+(* How many of the requested workers the host can actually run in
+   parallel. Oversubscription is visible (and costly on small
+   hosts), so the effective count is published as a gauge whenever a
+   pool is created. *)
+let m_effective = Obs.Gauge.make
+    ~help:"worker domains the host can run concurrently (min of requested jobs and recommended domains)"
+    "parallel_domains_effective"
+
 let create ?jobs () =
+  let recommended = Domain.recommended_domain_count () in
   let pool_jobs =
     match jobs with
-    | None -> Domain.recommended_domain_count ()
-    | Some j when j < 1 ->
+    | None | Some 0 -> recommended (* 0 = auto *)
+    | Some j when j < 0 ->
         invalid_arg (Printf.sprintf "Parallel.Pool.create: jobs = %d" j)
     | Some j -> j
   in
+  Obs.Gauge.set m_effective (float_of_int (min pool_jobs recommended));
   { pool_jobs }
 
 let jobs t = t.pool_jobs

@@ -33,8 +33,12 @@ type t
 val create : ?jobs:int -> unit -> t
 (** [jobs] is the worker count — the exact number of domains a batch
     uses (the caller's domain is worker 0; [jobs - 1] are spawned).
-    Defaults to {!Domain.recommended_domain_count}. Raises
-    [Invalid_argument] when [jobs < 1]. *)
+    [0] (and the default) mean {e auto}: resolve to
+    {!Domain.recommended_domain_count}. Raises [Invalid_argument]
+    when [jobs < 0]. Every creation publishes the
+    [parallel_domains_effective] gauge — [min jobs recommended] —
+    so a request oversubscribing the host is visible in the
+    metrics. *)
 
 val jobs : t -> int
 

@@ -2,11 +2,14 @@ module Value = Relational.Value
 module Relation = Relational.Relation
 module Attr_order = Ordering.Attr_order
 
-(* Observability: |Γ| by rule form, plus how many candidate ground
-   steps the canonical-key dedup discarded. *)
+(* Observability: |Γ| by rule form, how many candidate ground steps
+   the canonical-key dedup discarded, and how many master rows the
+   form-(2) grounding actually visited (the Master_const index makes
+   this sublinear in |Im| for selective rules). *)
 let m_form1 = Obs.Counter.make ~help:"ground steps emitted from form (1) rules" "instantiation_form1_steps_total"
 let m_form2 = Obs.Counter.make ~help:"ground steps emitted from form (2) rules" "instantiation_form2_steps_total"
 let m_dedup = Obs.Counter.make ~help:"duplicate ground steps discarded" "instantiation_dedup_skipped_total"
+let m_mrows = Obs.Counter.make ~help:"master rows visited by form (2) grounding" "instantiation_master_rows_visited_total"
 
 type action =
   | Add_order of { attr : int; c1 : int; c2 : int }
@@ -54,51 +57,107 @@ let fold_cmp values_of_side l op r =
             "Ground.instantiate: predicate compares two distinct target attributes")
 
 let fold_ord orders tuple_of_side ~strict ~left ~right ~attr =
-  let c1 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side left) in
-  let c2 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side right) in
+  let c1 = Attr_order.numbering_class_of_tuple orders.(attr) (tuple_of_side left) in
+  let c2 = Attr_order.numbering_class_of_tuple orders.(attr) (tuple_of_side right) in
   if c1 = c2 then if strict then F_false else F_true
   else F_residual (P_ord { attr; c1; c2 })
 
-(* Deduplication key: a canonical string for (sorted preds, action). *)
-let pred_key = function
-  | P_ord { attr; c1; c2 } -> Printf.sprintf "o%d:%d:%d" attr c1 c2
+(* ------------------------------------------------------------------ *)
+(* Structural dedup keys                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical identity of a candidate step is (sorted residual
+   predicates, action), compared and hashed structurally — no string
+   rendering on the instantiation hot path. Value comparisons go
+   through [Value.equal]/[Value.hash], which unify the numerics that
+   the chase unifies (Int 2 = Float 2.). *)
+
+let op_tag = function
+  | Ar.Eq -> 0 | Ar.Neq -> 1 | Ar.Lt -> 2 | Ar.Gt -> 3 | Ar.Leq -> 4 | Ar.Geq -> 5
+
+let equal_gpred p q =
+  match (p, q) with
+  | P_ord a, P_ord b -> a.attr = b.attr && a.c1 = b.c1 && a.c2 = b.c2
+  | P_te a, P_te b ->
+      a.attr = b.attr && a.op = b.op && Value.equal a.value b.value
+  | (P_ord _ | P_te _), _ -> false
+
+let compare_gpred p q =
+  match (p, q) with
+  | P_ord a, P_ord b -> (
+      match Int.compare a.attr b.attr with
+      | 0 -> (
+          match Int.compare a.c1 b.c1 with
+          | 0 -> Int.compare a.c2 b.c2
+          | c -> c)
+      | c -> c)
+  | P_te a, P_te b -> (
+      match Int.compare a.attr b.attr with
+      | 0 -> (
+          match Int.compare (op_tag a.op) (op_tag b.op) with
+          | 0 -> Value.compare a.value b.value
+          | c -> c)
+      | c -> c)
+  | P_ord _, P_te _ -> -1
+  | P_te _, P_ord _ -> 1
+
+let combine h x = (h * 1000003) + x
+
+let hash_gpred = function
+  | P_ord { attr; c1; c2 } -> combine (combine (combine 3 attr) c1) c2
   | P_te { attr; op; value } ->
-      Printf.sprintf "t%d:%d:%s" attr
-        (match op with Ar.Eq -> 0 | Neq -> 1 | Lt -> 2 | Gt -> 3 | Leq -> 4 | Geq -> 5)
-        (Value.to_string value)
+      combine (combine (combine 5 attr) (op_tag op)) (Value.hash value)
 
-let action_key = function
-  | Add_order { attr; c1; c2 } -> Printf.sprintf "O%d:%d:%d" attr c1 c2
-  | Refresh attr -> Printf.sprintf "R%d" attr
-  | Assign { attr; value } -> Printf.sprintf "A%d:%s" attr (Value.to_string value)
+let equal_action a b =
+  match (a, b) with
+  | Add_order x, Add_order y -> x.attr = y.attr && x.c1 = y.c1 && x.c2 = y.c2
+  | Refresh x, Refresh y -> x = y
+  | Assign x, Assign y -> x.attr = y.attr && Value.equal x.value y.value
+  | (Add_order _ | Refresh _ | Assign _), _ -> false
 
-let step_key preds action =
-  String.concat ";" (List.sort String.compare (List.map pred_key preds))
-  ^ "|" ^ action_key action
+let hash_action = function
+  | Add_order { attr; c1; c2 } -> combine (combine (combine 7 attr) c1) c2
+  | Refresh attr -> combine 11 attr
+  | Assign { attr; value } -> combine (combine 13 attr) (Value.hash value)
 
+module Step_tbl = Hashtbl.Make (struct
+  (* Predicates are pre-sorted with [compare_gpred] by the caller so
+     that predicate order is canonical. *)
+  type t = gpred list * action
+
+  let equal (p1, a1) (p2, a2) =
+    equal_action a1 a2 && List.equal equal_gpred p1 p2
+
+  let hash (preds, action) =
+    List.fold_left (fun h p -> combine h (hash_gpred p)) (hash_action action) preds
+end)
+
+(* Within-step predicate dedup: residue lists are a handful of
+   entries, so a quadratic membership scan beats any keying. *)
 let dedup_preds preds =
-  let seen = Hashtbl.create 8 in
-  List.filter
-    (fun p ->
-      let k = pred_key p in
-      if Hashtbl.mem seen k then false
-      else begin
-        Hashtbl.add seen k ();
-        true
-      end)
-    preds
+  List.fold_left
+    (fun acc p -> if List.exists (equal_gpred p) acc then acc else p :: acc)
+    [] preds
+  |> List.rev
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
 
 let instantiate ~ruleset ~entity ~master ~orders =
   let rules = Ruleset.rules ruleset in
   let n = Relation.size entity in
   let steps = ref [] in
   let count = ref 0 in
-  let seen = Hashtbl.create 256 in
+  let seen = Step_tbl.create 256 in
   let emit rule_name ~form preds action =
     let preds = dedup_preds preds in
-    let key = step_key preds action in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.add seen key ();
+    let key = (List.sort compare_gpred preds, action) in
+    if not (Step_tbl.mem seen key) then begin
+      Step_tbl.add seen key ();
       steps := { sid = !count; rule_name; preds; action } :: !steps;
       Obs.Counter.incr (match form with `Form1 -> m_form1 | `Form2 -> m_form2);
       incr count
@@ -138,7 +197,9 @@ let instantiate ~ruleset ~entity ~master ~orders =
     let seen = Hashtbl.create (max 16 n) in
     let reps = ref [] in
     for i = 0 to n - 1 do
-      let sig_ = List.map (fun a -> Attr_order.class_of_tuple orders.(a) i) reads in
+      let sig_ =
+        List.map (fun a -> Attr_order.numbering_class_of_tuple orders.(a) i) reads
+      in
       if not (Hashtbl.mem seen sig_) then begin
         Hashtbl.add seen sig_ ();
         reps := i :: !reps
@@ -173,8 +234,13 @@ let instantiate ~ruleset ~entity ~master ~orders =
             | None -> ()
             | Some preds ->
                 let { Ar.strict = _; left; right; attr } = r.f1_rhs in
-                let c1 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side left) in
-                let c2 = Attr_order.class_of_tuple orders.(attr) (tuple_of_side right) in
+                let c1 =
+                  Attr_order.numbering_class_of_tuple orders.(attr) (tuple_of_side left)
+                in
+                let c2 =
+                  Attr_order.numbering_class_of_tuple orders.(attr)
+                    (tuple_of_side right)
+                in
                 let action =
                   if c1 = c2 then Refresh attr else Add_order { attr; c1; c2 }
                 in
@@ -182,34 +248,71 @@ let instantiate ~ruleset ~entity ~master ~orders =
           reps2)
       reps1
   in
+  (* Per-master-attribute index: value -> rows holding it, built
+     lazily on the first [Master_const (b, Eq, _)] lookup of
+     attribute [b]. Rules with an equality selection then visit only
+     the matching rows instead of scanning all of |Im|. *)
+  let master_index : int list Vtbl.t option array =
+    match master with
+    | None -> [||]
+    | Some im -> Array.make (Relational.Schema.arity (Relation.schema im)) None
+  in
+  let master_rows_for im (r : Ar.form2) =
+    let eq_sel =
+      List.find_map
+        (function
+          | Ar.Master_const (b, Ar.Eq, c) -> Some (b, c)
+          | Ar.Master_const _ | Ar.Te_const _ | Ar.Te_master _ -> None)
+        r.f2_lhs
+    in
+    match eq_sel with
+    | None -> List.init (Relation.size im) Fun.id
+    | Some (b, c) ->
+        let idx =
+          match master_index.(b) with
+          | Some idx -> idx
+          | None ->
+              let idx = Vtbl.create (max 16 (Relation.size im)) in
+              for m = Relation.size im - 1 downto 0 do
+                let v = Relation.get im m b in
+                Vtbl.replace idx v
+                  (m :: (try Vtbl.find idx v with Not_found -> []))
+              done;
+              master_index.(b) <- Some idx;
+              idx
+        in
+        (try Vtbl.find idx c with Not_found -> [])
+  in
   let ground_form2 (r : Ar.form2) =
     match master with
     | None -> ()
     | Some im ->
-        for m = 0 to Relation.size im - 1 do
-          let tm a = Relation.get im m a in
-          let rec fold_lhs acc = function
-            | [] -> Some acc
-            | p :: rest -> (
-                match p with
-                | Ar.Master_const (b, op, c) ->
-                    if Ar.eval_op op (tm b) c then fold_lhs acc rest else None
-                | Ar.Te_const (a, op, c) ->
-                    fold_lhs (P_te { attr = a; op; value = c } :: acc) rest
-                | Ar.Te_master (a, b) ->
-                    let v = tm b in
-                    if Value.is_null v then None
-                      (* te is never assigned null: unsatisfiable *)
-                    else fold_lhs (P_te { attr = a; op = Ar.Eq; value = v } :: acc) rest)
-          in
-          match fold_lhs [] r.f2_lhs with
-          | None -> ()
-          | Some preds ->
-              let value = tm r.f2_tm_attr in
-              if not (Value.is_null value) then
-                emit r.f2_name ~form:`Form2 (List.rev preds)
-                  (Assign { attr = r.f2_te_attr; value })
-        done
+        List.iter
+          (fun m ->
+            Obs.Counter.incr m_mrows;
+            let tm a = Relation.get im m a in
+            let rec fold_lhs acc = function
+              | [] -> Some acc
+              | p :: rest -> (
+                  match p with
+                  | Ar.Master_const (b, op, c) ->
+                      if Ar.eval_op op (tm b) c then fold_lhs acc rest else None
+                  | Ar.Te_const (a, op, c) ->
+                      fold_lhs (P_te { attr = a; op; value = c } :: acc) rest
+                  | Ar.Te_master (a, b) ->
+                      let v = tm b in
+                      if Value.is_null v then None
+                        (* te is never assigned null: unsatisfiable *)
+                      else fold_lhs (P_te { attr = a; op = Ar.Eq; value = v } :: acc) rest)
+            in
+            match fold_lhs [] r.f2_lhs with
+            | None -> ()
+            | Some preds ->
+                let value = tm r.f2_tm_attr in
+                if not (Value.is_null value) then
+                  emit r.f2_name ~form:`Form2 (List.rev preds)
+                    (Assign { attr = r.f2_te_attr; value }))
+          (master_rows_for im r)
   in
   List.iter
     (function

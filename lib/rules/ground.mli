@@ -48,10 +48,16 @@ val instantiate :
   ruleset:Ruleset.t ->
   entity:Relational.Relation.t ->
   master:Relational.Relation.t option ->
-  orders:Ordering.Attr_order.t array ->
+  orders:Ordering.Attr_order.numbering array ->
   step list
 (** Γ. [orders] supplies the value-class numbering of each attribute
-    (they are fresh, i.e. edge-free, at instantiation time).
+    (instantiation only reads classes, never order state, so it takes
+    the bare numbering — see {!Core.Specification.numbering}).
+    Dedup keys are structural (hashed over the predicate/action
+    variants, no string rendering), and form (2) rules carrying a
+    [Master_const (b, Eq, c)] selection look up the matching master
+    rows through a per-attribute value index instead of scanning all
+    of [Im].
     Raises [Invalid_argument] on a form (1) predicate comparing two
     different target attributes (outside the paper's grammar). *)
 

@@ -39,6 +39,7 @@ type result = {
 }
 
 val run :
+  ?snapshot:Core.Is_cr.snapshot ->
   ?include_default:bool ->
   ?max_pulls:int ->
   ?max_combos:int ->
@@ -48,9 +49,11 @@ val run :
   Core.Is_cr.compiled ->
   Relational.Value.t array ->
   result
-(** Same contract as {!Topk_ct.run}; sorting the ranked lists is
-    part of this algorithm's cost (§6.1: "domain values are often
-    not given in ranked lists, and sorting the domains is costly").
+(** Same contract as {!Topk_ct.run} (including the shared chase
+    snapshot — decisive here, since {e every} join combination is
+    checked); sorting the ranked lists is part of this algorithm's
+    cost (§6.1: "domain values are often not given in ranked lists,
+    and sorting the domains is costly").
 
     Two independent work caps, in the algorithm's two units:
     [max_pulls] bounds ranked-list accesses (like [Topk_ct]'s

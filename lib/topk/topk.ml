@@ -19,7 +19,7 @@ type outcome = {
   pulls : int;
 }
 
-let solve ?(algo = `Ct) ?include_default ?max_pops ?budget ~k ~pref compiled te =
+let solve ?(algo = `Ct) ?snapshot ?include_default ?max_pops ?budget ~k ~pref compiled te =
   if k < 1 then
     Error
       (Robust.Error.spec_invalid
@@ -66,7 +66,10 @@ let solve ?(algo = `Ct) ?include_default ?max_pops ?budget ~k ~pref compiled te 
         Ok
           (match algo with
           | `Ct ->
-              let r = Topk_ct.run ?include_default ?max_pops:cap ~k ~pref compiled te in
+              let r =
+                Topk_ct.run ?snapshot ?include_default ?max_pops:cap ~k ~pref
+                  compiled te
+              in
               {
                 targets = r.Topk_ct.targets;
                 exhausted =
@@ -77,7 +80,8 @@ let solve ?(algo = `Ct) ?include_default ?max_pops ?budget ~k ~pref compiled te 
               }
           | `Ct_h ->
               let r =
-                Topk_ct_h.run ?include_default ?max_pops:cap ~k ~pref compiled te
+                Topk_ct_h.run ?snapshot ?include_default ?max_pops:cap ~k ~pref
+                  compiled te
               in
               {
                 targets = r.Topk_ct_h.targets;
@@ -89,8 +93,8 @@ let solve ?(algo = `Ct) ?include_default ?max_pops ?budget ~k ~pref compiled te 
               }
           | `Rank_join ->
               let r =
-                Rank_join_ct.run ?include_default ?max_pulls:cap ?budget ~k ~pref
-                  compiled te
+                Rank_join_ct.run ?snapshot ?include_default ?max_pulls:cap ?budget
+                  ~k ~pref compiled te
               in
               {
                 targets = r.Rank_join_ct.targets;

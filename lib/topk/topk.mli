@@ -39,6 +39,7 @@ type outcome = {
 
 val solve :
   ?algo:algo ->
+  ?snapshot:Core.Is_cr.snapshot ->
   ?include_default:bool ->
   ?max_pops:int ->
   ?budget:Robust.Budget.t ->
@@ -49,6 +50,11 @@ val solve :
   (outcome, Robust.Error.t) result
 (** [solve compiled te] completes the deduced target [te] with the
     [k] best candidates under [pref].
+
+    Candidate verifications run against a shared chase
+    {!Core.Is_cr.snapshot} — supplied, or built lazily from
+    [compiled] on the first check — so each candidate costs one
+    snapshot delta rather than a from-scratch chase.
 
     [max_pops] caps frontier pops (TopKCT/TopKCTh) or list pulls and
     combinations (RankJoinCT); [budget] additionally imposes an

@@ -61,19 +61,28 @@ let zkey zattrs values =
   String.concat "\x00"
     (List.map (fun a -> Preference.value_key values.(a)) (Array.to_list zattrs))
 
-let run ?(check = true) ?include_default ?max_pops ~k ~pref compiled te =
+let run ?(check = true) ?snapshot ?include_default ?max_pops ~k ~pref compiled te =
   if k < 1 then invalid_arg "Topk_ct.run: k < 1";
   let spec = Core.Is_cr.compiled_spec compiled in
   let heap_pops = ref 0
   and queue_pops = ref 0
   and checks = ref 0
   and enumerated = ref 0 in
+  (* All checks of one run share a snapshot: the base fixpoint is
+     drained once and each candidate only pays for its delta. Lazy so
+     the check-free mode (TopKCTh's seed enumeration) never builds
+     it. *)
+  let z =
+    match snapshot with
+    | Some z -> lazy z
+    | None -> lazy (Core.Is_cr.snapshot compiled)
+  in
   let verify t =
     if not check then true
     else begin
       incr checks;
       Obs.Counter.incr m_checks;
-      let ok = Core.Is_cr.check compiled t in
+      let ok = Core.Is_cr.check_snapshot (Lazy.force z) t in
       if not ok then Obs.Counter.incr m_pruned;
       ok
     end

@@ -31,6 +31,7 @@ type result = {
 
 val run :
   ?check:bool ->
+  ?snapshot:Core.Is_cr.snapshot ->
   ?include_default:bool ->
   ?max_pops:int ->
   k:int ->
@@ -42,6 +43,11 @@ val run :
     attributes of [te]. [check] (default [true]) — [TopKCTh] reuses
     this machinery with [check:false] to get its initial k tuples.
     If [te] is already complete the result is just [te] (verified).
+
+    All verifications of one run share a chase {!Core.Is_cr.snapshot}
+    (built lazily from [compiled] on the first check, or supplied by
+    the caller to amortise across runs), so each candidate costs one
+    snapshot delta rather than a from-scratch chase.
 
     [max_pops] bounds frontier pops. §6.2 notes that when the
     specification has fewer than [k] candidate targets, TopKCT

@@ -43,15 +43,22 @@ let best_cooccurring entity zattrs t =
     (Relation.tuples entity);
   Option.map fst !best
 
-let run ?include_default ?max_pops ~k ~pref compiled te =
+let run ?snapshot ?include_default ?max_pops ~k ~pref compiled te =
   if k < 1 then invalid_arg "Topk_ct_h.run: k < 1";
   let spec = Core.Is_cr.compiled_spec compiled in
   let entity = Core.Specification.entity spec in
   let revisions = ref 0 and checks = ref 0 and repaired = ref 0 in
+  (* Lazy: the seed enumeration below is check-free, so the snapshot
+     is only built when the first repair verification runs. *)
+  let z =
+    match snapshot with
+    | Some z -> lazy z
+    | None -> lazy (Core.Is_cr.snapshot compiled)
+  in
   let check t =
     incr checks;
     Obs.Counter.incr m_checks;
-    Core.Is_cr.check compiled t
+    Core.Is_cr.check_snapshot (Lazy.force z) t
   in
   let zattrs =
     Array.of_list

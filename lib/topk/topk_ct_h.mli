@@ -30,6 +30,7 @@ type result = {
 }
 
 val run :
+  ?snapshot:Core.Is_cr.snapshot ->
   ?include_default:bool ->
   ?max_pops:int ->
   k:int ->
@@ -37,4 +38,5 @@ val run :
   Core.Is_cr.compiled ->
   Relational.Value.t array ->
   result
-(** Same contract as {!Topk_ct.run}. *)
+(** Same contract as {!Topk_ct.run} (including the shared chase
+    snapshot; the check-free seed enumeration never builds one). *)

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Fail when the chase hot paths allocate strings.
+#
+# Ground-step dedup keys and the IsCR inner loop used to render
+# Printf.sprintf/String.concat keys per candidate step — megabytes
+# of garbage on the instantiation path. Both files now key
+# structurally (hashed variants, no string rendering); this lint
+# keeps string building out of them. Error-message construction
+# belongs in Instance/Robust (cold paths), not here.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+offenders=$(grep -rnE \
+  '(^|[^._[:alnum:]])(Printf\.sprintf|String\.concat)([^_[:alnum:]]|$)' \
+  lib/rules/ground.ml lib/core/is_cr.ml || true)
+
+if [ -n "$offenders" ]; then
+  echo "string allocation on a chase hot path (key structurally instead):" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+echo "lint: no string building in lib/rules/ground.ml or lib/core/is_cr.ml"

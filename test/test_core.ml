@@ -371,6 +371,177 @@ let session_incremental_property =
         ds.entities)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot–delta checks                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_equals_fresh_check_mj () =
+  let compiled = Is_cr.compile Mj.specification in
+  let z = Is_cr.snapshot compiled in
+  check Alcotest.bool "MJ base fixpoint is CR" true (Is_cr.snapshot_base_cr z);
+  (* The base te must equal a fresh all-null run's terminal instance. *)
+  let base_template =
+    Array.make (Schema.arity Mj.stat_schema) Value.Null
+  in
+  (match Is_cr.run_compiled ~template:base_template compiled with
+  | Is_cr.Church_rosser inst ->
+      check (Alcotest.array value_testable) "base te = all-null terminal"
+        (Instance.te inst) (Is_cr.snapshot_base_te z)
+  | Is_cr.Not_church_rosser _ -> Alcotest.fail "all-null base must be CR");
+  (* Many candidates against ONE shared snapshot; each verdict must
+     match the fresh checker, proving the undo log restores the
+     snapshot between deltas (including after rejections). *)
+  let wrong attr v =
+    let t = Array.copy Mj.expected_target in
+    t.(Schema.index Mj.stat_schema attr) <- v;
+    t
+  in
+  let candidates =
+    [
+      ("target", Mj.expected_target);
+      ("stale rnds", wrong "rnds" (Value.Int 1));
+      ("target again", Mj.expected_target);
+      ("wrong league", wrong "league" (Value.String "SL"));
+      ("wrong arena", wrong "arena" (Value.String "Nowhere"));
+      ("target after rejections", Mj.expected_target);
+    ]
+  in
+  List.iter
+    (fun (label, t) ->
+      check Alcotest.bool label (Is_cr.check compiled t)
+        (Is_cr.check_snapshot z t))
+    candidates;
+  (* ... and the base te is bit-identical after all that. *)
+  check (Alcotest.array value_testable) "base te untouched by deltas"
+    (Is_cr.snapshot_base_te z)
+    (match Is_cr.run_compiled ~template:base_template compiled with
+    | Is_cr.Church_rosser inst -> Instance.te inst
+    | Is_cr.Not_church_rosser _ -> Alcotest.fail "all-null base must be CR")
+
+let test_snapshot_non_cr_rejects_all () =
+  let compiled = Is_cr.compile Mj.non_cr_specification in
+  let z = Is_cr.snapshot compiled in
+  check Alcotest.bool "base not CR" false (Is_cr.snapshot_base_cr z);
+  check Alcotest.bool "fresh check also rejects" (Is_cr.check compiled Mj.expected_target)
+    (Is_cr.check_snapshot z Mj.expected_target);
+  check Alcotest.bool "every candidate rejected" false
+    (Is_cr.check_snapshot z Mj.expected_target)
+
+let test_snapshot_null_candidate_rejected () =
+  let z = Is_cr.snapshot (Is_cr.compile Mj.specification) in
+  let incomplete = Array.copy Mj.expected_target in
+  incomplete.(0) <- Value.Null;
+  Alcotest.check_raises "null attr rejected"
+    (Invalid_argument "Is_cr.check: candidate target has a null attribute")
+    (fun () -> ignore (Is_cr.check_snapshot z incomplete))
+
+(* A budget trip mid-delta must roll the snapshot back, so the same
+   snapshot answers the retried check — with the same verdict as a
+   fresh compile+check — no matter where the budget cut the drain. *)
+let test_snapshot_budget_trip_then_retry () =
+  (* Example 9's spec: with φ11 and half of φ6 removed the all-null
+     base leaves team/arena undeduced, so a candidate delta has real
+     steps to fire — enough for a tight budget to cut it mid-drain. *)
+  let compiled = example9_compiled () in
+  let fresh = Is_cr.check compiled Mj.expected_target in
+  let z = Is_cr.snapshot compiled in
+  let trips = ref 0 in
+  for max_steps = 0 to 16 do
+    let budget = Robust.Budget.start (Robust.Budget.limits ~max_steps ()) in
+    (match Is_cr.check_snapshot_budgeted ~budget z Mj.expected_target with
+    | Ok v ->
+        check Alcotest.bool
+          (Printf.sprintf "max_steps=%d verdict" max_steps)
+          fresh v
+    | Error _ ->
+        incr trips;
+        (* the snapshot survived the trip: retry unbudgeted *)
+        check Alcotest.bool
+          (Printf.sprintf "retry after trip at max_steps=%d" max_steps)
+          fresh
+          (Is_cr.check_snapshot z Mj.expected_target));
+    (* regardless of outcome, a rejection still works afterwards *)
+    let wrong = Array.copy Mj.expected_target in
+    wrong.(Schema.index Mj.stat_schema "league") <- Value.String "SL";
+    check Alcotest.bool "rejection still sound" false
+      (Is_cr.check_snapshot z wrong)
+  done;
+  check Alcotest.bool "some budget actually tripped" true (!trips > 0)
+
+(* Rule text corrupted by the fault-injection harness: whenever the
+   corrupted text still parses and validates, the snapshot checker
+   must agree with the fresh checker on that (possibly non-CR,
+   possibly deduction-starved) specification. *)
+let test_snapshot_equivalence_under_rule_faults () =
+  let cfg = { Robust.Faultinject.none with rule_token_rate = 0.2 } in
+  let wrong = Array.copy Mj.expected_target in
+  wrong.(Schema.index Mj.stat_schema "league") <- Value.String "SL";
+  let compared = ref 0 in
+  for seed = 0 to 29 do
+    let text =
+      Robust.Faultinject.corrupt_rule_text (Util.Prng.create seed) cfg
+        Mj.rules_text
+    in
+    match Rules.Parser.parse ~schema:Mj.stat_schema ~master:Mj.nba_schema text with
+    | Error _ -> ()
+    | Ok rules -> (
+        match
+          Rules.Ruleset.make ~schema:Mj.stat_schema ~master:Mj.nba_schema rules
+        with
+        | Error _ -> ()
+        | Ok rs ->
+            incr compared;
+            let compiled =
+              Is_cr.compile (Spec.with_ruleset Mj.specification rs)
+            in
+            let z = Is_cr.snapshot compiled in
+            List.iter
+              (fun t ->
+                check Alcotest.bool
+                  (Printf.sprintf "seed %d agrees with fresh check" seed)
+                  (Is_cr.check compiled t) (Is_cr.check_snapshot z t))
+              [ Mj.expected_target; wrong; Mj.expected_target ])
+  done;
+  check Alcotest.bool "some corrupted rulesets were comparable" true
+    (!compared > 0)
+
+let snapshot_delta_property =
+  QCheck.Test.make ~count:20
+    ~name:"snapshot checks equal fresh compiled checks (random Med entities)"
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let ds = Datagen.Med_gen.dataset ~entities:3 ~seed () in
+      List.for_all
+        (fun (e : Datagen.Entity_gen.entity) ->
+          let compiled = Is_cr.compile (Datagen.Entity_gen.spec_for ds e) in
+          match Is_cr.run_compiled compiled with
+          | Is_cr.Not_church_rosser _ -> false (* generator guarantees CR *)
+          | Is_cr.Church_rosser inst ->
+              (* Complete the terminal instance into a full candidate,
+                 then derive mutants; equivalence must hold whether or
+                 not a candidate is accepted. *)
+              let target =
+                Array.map
+                  (fun v -> if Value.is_null v then Value.String "?" else v)
+                  (Instance.te inst)
+              in
+              let n = Array.length target in
+              let g = Util.Prng.create (seed + 17) in
+              let mutate k =
+                let t = Array.copy target in
+                t.(Util.Prng.int g n) <-
+                  (if k mod 2 = 0 then Value.String "wrong!"
+                   else Value.Int (Util.Prng.int g 1000));
+                t
+              in
+              let candidates = target :: List.init 6 mutate @ [ target ] in
+              let z = Is_cr.snapshot compiled in
+              List.for_all
+                (fun t ->
+                  Bool.equal (Is_cr.check compiled t) (Is_cr.check_snapshot z t))
+                candidates)
+        ds.entities)
+
+(* ------------------------------------------------------------------ *)
 (* Explain (provenance)                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -451,13 +622,10 @@ let test_session_budget_trip_resume () =
 let test_chase_queue_hwm_counts_seeding () =
   let spec = Mj.specification in
   let seeded =
-    let inst = Instance.init spec in
-    let orders =
-      Array.init (Schema.arity (Spec.schema spec)) (Instance.order inst)
-    in
     let steps =
       Rules.Ground.instantiate ~ruleset:(Spec.ruleset spec)
-        ~entity:(Spec.entity spec) ~master:(Spec.master spec) ~orders
+        ~entity:(Spec.entity spec) ~master:(Spec.master spec)
+        ~orders:(Spec.numbering spec)
     in
     List.length (List.filter (fun s -> s.Rules.Ground.preds = []) steps)
   in
@@ -578,6 +746,20 @@ let () =
           Alcotest.test_case "budget trip resumes without losing steps" `Quick
             test_session_budget_trip_resume;
           QCheck_alcotest.to_alcotest session_incremental_property;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "equals fresh check on MJ" `Quick
+            test_snapshot_equals_fresh_check_mj;
+          Alcotest.test_case "non-CR base rejects all" `Quick
+            test_snapshot_non_cr_rejects_all;
+          Alcotest.test_case "null candidate rejected" `Quick
+            test_snapshot_null_candidate_rejected;
+          Alcotest.test_case "budget trip rolls back, retry succeeds" `Quick
+            test_snapshot_budget_trip_then_retry;
+          Alcotest.test_case "equivalence under rule faults" `Quick
+            test_snapshot_equivalence_under_rule_faults;
+          QCheck_alcotest.to_alcotest snapshot_delta_property;
         ] );
       ( "metrics",
         [

@@ -273,6 +273,61 @@ let test_cleaner_argument_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "must reject both groupings"
 
+(* ------------------------------------------------------------------ *)
+(* Compile cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_cache_reuses_artifacts () =
+  let module Cache = Framework.Compile_cache in
+  let module Spec = Core.Specification in
+  let counter name =
+    match Obs.find name with
+    | Some (Obs.Counter n) -> n
+    | _ -> Alcotest.failf "counter %s not registered" name
+  in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled was;
+      Cache.clear ())
+  @@ fun () ->
+  Cache.clear ();
+  check Alcotest.int "cache empty after clear" 0 (Cache.size ());
+  let c1 = Cache.compile Mj.specification in
+  let c2 = Cache.compile Mj.specification in
+  check Alcotest.bool "same spec returns the same artifact" true (c1 == c2);
+  (* The Cleaner granularity: a spec rebuilt from fresh tuple arrays
+     (same values, same ruleset/master) must also hit. *)
+  let rebuilt =
+    let entity = Spec.entity Mj.specification in
+    Spec.make_exn
+      ~template:(Spec.template Mj.specification)
+      ~entity:
+        (Relational.Relation.make
+           (Relational.Relation.schema entity)
+           (List.map
+              (fun t ->
+                Relational.Tuple.make
+                  (Array.copy (Relational.Tuple.values t)))
+              (Relational.Relation.tuples entity)))
+      ?master:(Spec.master Mj.specification)
+      (Spec.ruleset Mj.specification)
+  in
+  let c3 = Cache.compile rebuilt in
+  check Alcotest.bool "content-equal spec hits" true (c1 == c3);
+  check Alcotest.int "one artifact cached" 1 (Cache.size ());
+  check Alcotest.int "two hits" 2 (counter "compile_cache_hits_total");
+  check Alcotest.int "one miss" 1 (counter "compile_cache_misses_total");
+  (* A different template is a different artifact. *)
+  let template = Array.copy (Spec.template Mj.specification) in
+  template.(Schema.index Mj.stat_schema "league") <- Value.String "SL";
+  let c4 = Cache.compile (Spec.with_template Mj.specification template) in
+  check Alcotest.bool "different template misses" true (not (c1 == c4));
+  check Alcotest.int "two artifacts cached" 2 (Cache.size ());
+  Cache.clear ();
+  check Alcotest.int "clear empties the cache" 0 (Cache.size ())
+
 let () =
   Alcotest.run "framework"
     [
@@ -300,6 +355,11 @@ let () =
             test_cleaner_idempotent_on_complete;
           Alcotest.test_case "argument validation" `Quick
             test_cleaner_argument_validation;
+        ] );
+      ( "compile-cache",
+        [
+          Alcotest.test_case "reuses artifacts" `Quick
+            test_compile_cache_reuses_artifacts;
         ] );
       ( "revision",
         [

@@ -16,15 +16,29 @@ let failf = Alcotest.failf
 (* ------------------------------------------------------------------ *)
 
 let test_create_validation () =
-  (match Pool.create ~jobs:0 () with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "jobs = 0 must be rejected");
   (match Pool.create ~jobs:(-3) () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative jobs must be rejected");
   check Alcotest.int "explicit size" 4 (Pool.jobs (Pool.create ~jobs:4 ()));
   check Alcotest.bool "default size positive" true
-    (Pool.jobs (Pool.create ()) >= 1)
+    (Pool.jobs (Pool.create ()) >= 1);
+  (* 0 = auto: same resolution as the default. *)
+  check Alcotest.int "jobs 0 is auto"
+    (Domain.recommended_domain_count ())
+    (Pool.jobs (Pool.create ~jobs:0 ()));
+  (* Creation publishes the effective-domain gauge. *)
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  ignore (Pool.create ~jobs:1024 () : Pool.t);
+  let eff =
+    match Obs.find "parallel_domains_effective" with
+    | Some (Obs.Gauge g) -> g
+    | _ -> Alcotest.fail "parallel_domains_effective gauge not registered"
+  in
+  Obs.set_enabled was;
+  check Alcotest.int "gauge reports host capacity, not the request"
+    (min 1024 (Domain.recommended_domain_count ()))
+    (int_of_float eff)
 
 let test_map_preserves_order () =
   let items = Array.init 1_000 Fun.id in
@@ -193,9 +207,13 @@ let test_cleaner_parallel_equals_serial () =
         want
         (report_fingerprint (run jobs)))
     [ 2; 4 ];
-  match Framework.Cleaner.clean ~clusters ~jobs:0 ds.ruleset flat with
+  (* jobs = 0 resolves to the host's recommended count and must
+     still equal the serial report. *)
+  check Alcotest.string "jobs=0 (auto) report equals serial" want
+    (report_fingerprint (run 0));
+  match Framework.Cleaner.clean ~clusters ~jobs:(-1) ds.ruleset flat with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "jobs = 0 must be rejected"
+  | _ -> Alcotest.fail "negative jobs must be rejected"
 
 let () =
   Alcotest.run "parallel"

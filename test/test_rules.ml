@@ -274,7 +274,7 @@ let instance =
 
 let orders_of rel =
   Array.init (Schema.arity (Relation.schema rel)) (fun a ->
-      Ordering.Attr_order.of_column (Relation.column rel a))
+      Ordering.Attr_order.numbering_of_column (Relation.column rel a))
 
 let ground rules =
   let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master rules in
@@ -396,6 +396,93 @@ let test_ground_axiom7_immediate () =
          && match s.action with Ground.Add_order { attr = 2; _ } -> true | _ -> false)
        steps)
 
+(* ------------------------------------------------------------------ *)
+(* Structural dedup + master index observability                      *)
+(* ------------------------------------------------------------------ *)
+
+let counter name =
+  match Obs.find name with
+  | Some (Obs.Counter n) -> n
+  | _ -> Alcotest.failf "counter %s not registered" name
+
+let with_obs f =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+let test_ground_dedup_counter () =
+  (* Two differently-named rules with the same body ground to the
+     same step: one survives (first-occurrence provenance), the
+     duplicate is discarded, and the discard is observable. *)
+  let rule name =
+    Ar.Form1
+      {
+        f1_name = name;
+        f1_lhs = [ Ar.Cmp (Ar.Tuple_attr (Ar.T1, 0), Ar.Lt, Ar.Tuple_attr (Ar.T2, 0)) ];
+        f1_rhs = ord 0;
+      }
+  in
+  with_obs (fun () ->
+      match ground [ rule "cur1"; rule "cur2" ] with
+      | [ { Ground.rule_name = "cur1"; _ } ] ->
+          check Alcotest.bool "duplicates counted" true
+            (counter "instantiation_dedup_skipped_total" >= 1)
+      | steps ->
+          Alcotest.failf "expected one step from cur1, got %d"
+            (List.length steps))
+
+let test_ground_master_index_selective () =
+  (* A [tm.ma = "k7"] selection over a 200-row master must visit only
+     the matching rows (via the per-attribute value index), not scan
+     the whole relation. *)
+  let rows = 200 in
+  let m_rel =
+    Relation.make master
+      (List.init rows (fun i ->
+           Tuple.make
+             [| Value.String (Printf.sprintf "k%d" i);
+                Value.String (Printf.sprintf "v%d" i) |]))
+  in
+  let rule =
+    Ar.Form2
+      {
+        f2_name = "m";
+        f2_lhs =
+          [ Ar.Te_master (0, 0); Ar.Master_const (0, Ar.Eq, Value.String "k7") ];
+        f2_te_attr = 1;
+        f2_tm_attr = 1;
+      }
+  in
+  let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master [ rule ] in
+  with_obs (fun () ->
+      let steps =
+        Ground.instantiate ~ruleset:rs ~entity:instance ~master:(Some m_rel)
+          ~orders:(orders_of instance)
+      in
+      (* correctness: exactly the k7 row grounds, assigning v7 *)
+      (match steps with
+      | [ { Ground.action = Ground.Assign { attr = 1; value }; _ } ] ->
+          check Alcotest.bool "assigns v7" true
+            (Value.equal value (Value.String "v7"))
+      | _ -> Alcotest.failf "expected one step, got %d" (List.length steps));
+      (* efficiency: the index pruned the scan to the single match *)
+      check Alcotest.int "master rows visited" 1
+        (counter "instantiation_master_rows_visited_total"));
+  (* An unselective form (2) rule still visits every row. *)
+  let unselective =
+    Ar.Form2
+      { f2_name = "m"; f2_lhs = [ Ar.Te_master (0, 0) ]; f2_te_attr = 1; f2_tm_attr = 1 }
+  in
+  let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master [ unselective ] in
+  with_obs (fun () ->
+      ignore
+        (Ground.instantiate ~ruleset:rs ~entity:instance ~master:(Some m_rel)
+           ~orders:(orders_of instance)
+          : Ground.step list);
+      check Alcotest.int "full scan without a selection" rows
+        (counter "instantiation_master_rows_visited_total"))
+
 let () =
   Alcotest.run "rules"
     [
@@ -434,5 +521,8 @@ let () =
           Alcotest.test_case "te predicate" `Quick test_ground_te_predicate;
           Alcotest.test_case "form2 + null master cell" `Quick test_ground_form2;
           Alcotest.test_case "axiom φ7 immediate" `Quick test_ground_axiom7_immediate;
+          Alcotest.test_case "dedup skip counter" `Quick test_ground_dedup_counter;
+          Alcotest.test_case "master index prunes scan" `Quick
+            test_ground_master_index_selective;
         ] );
     ]
