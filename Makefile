@@ -1,4 +1,4 @@
-.PHONY: all build test check robust lint bench bench-smoke clean
+.PHONY: all build test check robust lint bench bench-smoke soak-smoke clean
 
 all: build
 
@@ -17,11 +17,13 @@ lint:
 	sh scripts/lint_print.sh
 	sh scripts/lint_domainsafe.sh
 	sh scripts/lint_hotpath.sh
+	sh scripts/lint_noexit.sh
 
 # Machine-readable perf baselines: BENCH_chase.json, BENCH_ground.json,
-# BENCH_topk.json and BENCH_clean.json (batch cleaning at 1/2/4 worker
-# domains) at the repo root (kernel wall times, allocated bytes and
-# Obs work counters).
+# BENCH_topk.json, BENCH_clean.json (batch cleaning at 1/2/4 worker
+# domains) and BENCH_serve.json (service SLO under mixed traffic) at
+# the repo root (kernel wall times, allocated bytes and Obs work
+# counters).
 bench:
 	dune exec bench/main.exe -- --bench-json .
 
@@ -30,9 +32,15 @@ bench:
 bench-smoke:
 	mkdir -p _build/bench-smoke && dune exec bench/main.exe -- --bench-json _build/bench-smoke
 
+# Chaos soak of the long-lived service: ~10 s of mixed traffic at
+# ~10% injected faults, then SIGKILL + warm restart with a probe
+# byte-identity check. SOAK_DURATION_S overrides the soak length.
+soak-smoke:
+	sh scripts/soak_smoke.sh
+
 # The gate CI runs: full build, full test suite, style lints.
 check:
-	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh && sh scripts/lint_domainsafe.sh && sh scripts/lint_hotpath.sh
+	dune build && dune runtest && sh scripts/lint_failwith.sh && sh scripts/lint_print.sh && sh scripts/lint_domainsafe.sh && sh scripts/lint_hotpath.sh && sh scripts/lint_noexit.sh
 
 clean:
 	dune clean

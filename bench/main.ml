@@ -17,7 +17,10 @@
    with allocation volume), BENCH_topk.json and BENCH_clean.json
    (batch cleaning at 1/2/4 worker domains) — pairing each kernel's
    wall time with the Obs work counters and allocated bytes of one
-   instrumented run.
+   instrumented run — plus BENCH_serve.json: the long-lived service
+   under the soak driver's mixed traffic, reporting SLO latency
+   quantiles, throughput and shed/degraded counts at 1 and
+   host_domains workers.
 
    Usage:
      bench/main.exe                 experiments + micro-benches
@@ -438,11 +441,78 @@ let write_suite ~dir ~suite kernels =
   close_out oc;
   Format.printf "wrote %s@." path
 
+(* The service end to end: an in-process server under the soak
+   driver's mixed chase/top-k/clean traffic (no chaos — baselines
+   must be about the service, not the fault injector). Unlike the
+   kernel suites this measures a concurrent system, so the JSON
+   carries the SLO quantiles (median/p95/p99/max per-request
+   latency), throughput, and the resilience counters (shed /
+   degraded) rather than a single best-of wall time. A deliberately
+   shallow queue at jobs=1 makes admission-control shedding part of
+   the measured behaviour. *)
+let serve_result ~name ~workers =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "relacc_bench_serve" in
+  let corpus = Service.Driver.ensure_corpus ~dir ~entities:16 ~seed:31 in
+  let server =
+    Service.Server.create
+      { Service.Server.default_config with workers; queue_depth = 8 }
+  in
+  Fun.protect ~finally:(fun () -> Service.Server.stop server) @@ fun () ->
+  let cfg =
+    {
+      Service.Driver.default_config with
+      requests = 240;
+      senders = 8;
+      seed = 31;
+      tight_rate = 0.1;
+      clean_rate = 0.05;
+    }
+  in
+  let outcome =
+    Service.Driver.run ~send:(Service.Driver.in_proc_send server) cfg corpus
+  in
+  let slo = outcome.slo in
+  let med, p95, p99, mx =
+    match Service.Slo.overall_latency slo with
+    | Some q -> q
+    | None -> (0.0, 0.0, 0.0, 0.0)
+  in
+  let ok, degraded = Service.Slo.ok_degraded slo in
+  Printf.sprintf
+    "  \
+     {\"name\":\"%s\",\"requests\":%d,\"throughput_rps\":%.2f,\"latency_ms\":{\"median\":%.4f,\"p95\":%.4f,\"p99\":%.4f,\"max\":%.4f},\"ok\":%d,\"degraded\":%d,\"shed\":%d,\"violations\":%d}"
+    name
+    (Service.Slo.total slo)
+    (float_of_int (Service.Slo.total slo) /. outcome.duration_s)
+    med p95 p99 mx ok degraded
+    (Service.Slo.error_total slo ~cls:"overloaded")
+    (List.length outcome.violations + Service.Slo.malformed slo)
+
+let run_serve_bench dir =
+  let auto = Domain.recommended_domain_count () in
+  let results =
+    [
+      serve_result ~name:"serve-med16-jobs1" ~workers:1;
+      serve_result ~name:(Printf.sprintf "serve-med16-jobs%d-auto" auto)
+        ~workers:auto;
+    ]
+  in
+  let path = Filename.concat dir "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc
+    (Printf.sprintf
+       "{\"suite\":\"serve\",\"best_of\":1,\"host_domains\":%d,\"results\":[\n%s\n]}\n"
+       auto
+       (String.concat ",\n" results));
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 let run_bench_json dir =
   write_suite ~dir ~suite:"chase" chase_kernels;
   write_suite ~dir ~suite:"ground" ground_kernels;
   write_suite ~dir ~suite:"topk" topk_kernels;
-  write_suite ~dir ~suite:"clean" clean_kernels
+  write_suite ~dir ~suite:"clean" clean_kernels;
+  run_serve_bench dir
 
 let () =
   let args = Array.to_list Sys.argv in

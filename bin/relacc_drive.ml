@@ -1,0 +1,215 @@
+(* The chaos/soak driver: replays mixed chase/top-k/clean traffic
+   against a cleaning service (in-process or over a socket), injects
+   boundary faults, audits the response contract and prints an SLO
+   report. Non-zero exit on any protocol violation — the CI soak
+   gate. See README "Driving and soaking". *)
+
+open Cmdliner
+
+let drive connect corpus_dir entities duration_s requests senders seed
+    fault_rate latency_rate latency_ms drop_rate deadline_ms tight_rate
+    clean_rate workers queue_depth checkpoint json probe_only shutdown_after =
+  let corpus = Service.Driver.ensure_corpus ~dir:corpus_dir ~entities ~seed in
+  let chaos =
+    {
+      Robust.Faultinject.none with
+      payload_rate = fault_rate;
+      latency_rate;
+      latency_ms;
+      drop_rate;
+    }
+  in
+  let cfg =
+    {
+      Service.Driver.requests;
+      duration_s;
+      senders;
+      seed;
+      chaos;
+      deadline_ms;
+      tight_rate;
+      clean_rate;
+    }
+  in
+  (* In-process mode owns a server; socket mode talks to relacc-serve. *)
+  let send, teardown =
+    match connect with
+    | Some path ->
+        ( (fun line -> Service.Sock.request ~path line),
+          fun () ->
+            if shutdown_after then
+              ignore
+                (Service.Sock.request ~path "{\"id\":\"q\",\"op\":\"shutdown\"}"
+                  : string option) )
+    | None ->
+        let server =
+          Service.Server.create
+            {
+              Service.Server.default_config with
+              workers;
+              queue_depth;
+              checkpoint_path = checkpoint;
+            }
+        in
+        ( Service.Driver.in_proc_send server,
+          fun () -> Service.Server.stop server )
+    in
+  let code =
+    if probe_only then (
+      match Service.Driver.probe ~send corpus with
+      | Ok result ->
+          print_string result;
+          print_newline ();
+          0
+      | Error msg ->
+          Format.eprintf "relacc-drive: %s@." msg;
+          1)
+    else begin
+      let outcome = Service.Driver.run ~send cfg corpus in
+      if json then
+        print_string
+          (Service.Json.to_string
+             (Service.Slo.to_json outcome.slo ~duration_s:outcome.duration_s)
+          ^ "\n")
+      else
+        Format.printf "%a@."
+          (Service.Slo.pp ~duration_s:outcome.duration_s)
+          outcome.slo;
+      List.iter
+        (fun v -> Format.eprintf "violation: %s@." v)
+        outcome.violations;
+      if outcome.violations = [] && Service.Slo.malformed outcome.slo = 0 then 0
+      else 1
+    end
+  in
+  teardown ();
+  code
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Drive a running relacc-serve at $(docv). Without it the driver
+           hosts the service in-process.")
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt string "_drive_corpus"
+    & info [ "corpus" ] ~docv:"DIR" ~doc:"Corpus directory (generated on demand).")
+
+let entities_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "entities" ] ~docv:"N" ~doc:"Entities in the generated corpus.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "duration-s" ] ~docv:"S" ~doc:"Drive for $(docv) seconds.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "n"; "requests" ] ~docv:"N"
+        ~doc:"Drive $(docv) requests (ignored when --duration-s is set).")
+
+let senders_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "senders" ] ~docv:"N" ~doc:"Concurrent sender threads.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Chaos/workload seed.")
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:"Per-request probability of corrupting the payload bytes.")
+
+let latency_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "latency-rate" ] ~docv:"P"
+        ~doc:"Per-request probability of injected sender latency.")
+
+let latency_ms_arg =
+  Arg.(
+    value & opt float 25.0
+    & info [ "latency-ms" ] ~docv:"MS" ~doc:"Injected latency when it fires.")
+
+let drop_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop-rate" ] ~docv:"P"
+        ~doc:"Per-request probability of dropping it before send.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Attach this deadline to every run request.")
+
+let tight_rate_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "tight-rate" ] ~docv:"P"
+        ~doc:
+          "Fraction of requests carrying a tiny step budget (exercises
+           graceful degradation).")
+
+let clean_rate_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "clean-rate" ] ~docv:"P"
+        ~doc:"Fraction of requests that are whole-relation cleans.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "j"; "workers" ] ~docv:"N" ~doc:"In-process server workers.")
+
+let queue_depth_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-depth" ] ~docv:"N" ~doc:"In-process admission bound.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE" ~doc:"In-process checkpoint file.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print the SLO report as JSON.")
+
+let probe_arg =
+  Arg.(
+    value & flag
+    & info [ "probe" ]
+        ~doc:
+          "Send one fixed chase request and print only its result bytes —
+           the warm-restart replay-identity check.")
+
+let shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "shutdown" ]
+        ~doc:"Send a shutdown request to the remote server when done.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "relacc-drive" ~version:"1.0.0"
+       ~doc:"Chaos/soak workload driver for the relacc cleaning service.")
+    Term.(
+      const drive $ connect_arg $ corpus_arg $ entities_arg $ duration_arg
+      $ requests_arg $ senders_arg $ seed_arg $ fault_rate_arg
+      $ latency_rate_arg $ latency_ms_arg $ drop_rate_arg $ deadline_arg
+      $ tight_rate_arg $ clean_rate_arg $ workers_arg $ queue_depth_arg
+      $ checkpoint_arg $ json_arg $ probe_arg $ shutdown_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,143 @@
+(* The long-lived cleaning service: a JSON-lines server over
+   Framework.Pipeline with admission control, deadline propagation,
+   per-spec circuit breaking and crash-safe warm checkpoints.
+   See README "The cleaning service". *)
+
+open Cmdliner
+
+let serve socket stdio workers queue_depth deadline_ms max_steps
+    breaker_threshold breaker_cooldown_ms checkpoint checkpoint_every metrics =
+  if metrics then Obs.set_enabled true;
+  let cfg =
+    {
+      Service.Server.queue_depth;
+      workers;
+      default_deadline_ms = deadline_ms;
+      default_max_steps = max_steps;
+      breaker_threshold;
+      breaker_cooldown_ms;
+      checkpoint_path = checkpoint;
+      checkpoint_every;
+    }
+  in
+  let server = Service.Server.create cfg in
+  let stop_signal _ = Service.Server.request_stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  (* A client vanishing mid-reply must not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match (stdio, socket) with
+  | true, _ ->
+      let write_mu = Mutex.create () in
+      let reply line =
+        Mutex.protect write_mu @@ fun () ->
+        print_string line;
+        print_newline ();
+        flush stdout
+      in
+      let rec loop () =
+        if Service.Server.stopping server then ()
+        else
+          match input_line stdin with
+          | line ->
+              if String.length (String.trim line) > 0 then
+                Service.Server.submit server ~line ~reply;
+              loop ()
+          | exception End_of_file -> ()
+      in
+      loop ()
+  | false, Some path ->
+      Logs.app (fun m -> m "relacc-serve: listening on %s" path);
+      Service.Sock.serve server ~path
+  | false, None ->
+      Format.eprintf "relacc-serve: need --socket PATH or --stdio@.";
+      exit 2);
+  Service.Server.stop server;
+  if metrics then print_string (Obs.Export.to_table ());
+  0
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Serve on a Unix domain socket at $(docv).")
+
+let stdio_arg =
+  Arg.(
+    value & flag
+    & info [ "stdio" ] ~doc:"Serve on stdin/stdout instead of a socket.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "j"; "workers" ] ~docv:"N" ~doc:"Worker threads.")
+
+let queue_depth_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:"Admission bound: requests beyond $(docv) waiting are shed.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline (minus queue wait) when a request
+           carries none.")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Default chase-step budget when a request carries none.")
+
+let breaker_threshold_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:"Consecutive per-spec failures that trip the circuit breaker.")
+
+let breaker_cooldown_arg =
+  Arg.(
+    value & opt float 500.0
+    & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+        ~doc:"Cooldown before an open breaker admits a probe.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Crash-safe warm state: compiled-spec descriptors and the
+           in-flight journal. A restart re-warms caches and replays
+           interrupted requests.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Flush the checkpoint every $(docv) completed requests.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Collect and print Obs metrics at exit.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "relacc-serve" ~version:"1.0.0"
+       ~doc:
+         "Long-lived relative-accuracy cleaning service (JSON lines over a
+          Unix socket or stdio).")
+    Term.(
+      const serve $ socket_arg $ stdio_arg $ workers_arg $ queue_depth_arg
+      $ deadline_arg $ max_steps_arg $ breaker_threshold_arg
+      $ breaker_cooldown_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ metrics_arg)
+
+let () = exit (Cmd.eval' cmd)

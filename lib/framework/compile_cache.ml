@@ -5,6 +5,13 @@ module Schema = Relational.Schema
 let m_hits = Obs.Counter.make ~help:"compile cache hits" "compile_cache_hits_total"
 let m_misses = Obs.Counter.make ~help:"compile cache misses" "compile_cache_misses_total"
 
+(* Unconditional twins of the Obs counters: the service checkpoints
+   warmth even when metrics collection is off. *)
+type stats = { hits : int; misses : int }
+
+let n_hits = Atomic.make 0
+let n_misses = Atomic.make 0
+
 (* A compiled artifact is a pure function of (ruleset, entity,
    master, template). Rulesets and master relations are long-lived
    shared structures, so physical identity is the right (and cheap)
@@ -60,9 +67,11 @@ let compile spec =
   match Mutex.protect lock (fun () -> Tbl.find_opt table spec) with
   | Some c ->
       Obs.Counter.incr m_hits;
+      Atomic.incr n_hits;
       c
   | None ->
       Obs.Counter.incr m_misses;
+      Atomic.incr n_misses;
       let c = Core.Is_cr.compile spec in
       Mutex.protect lock (fun () ->
           if Tbl.length table >= capacity then Tbl.reset table;
@@ -71,3 +80,10 @@ let compile spec =
 
 let clear () = Mutex.protect lock (fun () -> Tbl.reset table)
 let size () = Mutex.protect lock (fun () -> Tbl.length table)
+
+(* Checkpoint hooks for the service layer: the cache itself holds
+   closures (not serializable), so a warm restart re-compiles from
+   replayed spec descriptors and [warm] prefills without the caller
+   needing the artifact. *)
+let warm spec = ignore (compile spec : Core.Is_cr.compiled)
+let stats () = { hits = Atomic.get n_hits; misses = Atomic.get n_misses }

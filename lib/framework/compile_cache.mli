@@ -25,3 +25,14 @@ val clear : unit -> unit
 
 val size : unit -> int
 (** Current number of cached artifacts. *)
+
+val warm : Core.Specification.t -> unit
+(** Prefill: compile (through the cache) and discard the artifact —
+    the checkpoint-replay hook a restarting {!Service} uses to
+    restore warmth before serving traffic. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : unit -> stats
+(** Lifetime hit/miss totals, counted independently of the Obs
+    enabled flag (warm-restart assertions depend on them). *)

@@ -74,15 +74,15 @@ let verdict_outcome = function
 
 let run_chase ?on_step limits spec =
   Obs.Span.with_ ~name:"pipeline.chase" @@ fun () ->
-  if Robust.Budget.is_unlimited limits then
-    verdict_outcome (Core.Is_cr.run ?trace:on_step spec)
-  else
-    let meter = Robust.Budget.start limits in
-    let compiled = compile spec in
-    match Core.Is_cr.run_budgeted ?trace:on_step ~budget:meter compiled with
-    | Core.Is_cr.Verdict v -> verdict_outcome v
-    | Core.Is_cr.Exhausted { partial; fired; trip } ->
-        Chase_exhausted { partial = Core.Instance.te partial; fired; trip }
+  (* Unlimited runs go through the compiled path too (the meter just
+     never trips): a long-lived server warms the compile cache once
+     and every later request — budgeted or not — reuses it. *)
+  let meter = Robust.Budget.start limits in
+  let compiled = compile spec in
+  match Core.Is_cr.run_budgeted ?trace:on_step ~budget:meter compiled with
+  | Core.Is_cr.Verdict v -> verdict_outcome v
+  | Core.Is_cr.Exhausted { partial; fired; trip } ->
+      Chase_exhausted { partial = Core.Instance.te partial; fired; trip }
 
 let run_topk ~k ~algo limits spec =
   let compiled = compile spec in
@@ -147,15 +147,18 @@ let run_clean ~key_attrs ~threshold ~retries ~jobs limits spec =
       in
       Ok (Cleaned report)
 
+let execute ?on_step ?(limits = Robust.Budget.unlimited) spec task =
+  let* outcome =
+    match task with
+    | Chase -> Ok (Chased (run_chase ?on_step limits spec))
+    | Topk { k; algo } -> run_topk ~k ~algo limits spec
+    | Clean { key_attrs; threshold; retries; jobs } ->
+        run_clean ~key_attrs ~threshold ~retries ~jobs limits spec
+  in
+  Ok { spec; outcome }
+
 let run ?on_step cfg =
   let* spec =
     load_spec ?master:cfg.master ~entity:cfg.entity ~rules:cfg.rules ()
   in
-  let* outcome =
-    match cfg.task with
-    | Chase -> Ok (Chased (run_chase ?on_step cfg.limits spec))
-    | Topk { k; algo } -> run_topk ~k ~algo cfg.limits spec
-    | Clean { key_attrs; threshold; retries; jobs } ->
-        run_clean ~key_attrs ~threshold ~retries ~jobs cfg.limits spec
-  in
-  Ok { spec; outcome }
+  execute ?on_step ~limits:cfg.limits spec cfg.task

@@ -77,12 +77,25 @@ val load_spec :
     surface as [Io], malformed CSV as [Csv_shape] with file and row,
     rule-text problems as [Rule_parse] with file and line. *)
 
+val execute :
+  ?on_step:(Rules.Ground.step -> unit) ->
+  ?limits:Robust.Budget.limits ->
+  Core.Specification.t ->
+  task ->
+  (report, Robust.Error.t) result
+(** Just the execution phase, over an already-loaded specification —
+    the request entry point of a long-lived server ({!Service}
+    caches loaded specs across requests and arms per-request
+    [limits]). Identical semantics to the execution half of {!run};
+    compiled artifacts are shared through {!Compile_cache}. *)
+
 val run :
   ?on_step:(Rules.Ground.step -> unit) ->
   config ->
   (report, Robust.Error.t) result
-(** Load, then execute the task. [on_step] observes each applied
-    chase step (only meaningful for the [Chase] task).
+(** Load, then execute the task ({!load_spec} composed with
+    {!execute}). [on_step] observes each applied chase step (only
+    meaningful for the [Chase] task).
 
     For [Topk], a non-Church-Rosser verdict is an
     [Order_conflict] error — there is no well-defined target to

@@ -110,6 +110,11 @@ module Gauge = struct
 
   let set g v = if Atomic.get on then Atomic.set g.g_v v
   let observe_max g v = if Atomic.get on then fmax g.g_v v
+
+  (* Signed delta — live level gauges (queue depth, in-flight
+     requests) incremented on entry and decremented on exit, from
+     any thread or domain. *)
+  let add g v = if Atomic.get on then fadd g.g_v v
   let value g = Atomic.get g.g_v
 end
 

@@ -60,6 +60,11 @@ module Gauge : sig
   (** Keep the maximum of the current and observed value — the
       high-water-mark pattern (worklist length, heap depth). *)
 
+  val add : t -> float -> unit
+  (** Atomic signed delta — the live-level pattern (queue depth,
+      in-flight requests): [add g 1.] on entry, [add g (-1.)] on
+      exit, exact under contention. *)
+
   val value : t -> float
 end
 

@@ -33,16 +33,23 @@ let relax ?(factor = 4) l =
 
 type t = {
   lim : limits;
+  clock : unit -> float;
   started_ms : float;
   mutable steps : int;
   mutable instantiations : int;
   mutable trip : Error.trip option;
 }
 
-let start lim =
+(* Deadlines are armed against the monotonic clock, not the wall
+   clock: a long-lived service meters requests for hours, and an NTP
+   step of the wall clock must neither spuriously trip a deadline
+   nor silently extend one. [?clock] is the test seam for simulating
+   clock behaviour; production callers never pass it. *)
+let start ?(clock = Util.Timing.mono_ms) lim =
   {
     lim;
-    started_ms = Util.Timing.now_ms ();
+    clock;
+    started_ms = clock ();
     steps = 0;
     instantiations = 0;
     trip = None;
@@ -51,7 +58,7 @@ let start lim =
 let steps_used t = t.steps
 let tripped t = t.trip
 let limits_of t = t.lim
-let elapsed_ms t = Util.Timing.now_ms () -. t.started_ms
+let elapsed_ms t = t.clock () -. t.started_ms
 
 (* The deadline is only consulted when set, so unbudgeted runs never
    touch the clock. *)

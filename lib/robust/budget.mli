@@ -11,7 +11,7 @@
 type limits = {
   max_steps : int option;  (** chase steps / frontier pulls *)
   max_instantiations : int option;  (** ground steps |Γ| *)
-  deadline_ms : float option;  (** wall-clock, relative to {!start} *)
+  deadline_ms : float option;  (** monotonic-clock, relative to {!start} *)
 }
 
 val unlimited : limits
@@ -37,7 +37,12 @@ type t
     by calling {!start} per entity {e inside} the worker — the
     [limits] value (immutable) is what crosses domains. *)
 
-val start : limits -> t
+val start : ?clock:(unit -> float) -> limits -> t
+(** Arm the limits. The deadline is measured against the
+    {e monotonic} clock ({!Util.Timing.mono_ms}), so wall-clock
+    adjustments (NTP steps) in a long-lived process can neither
+    spuriously trip nor silently extend it. [clock] overrides the
+    source {e for tests only} — it must be non-decreasing. *)
 
 val step : t -> Error.trip option
 (** Charge one unit of work; [Some trip] once exhausted (sticky). *)

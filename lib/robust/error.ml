@@ -12,6 +12,8 @@ type t =
   | Spec_invalid of { detail : string }
   | Order_conflict of { rule : string; detail : string }
   | Budget_exhausted of { trip : trip; spent : int; detail : string }
+  | Overloaded of { depth : int; detail : string }
+  | Circuit_open of { spec : string; retry_ms : float; detail : string }
   | Internal of { detail : string }
 
 exception Error of t
@@ -23,6 +25,8 @@ let rule_invalid ?rule detail = Rule_invalid { rule; detail }
 let spec_invalid detail = Spec_invalid { detail }
 let order_conflict ~rule detail = Order_conflict { rule; detail }
 let budget_exhausted ~trip ~spent detail = Budget_exhausted { trip; spent; detail }
+let overloaded ~depth detail = Overloaded { depth; detail }
+let circuit_open ~spec ~retry_ms detail = Circuit_open { spec; retry_ms; detail }
 let internal detail = Internal { detail }
 
 let trip_to_string = function
@@ -39,6 +43,8 @@ let class_name = function
   | Spec_invalid _ -> "spec-invalid"
   | Order_conflict _ -> "order-conflict"
   | Budget_exhausted _ -> "budget-exhausted"
+  | Overloaded _ -> "overloaded"
+  | Circuit_open _ -> "circuit-open"
   | Internal _ -> "internal"
 
 (* Distinct per-class exit codes for the CLI. 0 is success and 1 is
@@ -53,6 +59,10 @@ let exit_code = function
   | Spec_invalid _ -> 7
   | Budget_exhausted _ -> 8
   | Internal _ -> 10
+  (* Service-boundary rejections (PR 6): both are retryable, which
+     scripted callers distinguish from the permanent classes above. *)
+  | Overloaded _ -> 11
+  | Circuit_open _ -> 12
 
 let pp ppf e =
   let where label file row =
@@ -82,6 +92,11 @@ let pp ppf e =
   | Budget_exhausted { trip; spent; detail } ->
       Format.fprintf ppf "budget exhausted (%s after %d steps): %s"
         (trip_to_string trip) spent detail
+  | Overloaded { depth; detail } ->
+      Format.fprintf ppf "overloaded (queue depth %d): %s" depth detail
+  | Circuit_open { spec; retry_ms; detail } ->
+      Format.fprintf ppf "circuit open for %s (retry in %.0f ms): %s" spec
+        retry_ms detail
   | Internal { detail } -> Format.fprintf ppf "internal error: %s" detail
 
 let to_string e = Format.asprintf "%a" pp e

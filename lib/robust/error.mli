@@ -27,6 +27,15 @@ type t =
       (** anti-symmetry violation: the specification is not
           Church-Rosser on this input *)
   | Budget_exhausted of { trip : trip; spent : int; detail : string }
+  | Overloaded of { depth : int; detail : string }
+      (** load shedding: the service's admission queue was full (or
+          the request's deadline expired while it waited); [depth]
+          is the queue depth at rejection. Retryable. *)
+  | Circuit_open of { spec : string; retry_ms : float; detail : string }
+      (** the per-spec circuit breaker is open: recent requests
+          against [spec] failed consecutively, so the service
+          fast-fails instead of burning budget on it. [retry_ms] is
+          the cooldown remaining before a probe is admitted. *)
   | Internal of { detail : string }
       (** an unexpected exception, quarantined rather than propagated *)
 
@@ -43,6 +52,8 @@ val rule_invalid : ?rule:string -> string -> t
 val spec_invalid : string -> t
 val order_conflict : rule:string -> string -> t
 val budget_exhausted : trip:trip -> spent:int -> string -> t
+val overloaded : depth:int -> string -> t
+val circuit_open : spec:string -> retry_ms:float -> string -> t
 val internal : string -> t
 
 (** {2 Reporting} *)
@@ -53,7 +64,8 @@ val class_name : t -> string
 val exit_code : t -> int
 (** Distinct per class: order-conflict 2, io 3, csv-shape 4,
     rule-parse 5, rule-invalid 6, spec-invalid 7,
-    budget-exhausted 8, internal 10. *)
+    budget-exhausted 8, internal 10, overloaded 11,
+    circuit-open 12. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

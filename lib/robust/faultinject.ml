@@ -6,6 +6,10 @@ type config = {
   unterminated_rate : float;
   rule_token_rate : float;
   step_drop_rate : float;
+  payload_rate : float;
+  latency_rate : float;
+  latency_ms : float;
+  drop_rate : float;
 }
 
 let none =
@@ -15,6 +19,10 @@ let none =
     unterminated_rate = 0.0;
     rule_token_rate = 0.0;
     step_drop_rate = 0.0;
+    payload_rate = 0.0;
+    latency_rate = 0.0;
+    latency_ms = 0.0;
+    drop_rate = 0.0;
   }
 
 let scramble g s =
@@ -73,3 +81,16 @@ let corrupt_rule_text g cfg text =
 let keep_step g cfg = not (Prng.bernoulli g cfg.step_drop_rate)
 
 let drop_steps g cfg steps = List.filter (fun _ -> keep_step g cfg) steps
+
+(* Service-boundary faults (the chaos driver's knobs). Payload
+   corruption reuses [scramble] on the serialized request line, so
+   what reaches the server is the same class of damage the CSV/rule
+   harness produces: a mangled byte somewhere the parser must
+   localise and reject — never crash on. *)
+let corrupt_payload g cfg line =
+  if Prng.bernoulli g cfg.payload_rate then scramble g line else line
+
+let inject_latency_ms g cfg =
+  if Prng.bernoulli g cfg.latency_rate then cfg.latency_ms else 0.0
+
+let drop_request g cfg = Prng.bernoulli g cfg.drop_rate

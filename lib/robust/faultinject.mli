@@ -13,6 +13,10 @@ type config = {
   unterminated_rate : float;  (** per CSV text: open an unclosed quote *)
   rule_token_rate : float;  (** per rule text: break the syntax *)
   step_drop_rate : float;  (** per ground chase step: drop it *)
+  payload_rate : float;  (** per service request line: scramble a byte *)
+  latency_rate : float;  (** per service request: inject extra latency *)
+  latency_ms : float;  (** the latency injected when the draw fires *)
+  drop_rate : float;  (** per service request: drop it silently *)
 }
 
 val none : config
@@ -35,3 +39,17 @@ val keep_step : Util.Prng.t -> config -> bool
 val drop_steps : Util.Prng.t -> config -> 'a list -> 'a list
 (** Filter a ground-step list through {!keep_step} — plugs into
     [Core.Chase.run ~prepare]. *)
+
+(** {2 Service-boundary faults} (the chaos/soak driver) *)
+
+val corrupt_payload : Util.Prng.t -> config -> string -> string
+(** One Bernoulli draw at [payload_rate]: scramble a byte of the
+    serialized request line (always changes the string when it
+    fires). *)
+
+val inject_latency_ms : Util.Prng.t -> config -> float
+(** [latency_ms] when the [latency_rate] draw fires, else [0.]. *)
+
+val drop_request : Util.Prng.t -> config -> bool
+(** One Bernoulli draw at [drop_rate]: [true] to drop the request
+    before it is sent. *)

@@ -1,0 +1,61 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown_ms : float;
+  mu : Mutex.t;
+  mutable st : state;
+  mutable failures : int;  (* consecutive, reset on success *)
+  mutable open_until_ms : float;  (* meaningful while [st = Open] *)
+}
+
+let create ~threshold ~cooldown_ms =
+  if threshold < 1 then
+    invalid_arg (Printf.sprintf "Breaker.create: threshold = %d" threshold);
+  if cooldown_ms <= 0.0 then
+    invalid_arg (Printf.sprintf "Breaker.create: cooldown_ms = %g" cooldown_ms);
+  {
+    threshold;
+    cooldown_ms;
+    mu = Mutex.create ();
+    st = Closed;
+    failures = 0;
+    open_until_ms = 0.0;
+  }
+
+let acquire t ~now_ms =
+  Mutex.protect t.mu @@ fun () ->
+  match t.st with
+  | Closed -> `Proceed
+  | Half_open ->
+      (* A probe is already in flight; keep fast-failing until it
+         reports. A brief retry hint, not a full cooldown. *)
+      `Reject (t.cooldown_ms /. 4.0)
+  | Open ->
+      if now_ms >= t.open_until_ms then begin
+        t.st <- Half_open;
+        `Proceed
+      end
+      else `Reject (t.open_until_ms -. now_ms)
+
+let record t ~now_ms ~ok =
+  Mutex.protect t.mu @@ fun () ->
+  if ok then begin
+    t.st <- Closed;
+    t.failures <- 0
+  end
+  else begin
+    t.failures <- t.failures + 1;
+    match t.st with
+    | Half_open ->
+        (* The probe failed: re-open a full cooldown. *)
+        t.st <- Open;
+        t.open_until_ms <- now_ms +. t.cooldown_ms
+    | Closed when t.failures >= t.threshold ->
+        t.st <- Open;
+        t.open_until_ms <- now_ms +. t.cooldown_ms
+    | Closed | Open -> ()
+  end
+
+let state t = Mutex.protect t.mu (fun () -> t.st)
+let consecutive_failures t = Mutex.protect t.mu (fun () -> t.failures)

@@ -1,0 +1,39 @@
+(** A per-spec circuit breaker.
+
+    A specification whose requests keep failing with [Internal]
+    errors (or quarantine-heavy clean reports) indicates a poisoned
+    input the engine cannot serve — re-running it burns worker time
+    other requests need. After [threshold] {e consecutive} failures
+    the breaker opens: requests against that spec fast-fail with
+    {!Robust.Error.Circuit_open} (carrying the cooldown remaining)
+    without touching the engine. After [cooldown_ms] on the
+    monotonic clock the breaker half-opens: exactly one probe is
+    admitted; its success closes the breaker, its failure re-opens
+    a full cooldown.
+
+    All transitions are mutex-guarded; [now_ms] is a parameter (the
+    monotonic clock in production, a hand-rolled one in tests). *)
+
+type t
+
+type state =
+  | Closed  (** normal operation, counting consecutive failures *)
+  | Open  (** fast-failing until the cooldown elapses *)
+  | Half_open  (** one probe in flight; others still fast-fail *)
+
+val create : threshold:int -> cooldown_ms:float -> t
+(** Raises [Invalid_argument] when [threshold < 1] or
+    [cooldown_ms <= 0]. *)
+
+val acquire : t -> now_ms:float -> [ `Proceed | `Reject of float ]
+(** Ask to run a request. [`Reject retry_ms] means fast-fail now
+    and retry after [retry_ms]. An open breaker whose cooldown has
+    elapsed half-opens and admits the caller as the probe. *)
+
+val record : t -> now_ms:float -> ok:bool -> unit
+(** Report the outcome of an admitted request. Success closes the
+    breaker and zeroes the failure count; failure counts toward
+    [threshold] (and immediately re-opens a half-open breaker). *)
+
+val state : t -> state
+val consecutive_failures : t -> int

@@ -1,0 +1,183 @@
+type spec_key = { entity : string; master : string option; rules : string }
+
+let spec_key_name k =
+  let m = match k.master with Some m -> m | None -> "-" in
+  String.concat "|" [ k.entity; m; k.rules ]
+
+type restored = { warm : spec_key list; inflight : string list }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let key_to_json k =
+  Json.Obj
+    [
+      ("entity", Json.Str k.entity);
+      ("master", match k.master with Some m -> Json.Str m | None -> Json.Null);
+      ("rules", Json.Str k.rules);
+    ]
+
+let key_of_json j =
+  match
+    ( Option.bind (Json.member "entity" j) Json.to_str,
+      Json.member "master" j,
+      Option.bind (Json.member "rules" j) Json.to_str )
+  with
+  | Some entity, master, Some rules ->
+      let master = Option.bind master Json.to_str in
+      Some { entity; master; rules }
+  | _ -> None
+
+let journal_path path = path ^ ".journal"
+
+(* ------------------------------------------------------------------ *)
+(* Loading (tolerant: a crash can tear the last journal line)         *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in_noerr ic;
+            List.rev acc
+      in
+      go []
+
+let load ~path =
+  let warm =
+    match read_lines path with
+    | [] -> []
+    | lines -> (
+        match Json.parse (String.concat "\n" lines) with
+        | Ok (Json.Obj _ as doc) -> (
+            match Json.member "warm" doc with
+            | Some (Json.Arr keys) -> List.filter_map key_of_json keys
+            | _ -> [])
+        | Ok _ | Error _ -> [])
+  in
+  (* Replay the journal: [begin seq line] opens, [end seq] closes;
+     whatever stays open was in flight at the kill. *)
+  let open_reqs = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok j -> (
+          match
+            ( Option.bind (Json.member "begin" j) Json.to_int,
+              Option.bind (Json.member "end" j) Json.to_int )
+          with
+          | Some seq, _ -> (
+              match Option.bind (Json.member "line" j) Json.to_str with
+              | Some req ->
+                  Hashtbl.replace open_reqs seq req;
+                  order := seq :: !order
+              | None -> ())
+          | None, Some seq -> Hashtbl.remove open_reqs seq
+          | None, None -> ())
+      | Error _ -> () (* a torn tail line: expected after a crash *))
+    (read_lines (journal_path path));
+  let inflight =
+    List.filter_map (Hashtbl.find_opt open_reqs) (List.rev !order)
+  in
+  { warm; inflight }
+
+(* ------------------------------------------------------------------ *)
+(* The live store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string;
+  mu : Mutex.t;
+  mutable warm : spec_key list;  (* reverse first-compiled order *)
+  inflight : (int, string) Hashtbl.t;
+  mutable journal : out_channel;
+}
+
+let open_journal path =
+  open_out_gen [ Open_append; Open_creat ] 0o644 (journal_path path)
+
+let create ~path =
+  {
+    path;
+    mu = Mutex.create ();
+    warm = [];
+    inflight = Hashtbl.create 64;
+    journal = open_journal path;
+  }
+
+let append_journal t j =
+  output_string t.journal (Json.to_string j);
+  output_char t.journal '\n';
+  flush t.journal
+
+(* Atomic replace: write the whole file beside the target, fsync,
+   rename. A kill at any point leaves either the old file or the new
+   one — never a torn mix. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp path
+
+let write_checkpoint_locked t =
+  let doc =
+    Json.Obj
+      [
+        ("version", Json.int 1);
+        ("warm", Json.list key_to_json (List.rev t.warm));
+      ]
+  in
+  write_atomic t.path (Json.to_string doc ^ "\n")
+
+let note_warm t key =
+  Mutex.protect t.mu @@ fun () ->
+  if not (List.mem key t.warm) then begin
+    t.warm <- key :: t.warm;
+    (* Warmth changes only when a spec first compiles — rare — so
+       persist it right away: a kill at any later point restarts
+       with the full warm set even if no periodic flush ever ran. *)
+    write_checkpoint_locked t
+  end
+
+let begin_request t ~seq ~line =
+  Mutex.protect t.mu @@ fun () ->
+  Hashtbl.replace t.inflight seq line;
+  append_journal t (Json.Obj [ ("begin", Json.int seq); ("line", Json.Str line) ])
+
+let end_request t ~seq =
+  Mutex.protect t.mu @@ fun () ->
+  if Hashtbl.mem t.inflight seq then begin
+    Hashtbl.remove t.inflight seq;
+    append_journal t (Json.Obj [ ("end", Json.int seq) ])
+  end
+
+let flush_locked t =
+  write_checkpoint_locked t;
+  (* Compact the journal to the still-in-flight entries. *)
+  let buf = Buffer.create 256 in
+  Hashtbl.iter
+    (fun seq line ->
+      Buffer.add_string buf
+        (Json.to_string
+           (Json.Obj [ ("begin", Json.int seq); ("line", Json.Str line) ]));
+      Buffer.add_char buf '\n')
+    t.inflight;
+  close_out_noerr t.journal;
+  write_atomic (journal_path t.path) (Buffer.contents buf);
+  t.journal <- open_journal t.path
+
+let flush t = Mutex.protect t.mu (fun () -> flush_locked t)
+
+let close t =
+  Mutex.protect t.mu @@ fun () ->
+  flush_locked t;
+  close_out_noerr t.journal

@@ -1,0 +1,282 @@
+type corpus = {
+  dir : string;
+  entity_files : string array;
+  flat : string;
+  master : string;
+  rules : string;
+  key_attrs : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Corpus generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let max_entity_files = 32
+
+let ensure_corpus ~dir ~entities ~seed =
+  let ( / ) = Filename.concat in
+  let manifest = dir / "manifest.json" in
+  let wanted =
+    Json.to_string
+      (Json.Obj
+         [
+           ("workload", Json.Str "med");
+           ("entities", Json.int entities);
+           ("seed", Json.int seed);
+         ])
+  in
+  let fresh =
+    match open_in manifest with
+    | exception Sys_error _ -> false
+    | ic ->
+        let have = try input_line ic with End_of_file -> "" in
+        close_in_noerr ic;
+        String.equal have wanted
+  in
+  let n_files = min max_entity_files entities in
+  if not fresh then begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let ds = Datagen.Med_gen.dataset ~entities ~seed () in
+    let write name rel =
+      Relational.Csv.write_file (dir / name)
+        (Relational.Csv.relation_to_rows rel)
+    in
+    let flat =
+      Relational.Relation.make ds.Datagen.Entity_gen.schema
+        (List.concat_map
+           (fun (e : Datagen.Entity_gen.entity) ->
+             Relational.Relation.tuples e.instance)
+           ds.entities)
+    in
+    write "entities.csv" flat;
+    write "master.csv" ds.master;
+    List.iteri
+      (fun i (e : Datagen.Entity_gen.entity) ->
+        if i < n_files then write (Printf.sprintf "e%d.csv" i) e.instance)
+      ds.entities;
+    let oc = open_out (dir / "rules.txt") in
+    output_string oc
+      (Rules.Parser.to_string ~schema:ds.schema ~master:ds.master_schema
+         (Rules.Ruleset.user_rules ds.ruleset));
+    close_out oc;
+    let oc = open_out manifest in
+    output_string oc (wanted ^ "\n");
+    close_out oc
+  end;
+  {
+    dir;
+    entity_files =
+      Array.init n_files (fun i -> dir / Printf.sprintf "e%d.csv" i);
+    flat = dir / "entities.csv";
+    master = dir / "master.csv";
+    rules = dir / "rules.txt";
+    (* Med's key attributes (stable identifiers the master shares). *)
+    key_attrs = [ "name"; "regNo" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request stream                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  requests : int;
+  duration_s : float;
+  senders : int;
+  seed : int;
+  chaos : Robust.Faultinject.config;
+  deadline_ms : float option;
+  tight_rate : float;
+  clean_rate : float;
+}
+
+let default_config =
+  {
+    requests = 200;
+    duration_s = 0.0;
+    senders = 4;
+    seed = 7;
+    chaos = Robust.Faultinject.none;
+    deadline_ms = None;
+    tight_rate = 0.1;
+    clean_rate = 0.05;
+  }
+
+type outcome = {
+  slo : Slo.t;
+  duration_s : float;
+  sent : int;
+  violations : string list;
+}
+
+let common_fields ~id cfg corpus g =
+  List.concat
+    [
+      [
+        ("id", Json.Str id);
+        ("master", Json.Str corpus.master);
+        ("rules", Json.Str corpus.rules);
+      ];
+      (match cfg.deadline_ms with
+      | Some d -> [ ("deadline_ms", Json.Num d) ]
+      | None -> []);
+      (if Util.Prng.bernoulli g cfg.tight_rate then
+         (* A budget so small the chase cannot finish: exercises the
+            degraded-response path. *)
+         [ ("max_steps", Json.int 3) ]
+       else []);
+    ]
+
+let gen_request cfg corpus g ~id =
+  let cls = Util.Prng.float g 1.0 in
+  let line fields = Json.to_string (Json.Obj fields) in
+  if cls < cfg.clean_rate then
+    ( "clean",
+      line
+        (("task", Json.Str "clean")
+        :: ("entity", Json.Str corpus.flat)
+        :: ("key", Json.list (fun a -> Json.Str a) corpus.key_attrs)
+        :: ("retries", Json.int 1)
+        :: common_fields ~id cfg corpus g) )
+  else
+    let entity =
+      corpus.entity_files.(Util.Prng.int g (Array.length corpus.entity_files))
+    in
+    if cls < cfg.clean_rate +. ((1.0 -. cfg.clean_rate) /. 2.0) then
+      ( "chase",
+        line
+          (("task", Json.Str "chase")
+          :: ("entity", Json.Str entity)
+          :: common_fields ~id cfg corpus g) )
+    else
+      ( "topk",
+        line
+          (("task", Json.Str "topk")
+          :: ("k", Json.int 2)
+          :: ("entity", Json.Str entity)
+          :: common_fields ~id cfg corpus g) )
+
+(* ------------------------------------------------------------------ *)
+(* The drive loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run ~send cfg corpus =
+  if cfg.senders < 1 then
+    invalid_arg (Printf.sprintf "Driver.run: senders = %d" cfg.senders);
+  if cfg.requests <= 0 && cfg.duration_s <= 0.0 then
+    invalid_arg "Driver.run: need a request count or a duration";
+  let slo = Slo.create () in
+  let sent = Atomic.make 0 in
+  let violations_mu = Mutex.create () in
+  let violations = ref [] in
+  let violation msg =
+    Mutex.protect violations_mu (fun () -> violations := msg :: !violations)
+  in
+  let start = Util.Timing.mono_ms () in
+  let deadline_reached () =
+    cfg.duration_s > 0.0
+    && Util.Timing.mono_ms () -. start >= cfg.duration_s *. 1000.0
+  in
+  let next_ticket () =
+    (* Tickets number requests globally; a sender stops when the
+       count budget is spent or the clock runs out. *)
+    let n = Atomic.fetch_and_add sent 1 in
+    if cfg.requests > 0 && n >= cfg.requests then None
+    else if deadline_reached () then None
+    else Some n
+  in
+  let sender i () =
+    let g = Util.Prng.create (cfg.seed + (1009 * (i + 1))) in
+    let rec loop () =
+      match next_ticket () with
+      | None -> ()
+      | Some n ->
+          let id = Printf.sprintf "s%d-%d" i n in
+          let cls, clean_line = gen_request cfg corpus g ~id in
+          (* Service-boundary chaos, in send order: drop, delay,
+             corrupt. A corrupted line that still parses is fine —
+             the service answers whatever the bytes now say. *)
+          if Robust.Faultinject.drop_request g cfg.chaos then
+            Slo.record slo ~cls ~status:`Dropped ~latency_ms:0.0
+          else begin
+            let delay = Robust.Faultinject.inject_latency_ms g cfg.chaos in
+            if delay > 0.0 then Thread.delay (delay /. 1000.0);
+            let wire = Robust.Faultinject.corrupt_payload g cfg.chaos clean_line in
+            let t0 = Util.Timing.mono_ms () in
+            match send wire with
+            | None ->
+                violation (Printf.sprintf "%s: no response" id);
+                Slo.record slo ~cls ~status:`Malformed ~latency_ms:0.0
+            | Some resp -> (
+                let latency_ms = Util.Timing.mono_ms () -. t0 in
+                match Protocol.classify_response resp with
+                | `Ok -> Slo.record slo ~cls ~status:`Ok ~latency_ms
+                | `Degraded -> Slo.record slo ~cls ~status:`Degraded ~latency_ms
+                | `Error ecls ->
+                    Slo.record slo ~cls ~status:(`Error ecls) ~latency_ms
+                | `Malformed why ->
+                    violation (Printf.sprintf "%s: %s" id why);
+                    Slo.record slo ~cls ~status:`Malformed ~latency_ms)
+          end;
+          loop ()
+    in
+    loop ()
+  in
+  let threads = List.init cfg.senders (fun i -> Thread.create (sender i) ()) in
+  List.iter Thread.join threads;
+  let duration_s = (Util.Timing.mono_ms () -. start) /. 1000.0 in
+  {
+    slo;
+    duration_s;
+    sent = min (Atomic.get sent) (max cfg.requests (Slo.total slo));
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let in_proc_send server line =
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let resp = ref None in
+  Server.submit server ~line ~reply:(fun s ->
+      Mutex.protect mu (fun () ->
+          resp := Some s;
+          Condition.signal cond));
+  Mutex.protect mu (fun () ->
+      while !resp = None do
+        Condition.wait cond mu
+      done;
+      !resp)
+
+(* ------------------------------------------------------------------ *)
+(* The warm-restart probe                                             *)
+(* ------------------------------------------------------------------ *)
+
+let probe ~send corpus =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str "probe");
+           ("task", Json.Str "chase");
+           ("entity", Json.Str corpus.entity_files.(0));
+           ("master", Json.Str corpus.master);
+           ("rules", Json.Str corpus.rules);
+         ])
+  in
+  match send line with
+  | None -> Error "probe: no response"
+  | Some resp -> (
+      match Json.parse resp with
+      | Error e -> Error (Printf.sprintf "probe: unparseable response: %s" e)
+      | Ok j -> (
+          match (Option.bind (Json.member "status" j) Json.to_str,
+                 Json.member "result" j) with
+          | Some ("ok" | "degraded"), Some result -> Ok (Json.to_string result)
+          | Some s, _ ->
+              Error
+                (Printf.sprintf "probe: status %S (%s)" s
+                   (Option.value ~default:""
+                      (Option.bind (Json.member "message" j) Json.to_str)))
+          | None, _ -> Error "probe: response without a status"))

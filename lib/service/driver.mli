@@ -1,0 +1,68 @@
+(** The chaos/soak workload driver.
+
+    Generates a deterministic Med corpus on disk, replays a mixed
+    chase/top-k/clean request stream against a service (in-process
+    or over a transport) from concurrent sender threads, injects
+    faults at the service boundary ({!Robust.Faultinject}: payload
+    corruption, extra latency, silent drops), and collects a {!Slo}
+    report.
+
+    The driver is also the protocol {e auditor}: every response must
+    classify as ok / degraded / typed error ({!Protocol.classify_response});
+    anything else is recorded as a violation, and the [relacc_drive]
+    binary exits non-zero on any — the soak gate in CI. *)
+
+type corpus = {
+  dir : string;
+  entity_files : string array;  (** per-entity instance CSVs, for chase/topk *)
+  flat : string;  (** the whole dirty relation, for clean *)
+  master : string;
+  rules : string;
+  key_attrs : string list;  (** ER keys for clean requests *)
+}
+
+val ensure_corpus : dir:string -> entities:int -> seed:int -> corpus
+(** Generate (or reuse) a Med corpus under [dir]. A manifest records
+    [(entities, seed)]; matching files are reused, anything else is
+    regenerated — same parameters, same bytes. At most 32 per-entity
+    files are materialised. *)
+
+type config = {
+  requests : int;  (** stop after this many requests (0: by duration) *)
+  duration_s : float;  (** stop after this long (0: by request count) *)
+  senders : int;  (** concurrent sender threads (≥ 1) *)
+  seed : int;
+  chaos : Robust.Faultinject.config;
+  deadline_ms : float option;  (** attached to every run request *)
+  tight_rate : float;
+      (** fraction of requests carrying a tiny step budget — the
+          graceful-degradation (degraded-response) trigger *)
+  clean_rate : float;  (** fraction of requests that are whole-relation cleans *)
+}
+
+val default_config : config
+(** 200 requests, 4 senders, no chaos, no deadline, 10% tight, 5%
+    clean. *)
+
+type outcome = {
+  slo : Slo.t;
+  duration_s : float;
+  sent : int;
+  violations : string list;
+      (** protocol-contract breaches (malformed/missing responses) *)
+}
+
+val run : send:(string -> string option) -> config -> corpus -> outcome
+(** Drive the workload. [send] delivers one request line and blocks
+    for the response ([None]: transport failure — recorded as a
+    violation). Driver-injected drops never reach [send]. *)
+
+val in_proc_send : Server.t -> string -> string option
+(** A [send] over {!Server.submit} in this process: waits on a
+    condition variable for the exactly-once reply. *)
+
+val probe : send:(string -> string option) -> corpus -> (string, string) result
+(** Send one fixed chase request and return the rendered ["result"]
+    member. Deterministic for a given corpus, so the bytes must be
+    identical before a crash and after a warm restart — the
+    replay-identity acceptance check. *)

@@ -1,0 +1,57 @@
+(** SLO accounting for the workload driver: per-request-class
+    latency distributions and outcome counts.
+
+    The report shape follows the LEAKER-style evaluation harness
+    (median/p95/p99/max over the request sample, plus throughput)
+    with the resilience counters a degraded-but-sound service adds:
+    how many requests were shed ([overloaded]), fast-failed
+    ([circuit-open]), served degraded, or dropped by the injected
+    transport faults. Thread-safe — driver sender threads record
+    concurrently. *)
+
+type status =
+  [ `Ok  (** full-fidelity answer *)
+  | `Degraded  (** sound partial answer under a tripped budget *)
+  | `Error of string  (** typed error; the payload is the class name *)
+  | `Dropped  (** injected transport drop — no response *)
+  | `Malformed  (** response violated the protocol (a service bug) *) ]
+
+type t
+
+val create : unit -> t
+
+val record : t -> cls:string -> status:status -> latency_ms:float -> unit
+(** [cls] is the request class ([chase]/[topk]/[clean]/[parse]).
+    Latency is ignored for [`Dropped]. *)
+
+val total : t -> int
+val malformed : t -> int
+(** Requests whose response violated the one-of-{ok, degraded,
+    typed error} contract — must be zero for a healthy service. *)
+
+val errors : t -> cls:string -> (string * int) list
+(** Error counts by error class, for one request class. *)
+
+(** {2 Aggregates} (the bench baseline fields) *)
+
+val overall_latency : t -> (float * float * float * float) option
+(** (median, p95, p99, max) over every recorded latency, all request
+    classes pooled; [None] before any response. *)
+
+val ok_degraded : t -> int * int
+(** Total ok and degraded responses across classes. *)
+
+val error_total : t -> cls:string -> int
+(** Total responses with this error class, across request classes
+    (e.g. [~cls:"overloaded"] counts shed requests). *)
+
+val to_json : t -> duration_s:float -> Json.t
+(** The full report:
+    [{"duration_s":..,"total":..,"throughput_rps":..,"classes":{
+       "chase":{"n":..,"ok":..,"degraded":..,"dropped":..,
+                "errors":{"overloaded":..},
+                "latency_ms":{"median":..,"p95":..,"p99":..,"max":..}},
+       ...}}] *)
+
+val pp : duration_s:float -> Format.formatter -> t -> unit
+(** Human-readable table of {!to_json}. *)

@@ -1,0 +1,69 @@
+(* Worker threads call [reply] asynchronously, so writes to one
+   connection are serialized by a per-connection mutex. A client that
+   disappears mid-reply surfaces as an exception in [reply], which
+   {!Server.submit} already swallows. *)
+
+let handle_connection server fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let write_mu = Mutex.create () in
+  let reply line =
+    Mutex.protect write_mu @@ fun () ->
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        if String.length (String.trim line) > 0 then
+          Server.submit server ~line ~reply;
+        loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve server ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  let rec loop () =
+    if Server.stopping server then ()
+    else
+      match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ ->
+          (match Unix.accept sock with
+          | fd, _ ->
+              ignore
+                (Thread.create (fun () -> handle_connection server fd) ()
+                  : Thread.t)
+          | exception Unix.Unix_error _ -> ());
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let request ~path line =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd -> (
+      match
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        let ic = Unix.in_channel_of_descr fd in
+        input_line ic
+      with
+      | resp ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Some resp
+      | exception (Unix.Unix_error _ | End_of_file | Sys_error _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          None)

@@ -1,0 +1,22 @@
+(** Unix-domain-socket transport for the line protocol.
+
+    One connection carries any number of request lines; each gets
+    exactly one response line. Responses may interleave in
+    completion order (the [id] field correlates them), so a client
+    that pipelines must match on [id]; {!request} avoids the issue
+    by using one connection per request. *)
+
+val serve : Server.t -> path:string -> unit
+(** Bind [path] (replacing a stale socket file), accept connections
+    (one reader thread each), and feed lines to {!Server.submit}.
+    Returns — closing the listener and unlinking [path] — once
+    {!Server.stopping} turns true (a [shutdown] request or
+    {!Server.stop}); the caller then runs {!Server.stop} to drain.
+    The accept loop polls with a 200 ms [select] timeout, so
+    shutdown latency is bounded. *)
+
+val request : path:string -> string -> string option
+(** Connect, send one line, read one line, close. [None] on any
+    transport failure (connection refused, EOF before a response) —
+    the driver records that as a protocol violation unless the
+    server is known to be down. *)

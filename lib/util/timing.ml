@@ -1,5 +1,11 @@
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
+(* CLOCK_MONOTONIC through bechamel's stub (already a dependency);
+   int64 nanoseconds since an arbitrary origin. Budget deadlines and
+   the service's queue-wait accounting are measured against this
+   clock: an NTP step moves [now_ms] but never [mono_ms]. *)
+let mono_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1.0e6
+
 let time_ms f =
   let start = Unix.gettimeofday () in
   let result = f () in

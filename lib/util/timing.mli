@@ -3,8 +3,14 @@
     figure-series printers, which report milliseconds like §7). *)
 
 val now_ms : unit -> float
-(** Wall-clock milliseconds since the epoch; the monotonic-enough
-    clock the budget deadlines are measured against. *)
+(** Wall-clock milliseconds since the epoch. Subject to NTP steps —
+    use {!mono_ms} for durations and deadlines. *)
+
+val mono_ms : unit -> float
+(** [CLOCK_MONOTONIC] milliseconds since an arbitrary origin.
+    Strictly non-decreasing within a process; immune to wall-clock
+    adjustments. The clock {!Robust.Budget} deadlines are armed
+    against. Only differences are meaningful. *)
 
 val time_ms : (unit -> 'a) -> 'a * float
 (** [time_ms f] runs [f ()] once and returns its result with the

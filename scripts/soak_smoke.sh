@@ -1,0 +1,89 @@
+#!/bin/sh
+# CI soak gate for the long-lived cleaning service.
+#
+# Sequence:
+#   1. serve on a Unix socket with a crash-safe checkpoint;
+#   2. record the probe request's result bytes;
+#   3. soak ~10 s of mixed chase/top-k/clean traffic at ~10% injected
+#      faults (payload corruption, latency, drops) — the driver exits
+#      non-zero on any response-contract violation;
+#   4. SIGKILL the warm server, restart it from the checkpoint, and
+#      require the probe to return byte-identical result bytes;
+#   5. shut the restarted server down gracefully (SIGTERM, exit 0).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DURATION="${SOAK_DURATION_S:-10}"
+TMP=$(mktemp -d)
+SOCK="$TMP/relacc.sock"
+CKPT="$TMP/warm.ckpt"
+CORPUS="$TMP/corpus"
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+dune build bin/relacc_serve.exe bin/relacc_drive.exe 2>&1
+SERVE=_build/default/bin/relacc_serve.exe
+DRIVE=_build/default/bin/relacc_drive.exe
+
+start_server() {
+  "$SERVE" --socket "$SOCK" --checkpoint "$CKPT" -j 2 --queue-depth 64 \
+    --breaker-threshold 3 --breaker-cooldown-ms 500 &
+  SERVE_PID=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "soak-smoke: server never opened $SOCK" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+start_server
+"$DRIVE" --connect "$SOCK" --corpus "$CORPUS" --probe > "$TMP/probe_before"
+
+echo "soak-smoke: soaking ${DURATION}s at ~10% injected faults..."
+"$DRIVE" --connect "$SOCK" --corpus "$CORPUS" \
+  --duration-s "$DURATION" --senders 6 --seed 7 \
+  --fault-rate 0.10 --latency-rate 0.05 --drop-rate 0.05 \
+  --tight-rate 0.1 --clean-rate 0.05 --deadline-ms 250 \
+  --json > "$TMP/slo.json"
+
+# The SLO report must be well-formed, and the server must have
+# survived the whole soak.
+for field in duration_s total throughput_rps malformed classes; do
+  if ! grep -q "\"$field\"" "$TMP/slo.json"; then
+    echo "soak-smoke: SLO report is missing \"$field\":" >&2
+    cat "$TMP/slo.json" >&2
+    exit 1
+  fi
+done
+if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "soak-smoke: server died during the soak" >&2
+  exit 1
+fi
+
+echo "soak-smoke: SIGKILL + warm restart from $CKPT..."
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+[ -f "$CKPT" ] || { echo "soak-smoke: no checkpoint after kill" >&2; exit 1; }
+# Clear the dead server's socket so the bind-wait below observes the
+# restarted server, not the stale inode.
+rm -f "$SOCK"
+
+start_server
+"$DRIVE" --connect "$SOCK" --corpus "$CORPUS" --probe > "$TMP/probe_after"
+if ! cmp -s "$TMP/probe_before" "$TMP/probe_after"; then
+  echo "soak-smoke: probe result changed across the warm restart:" >&2
+  diff "$TMP/probe_before" "$TMP/probe_after" >&2 || true
+  exit 1
+fi
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "soak-smoke: server did not shut down cleanly on SIGTERM" >&2
+  exit 1
+fi
+
+echo "soak-smoke: OK (clean soak, identical probe across SIGKILL restart)"

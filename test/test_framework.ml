@@ -328,6 +328,88 @@ let test_compile_cache_reuses_artifacts () =
   Cache.clear ();
   check Alcotest.int "clear empties the cache" 0 (Cache.size ())
 
+(* ------------------------------------------------------------------ *)
+(* Facade-level graceful degradation (QCheck)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A small Med corpus on disk, shared by every property iteration:
+   the facade consumes file paths, so this is the full load→execute
+   path — exactly what the service's budget-relax retry runs. *)
+let relax_corpus =
+  lazy
+    (let dir = Filename.temp_file "relacc_relax" "" in
+     Sys.remove dir;
+     Sys.mkdir dir 0o755;
+     let ds = Datagen.Med_gen.dataset ~entities:16 ~seed:42 () in
+     let ( / ) = Filename.concat in
+     Relational.Csv.write_file (dir / "master.csv")
+       (Relational.Csv.relation_to_rows ds.Datagen.Entity_gen.master);
+     let oc = open_out (dir / "rules.txt") in
+     output_string oc
+       (Rules.Parser.to_string ~schema:ds.schema ~master:ds.master_schema
+          (Rules.Ruleset.user_rules ds.ruleset));
+     close_out oc;
+     let entity_files =
+       List.mapi
+         (fun i (e : Datagen.Entity_gen.entity) ->
+           let path = dir / Printf.sprintf "e%d.csv" i in
+           Relational.Csv.write_file path
+             (Relational.Csv.relation_to_rows e.instance);
+           path)
+         ds.entities
+     in
+     (Array.of_list entity_files, dir / "master.csv", dir / "rules.txt"))
+
+(* Canonical rendering of an outcome, for whole-report equality. *)
+let chase_fingerprint (report : Framework.Pipeline.report) =
+  match report.outcome with
+  | Chased (Deduced { te; complete }) ->
+      Printf.sprintf "deduced/%b/%s" complete
+        (String.concat "|" (Array.to_list (Array.map Value.to_string te)))
+  | Chased (Not_church_rosser { rule; _ }) -> "ncr/" ^ rule
+  | Chased (Chase_exhausted _) -> "exhausted"
+  | Ranked _ | Cleaned _ -> "other"
+
+(* The service's degradation ladder, at the facade: arm a budget that
+   trips, then retry under [Budget.relax] until the chase finishes.
+   The property is soundness of the ladder — wherever it lands, the
+   report is the one an unlimited run produces. *)
+let relax_retry_reaches_unlimited_report =
+  QCheck.Test.make ~count:25 ~name:"relax-retry converges to the unlimited report"
+    QCheck.(pair (int_range 0 15) (int_range 1 6))
+    (fun (ei, steps0) ->
+      let entity_files, master, rules = Lazy.force relax_corpus in
+      let entity = entity_files.(ei) in
+      let run limits =
+        Framework.Pipeline.run
+          (Framework.Pipeline.config ~master ~limits ~entity ~rules
+             Framework.Pipeline.Chase)
+      in
+      let reference =
+        match run Robust.Budget.unlimited with
+        | Ok r -> chase_fingerprint r
+        | Error e ->
+            QCheck.Test.fail_reportf "unlimited run failed: %s"
+              (Robust.Error.to_string e)
+      in
+      let rec ladder limits rounds =
+        if rounds > 20 then
+          QCheck.Test.fail_reportf "no convergence after %d relaxations" rounds
+        else
+          match run limits with
+          | Ok { outcome = Chased (Chase_exhausted _); _ } ->
+              ladder (Robust.Budget.relax limits) (rounds + 1)
+          | Ok r -> chase_fingerprint r
+          | Error e ->
+              QCheck.Test.fail_reportf "budgeted run failed: %s"
+                (Robust.Error.to_string e)
+      in
+      let final = ladder (Robust.Budget.limits ~max_steps:steps0 ()) 0 in
+      if String.equal final reference then true
+      else
+        QCheck.Test.fail_reportf "ladder landed on %s, unlimited says %s" final
+          reference)
+
 let () =
   Alcotest.run "framework"
     [
@@ -361,6 +443,8 @@ let () =
           Alcotest.test_case "reuses artifacts" `Quick
             test_compile_cache_reuses_artifacts;
         ] );
+      ( "degradation",
+        [ QCheck_alcotest.to_alcotest relax_retry_reaches_unlimited_report ] );
       ( "revision",
         [
           Alcotest.test_case "finds phi12" `Quick test_revision_finds_phi12;

@@ -22,24 +22,48 @@ let value_testable = Alcotest.testable Value.pp Value.equal
 (* Error: classes, exit codes, exception bridge                       *)
 (* ------------------------------------------------------------------ *)
 
-let test_error_exit_codes () =
-  let codes =
-    List.map Error.exit_code
-      [
-        Error.order_conflict ~rule:"phi12" "conflicting orders";
-        Error.io ~path:"x.csv" "no such file";
-        Error.csv_shape ~row:7 "ragged";
-        Error.rule_parse ~line:3 "bad token";
-        Error.rule_invalid "unknown attribute";
-        Error.spec_invalid "schema mismatch";
-        Error.budget_exhausted ~trip:Error.Steps ~spent:10 "cap";
-        Error.internal "bug";
-      ]
+(* One representative per variant. The match below is compiled
+   without a wildcard, so adding an [Error.t] variant breaks this
+   function until its representative (and exit code) is added —
+   the table stays exhaustive by construction. *)
+let representatives =
+  let witness : Error.t -> unit = function
+    | Error.Io _ | Error.Csv_shape _ | Error.Rule_parse _ | Error.Rule_invalid _
+    | Error.Spec_invalid _ | Error.Order_conflict _ | Error.Budget_exhausted _
+    | Error.Overloaded _ | Error.Circuit_open _ | Error.Internal _ ->
+        ()
   in
-  check (list int) "documented mapping" [ 2; 3; 4; 5; 6; 7; 8; 10 ] codes;
+  let all =
+    [
+      Error.order_conflict ~rule:"phi12" "conflicting orders";
+      Error.io ~path:"x.csv" "no such file";
+      Error.csv_shape ~row:7 "ragged";
+      Error.rule_parse ~line:3 "bad token";
+      Error.rule_invalid "unknown attribute";
+      Error.spec_invalid "schema mismatch";
+      Error.budget_exhausted ~trip:Error.Steps ~spent:10 "cap";
+      Error.internal "bug";
+      Error.overloaded ~depth:64 "queue full";
+      Error.circuit_open ~spec:"e.csv|m.csv|r.txt" ~retry_ms:120.0 "tripped";
+    ]
+  in
+  List.iter witness all;
+  all
+
+let test_error_exit_codes () =
+  let codes = List.map Error.exit_code representatives in
+  check (list int) "documented mapping"
+    [ 2; 3; 4; 5; 6; 7; 8; 10; 11; 12 ]
+    codes;
   (* distinct classes get distinct codes *)
   check int "codes are distinct" (List.length codes)
-    (List.length (List.sort_uniq compare codes))
+    (List.length (List.sort_uniq compare codes));
+  (* every class renders a non-empty name and message *)
+  List.iter
+    (fun e ->
+      check bool "class name" true (String.length (Error.class_name e) > 0);
+      check bool "message" true (String.length (Error.to_string e) > 0))
+    representatives
 
 let test_error_of_exn () =
   (match Error.of_exn (Error.Error (Error.io ~path:"p" "d")) with
@@ -96,6 +120,44 @@ let test_budget_deadline_trip () =
   match Budget.check m with
   | Some Error.Deadline -> ()
   | _ -> fail "deadline must trip once the clock advances"
+
+(* Deadlines are measured on the monotonic clock, so a wall-clock
+   adjustment (an NTP step) in a long-lived process can neither
+   spuriously trip a meter nor silently extend it. Simulated through
+   the test-only [?clock] seam: the meter's clock advances 50 ms of
+   real time while the "wall clock" steps a whole hour. *)
+let test_budget_deadline_monotonic () =
+  let a = Util.Timing.mono_ms () in
+  let b = Util.Timing.mono_ms () in
+  check bool "mono_ms is non-decreasing" true (b >= a);
+  let mono_now = ref 1_000.0 in
+  let m =
+    Budget.start ~clock:(fun () -> !mono_now)
+      (Budget.limits ~deadline_ms:100.0 ())
+  in
+  (* 50 ms of monotonic time pass; the wall clock (not consulted)
+     steps back an hour meanwhile. *)
+  mono_now := !mono_now +. 50.0;
+  check (option reject) "a wall step cannot trip the meter" None
+    (Budget.check m);
+  check (float 1e-9) "elapsed tracks the monotonic source" 50.0
+    (Budget.elapsed_ms m);
+  mono_now := !mono_now +. 51.0;
+  (match Budget.check m with
+  | Some Error.Deadline -> ()
+  | _ -> fail "the meter must still trip at its real deadline");
+  (* Control: the same meter armed on a wall clock that steps
+     forward an hour trips spuriously — exactly the failure the
+     monotonic default prevents. *)
+  let wall = ref 1_000.0 in
+  let w =
+    Budget.start ~clock:(fun () -> !wall)
+      (Budget.limits ~deadline_ms:100.0 ())
+  in
+  wall := !wall +. 3_600_000.0;
+  match Budget.check w with
+  | Some Error.Deadline -> ()
+  | _ -> fail "control: a stepped clock source must trip the meter"
 
 (* ------------------------------------------------------------------ *)
 (* Chase under budget: Exhausted partial results                      *)
@@ -456,6 +518,8 @@ let () =
           test_case "steps trip" `Quick test_budget_steps_trip;
           test_case "instantiations trip" `Quick test_budget_instantiations_trip;
           test_case "deadline trip" `Quick test_budget_deadline_trip;
+          test_case "deadline is NTP-step immune" `Quick
+            test_budget_deadline_monotonic;
         ] );
       ( "degradation",
         [
