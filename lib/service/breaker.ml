@@ -34,7 +34,7 @@ let acquire t ~now_ms =
   | Open ->
       if now_ms >= t.open_until_ms then begin
         t.st <- Half_open;
-        `Proceed
+        `Probe
       end
       else `Reject (t.open_until_ms -. now_ms)
 
@@ -56,6 +56,19 @@ let record t ~now_ms ~ok =
         t.open_until_ms <- now_ms +. t.cooldown_ms
     | Closed | Open -> ()
   end
+
+let abort t ~now_ms =
+  Mutex.protect t.mu @@ fun () ->
+  match t.st with
+  | Half_open ->
+      (* The probe ended without evidence about the fault either way
+         (a deterministic typed error, say a vanished rules file).
+         Re-open for a short retry rather than staying Half_open
+         forever — Half_open rejects everyone but the probe, so an
+         unresolved probe would deny the spec service permanently. *)
+      t.st <- Open;
+      t.open_until_ms <- now_ms +. (t.cooldown_ms /. 4.0)
+  | Closed | Open -> ()
 
 let state t = Mutex.protect t.mu (fun () -> t.st)
 let consecutive_failures t = Mutex.protect t.mu (fun () -> t.failures)

@@ -25,15 +25,24 @@ val create : threshold:int -> cooldown_ms:float -> t
 (** Raises [Invalid_argument] when [threshold < 1] or
     [cooldown_ms <= 0]. *)
 
-val acquire : t -> now_ms:float -> [ `Proceed | `Reject of float ]
+val acquire : t -> now_ms:float -> [ `Proceed | `Probe | `Reject of float ]
 (** Ask to run a request. [`Reject retry_ms] means fast-fail now
     and retry after [retry_ms]. An open breaker whose cooldown has
-    elapsed half-opens and admits the caller as the probe. *)
+    elapsed half-opens and admits the caller as [`Probe] — the
+    caller {e must} resolve the probe with {!record} or {!abort},
+    otherwise the breaker stays [Half_open] (rejecting everything)
+    forever. *)
 
 val record : t -> now_ms:float -> ok:bool -> unit
 (** Report the outcome of an admitted request. Success closes the
     breaker and zeroes the failure count; failure counts toward
     [threshold] (and immediately re-opens a half-open breaker). *)
+
+val abort : t -> now_ms:float -> unit
+(** Resolve a [`Probe] whose outcome says nothing about the fault
+    (e.g. a deterministic typed error unrelated to the failures that
+    tripped the breaker): re-opens for a quarter cooldown so another
+    probe runs soon. A no-op unless the breaker is half-open. *)
 
 val state : t -> state
 val consecutive_failures : t -> int

@@ -109,8 +109,14 @@ let parse s =
     | Some f -> f
     | None -> fail "number"
   in
-  let rec parse_value () =
+  (* Nesting is bounded so corrupted payloads like "[[[[[..." (the
+     fault injector produces these) fail as data instead of raising
+     Stack_overflow through the no-exceptions-escape boundary. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then
+      raise (Bad (Printf.sprintf "nesting deeper than %d levels" max_depth));
     match peek () with
     | None -> fail "a value"
     | Some '{' ->
@@ -126,7 +132,7 @@ let parse s =
             let key = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -148,7 +154,7 @@ let parse s =
         end
         else begin
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -168,13 +174,14 @@ let parse s =
     | Some _ -> Num (parse_number ())
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos < n then fail "end of input";
     v
   with
   | v -> Ok v
   | exception Bad msg -> Error msg
+  | exception Stack_overflow -> Error "input too deeply nested"
 
 (* ------------------------------------------------------------------ *)
 (* Printer                                                            *)
@@ -202,7 +209,23 @@ let rec write buf = function
   | Num f ->
       if Float.is_integer f && Float.abs f < 1e15 then
         Buffer.add_string buf (Printf.sprintf "%.0f" f)
-      else Buffer.add_string buf (Printf.sprintf "%g" f)
+      else
+        (* Shortest decimal that parses back to the same float:
+           latencies, thresholds and journaled state must survive a
+           print/parse round-trip bit-exactly. *)
+        let exact fmt =
+          let s = Printf.sprintf fmt f in
+          if float_of_string s = f then Some s else None
+        in
+        let s =
+          match exact "%.15g" with
+          | Some s -> s
+          | None -> (
+              match exact "%.16g" with
+              | Some s -> s
+              | None -> Printf.sprintf "%.17g" f)
+        in
+        Buffer.add_string buf s
   | Str s -> escape buf s
   | Arr xs ->
       Buffer.add_char buf '[';

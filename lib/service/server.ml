@@ -172,37 +172,49 @@ let compute_response t p ~queue_ms =
           Protocol.error_response ~id:p.id ~queue_ms ~work_ms:0.0
             (Robust.Error.circuit_open ~spec:kname ~retry_ms
                "circuit open: recent requests against this spec failed")
-      | `Proceed ->
+      | (`Proceed | `Probe) as role ->
           let result =
-            match spec_for t p.run with
-            | Error _ as e -> e
-            | Ok spec ->
-                Option.iter
-                  (fun c -> Checkpoint.note_warm c (Protocol.spec_key p.run))
-                  t.checkpoint;
-                let limits =
-                  {
-                    Robust.Budget.max_steps =
-                      (match p.run.max_steps with
-                      | Some _ as s -> s
-                      | None -> t.cfg.default_max_steps);
-                    max_instantiations = None;
-                    deadline_ms = remaining;
-                  }
-                in
-                Framework.Pipeline.execute ~limits spec p.run.task
+            (* Exceptions become typed errors *here*, inside the
+               breaker scope, so a crashing spec counts as an
+               [Internal] failure (and resolves a half-open probe)
+               instead of escaping to the worker fault boundary past
+               the accounting below. *)
+            try
+              match spec_for t p.run with
+              | Error _ as e -> e
+              | Ok spec ->
+                  Option.iter
+                    (fun c -> Checkpoint.note_warm c (Protocol.spec_key p.run))
+                    t.checkpoint;
+                  let limits =
+                    {
+                      Robust.Budget.max_steps =
+                        (match p.run.max_steps with
+                        | Some _ as s -> s
+                        | None -> t.cfg.default_max_steps);
+                      max_instantiations = None;
+                      deadline_ms = remaining;
+                    }
+                  in
+                  Framework.Pipeline.execute ~limits spec p.run.task
+            with exn -> Error (Robust.Error.of_exn exn)
           in
           (* Breaker accounting: only [Internal] failures and
              quarantine-heavy cleans count against the spec;
              deterministic typed errors (unreadable file, bad rule
-             text) neither trip nor reset. *)
+             text) neither trip nor reset — but a half-open probe
+             must still be resolved, else the breaker wedges in
+             [Half_open] and rejects the spec forever. *)
           (match result with
           | Error (Robust.Error.Internal _) ->
               Breaker.record breaker ~now_ms:(now_ms ()) ~ok:false
           | Ok report when quarantine_heavy report ->
               Breaker.record breaker ~now_ms:(now_ms ()) ~ok:false
           | Ok _ -> Breaker.record breaker ~now_ms:(now_ms ()) ~ok:true
-          | Error _ -> ());
+          | Error _ -> (
+              match role with
+              | `Probe -> Breaker.abort breaker ~now_ms:(now_ms ())
+              | `Proceed -> ()));
           (match result with
           | Ok report ->
               if is_degraded report then begin
@@ -310,18 +322,25 @@ let submit t ~line ~reply =
       else
         let seq = Atomic.fetch_and_add t.seq 1 in
         let p = { seq; id; run; line; arrival_ms = now_ms (); reply } in
+        (* Journal [begin] before the request becomes visible to
+           workers: admitting first would let a fast worker reach
+           [end_request] (a no-op on an unknown seq) before [begin]
+           lands, leaving the entry open forever and replayed on
+           every restart. A rejected admission closes the entry
+           right back; a crash in between merely replays a request
+           whose client never got an answer — idempotent. *)
+        Option.iter (fun c -> Checkpoint.begin_request c ~seq ~line)
+          t.checkpoint;
         match Admission.admit t.queue p with
         | Error depth ->
+            Option.iter (fun c -> Checkpoint.end_request c ~seq) t.checkpoint;
             Atomic.incr t.n_shed;
             Obs.Counter.incr m_shed;
             reply
               (Protocol.error_response ~id ~queue_ms:0.0 ~work_ms:0.0
                  (Robust.Error.overloaded ~depth
                     (Printf.sprintf "admission queue full (depth %d)" depth)))
-        | Ok () ->
-            Obs.Gauge.add m_queue_depth 1.0;
-            Option.iter (fun c -> Checkpoint.begin_request c ~seq ~line)
-              t.checkpoint)
+        | Ok () -> Obs.Gauge.add m_queue_depth 1.0)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                          *)

@@ -1,27 +1,53 @@
 (* Worker threads call [reply] asynchronously, so writes to one
    connection are serialized by a per-connection mutex. A client that
-   disappears mid-reply surfaces as an exception in [reply], which
-   {!Server.submit} already swallows. *)
+   disappears mid-reply surfaces as a write error, after which the
+   connection is marked dead and further replies are dropped.
+
+   The descriptor must NOT be closed while workers still hold reply
+   closures over it: the kernel reuses fd numbers, so a late reply
+   through a closed-then-reused fd would write one client's response
+   into another client's stream — silently, with no exception to
+   catch. Every [Server.submit] produces exactly one reply
+   (synchronous for ping/metrics/shed/errors, from a worker for
+   admitted runs, and queued runs are drained even on shutdown), so
+   a per-connection refcount tells us when the last reply has
+   landed and the close is safe. *)
 
 let handle_connection server fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let write_mu = Mutex.create () in
+  let mu = Mutex.create () in
+  let drained = Condition.create () in
+  let outstanding = ref 0 in
+  let dead = ref false in
   let reply line =
-    Mutex.protect write_mu @@ fun () ->
-    output_string oc line;
-    output_char oc '\n';
-    flush oc
+    Mutex.protect mu @@ fun () ->
+    (if not !dead then
+       try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ | Unix.Unix_error _ -> dead := true);
+    decr outstanding;
+    Condition.signal drained
   in
   let rec loop () =
     match input_line ic with
     | line ->
-        if String.length (String.trim line) > 0 then
-          Server.submit server ~line ~reply;
+        if String.length (String.trim line) > 0 then begin
+          Mutex.protect mu (fun () -> incr outstanding);
+          Server.submit server ~line ~reply
+        end;
         loop ()
     | exception (End_of_file | Sys_error _) -> ()
   in
   loop ();
+  (* Client EOF: wait for in-flight replies before releasing the fd
+     number back to the kernel. *)
+  Mutex.protect mu (fun () ->
+      while !outstanding > 0 do
+        Condition.wait drained mu
+      done);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve server ~path =

@@ -54,6 +54,42 @@ let test_json_rejects_garbage () =
       | Error e -> check bool "has detail" true (String.length e > 0))
     [ ""; "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nul"; "1 2"; "{1:2}" ]
 
+let test_json_depth_limited () =
+  (* Regression: the fault injector's corrupted payloads include
+     unbounded "[[[[..." prefixes, which used to raise Stack_overflow
+     through the result boundary and kill the reader thread. *)
+  (match Json.parse (String.make 100_000 '[') with
+  | Ok _ -> fail "accepted unterminated deep nesting"
+  | Error e -> check bool "fails as data" true (String.length e > 0));
+  let balanced d = String.make d '[' ^ "1" ^ String.make d ']' in
+  (match Json.parse (balanced 1000) with
+  | Ok _ -> fail "accepted 1000-deep nesting"
+  | Error _ -> ());
+  match Json.parse (balanced 64) with
+  | Ok _ -> ()
+  | Error e -> failf "rejected reasonable nesting: %s" e
+
+let test_json_float_roundtrip () =
+  (* Latencies, thresholds and journaled floats must survive a
+     print/parse round-trip bit-exactly (the old %g kept only six
+     significant digits). *)
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Num f) in
+      match Json.parse s with
+      | Ok (Json.Num f') ->
+          check bool (Printf.sprintf "%s round-trips" s) true (Float.equal f f')
+      | _ -> failf "float printed unparseably: %s" s)
+    [
+      0.1;
+      1.5;
+      3.141592653589793;
+      1234.5678901234567;
+      1e-9;
+      -2.2250738585072014e-308;
+      123.456789012345678;
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -81,7 +117,7 @@ let test_breaker_state_machine () =
   let b = Breaker.create ~threshold:3 ~cooldown_ms:100.0 in
   let proceed now =
     match Breaker.acquire b ~now_ms:now with
-    | `Proceed -> true
+    | `Proceed | `Probe -> true
     | `Reject _ -> false
   in
   check bool "closed proceeds" true (proceed 0.0);
@@ -93,7 +129,7 @@ let test_breaker_state_machine () =
   check bool "open fast-fails" false (proceed 3.0);
   (match Breaker.acquire b ~now_ms:50.0 with
   | `Reject retry_ms -> check (float 1e-6) "retry hint" 52.0 retry_ms
-  | `Proceed -> fail "must reject during cooldown");
+  | `Proceed | `Probe -> fail "must reject during cooldown");
   (* cooldown over: half-open admits one probe, rejects the rest *)
   check bool "probe admitted" true (proceed 103.0);
   check bool "second probe rejected" false (proceed 104.0);
@@ -110,6 +146,35 @@ let test_breaker_state_machine () =
   Breaker.record b ~now_ms:211.0 ~ok:true;
   Breaker.record b ~now_ms:212.0 ~ok:false;
   check bool "no trip without 3 consecutive" true (proceed 213.0)
+
+let test_breaker_probe_abort_recovers () =
+  (* Regression: a half-open probe that ended in a deterministic
+     typed error (neither success nor Internal failure) used to
+     leave the breaker wedged in Half_open, rejecting the spec
+     forever. [abort] resolves the probe by re-opening briefly. *)
+  let b = Breaker.create ~threshold:2 ~cooldown_ms:100.0 in
+  Breaker.record b ~now_ms:0.0 ~ok:false;
+  Breaker.record b ~now_ms:1.0 ~ok:false;
+  check bool "tripped open" true (Breaker.state b = Breaker.Open);
+  (match Breaker.acquire b ~now_ms:150.0 with
+  | `Probe -> ()
+  | `Proceed | `Reject _ -> fail "cooldown over: must admit the probe");
+  (* the probe hit, say, a vanished rules file: no verdict on the fault *)
+  Breaker.abort b ~now_ms:151.0;
+  check bool "re-opened, not wedged half-open" true
+    (Breaker.state b = Breaker.Open);
+  (* a quarter cooldown later a new probe is admitted... *)
+  (match Breaker.acquire b ~now_ms:180.0 with
+  | `Probe -> ()
+  | `Proceed | `Reject _ -> fail "short retry must admit a new probe");
+  (* ...and its success restores service *)
+  Breaker.record b ~now_ms:181.0 ~ok:true;
+  (match Breaker.acquire b ~now_ms:182.0 with
+  | `Proceed -> ()
+  | `Probe | `Reject _ -> fail "closed after successful probe");
+  Breaker.abort b ~now_ms:183.0;
+  check bool "abort when closed is a no-op" true
+    (Breaker.state b = Breaker.Closed)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol                                                           *)
@@ -193,6 +258,20 @@ let test_checkpoint_roundtrip () =
   Checkpoint.close c;
   check bool "missing files load empty" true
     ((Checkpoint.load ~path:(path ^ ".nope")).warm = [])
+
+let test_checkpoint_begin_end_interleaved () =
+  (* [end] for an unknown seq is a no-op, so begin must always land
+     first — the server guarantees this by journaling [begin] before
+     admission. Verify an end-without-begin does not poison a later
+     begin of the same seq. *)
+  let path = temp_path "ordckpt" in
+  let c = Checkpoint.create ~path in
+  Checkpoint.end_request c ~seq:7 (* unknown: ignored *);
+  Checkpoint.begin_request c ~seq:7 ~line:{|{"id":"x"}|};
+  Checkpoint.end_request c ~seq:7;
+  Checkpoint.close c;
+  check (list string) "nothing left in flight" []
+    (Checkpoint.load ~path).inflight
 
 (* ------------------------------------------------------------------ *)
 (* The server: degradation, shedding, deadlines, warm restart         *)
@@ -328,6 +407,49 @@ let test_server_sheds_when_queue_full () =
         (Option.bind (Json.member "work_ms" j) Json.to_num)
   | Error e -> failf "bad shed response: %s" e
 
+let test_server_journal_closes_every_request () =
+  (* Regression: [begin] used to be journaled after admission, so a
+     fast worker could hit [end] first (a no-op on an unknown seq)
+     and the entry stayed open for the process lifetime, replayed on
+     every restart; a shed request was never journaled but the same
+     ordering bug class applies. After a full drain + stop, no
+     request — completed or shed — may remain in flight. *)
+  let corpus = Lazy.force corpus in
+  let path = temp_path "leakckpt" in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        workers = 1;
+        queue_depth = 1;
+        checkpoint_path = Some path;
+      }
+  in
+  let clean_line id =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str id);
+           ("task", Json.Str "clean");
+           ("entity", Json.Str corpus.Driver.flat);
+           ("master", Json.Str corpus.Driver.master);
+           ("rules", Json.Str corpus.Driver.rules);
+           ("key", Json.list (fun a -> Json.Str a) corpus.Driver.key_attrs);
+         ])
+  in
+  let mu = Mutex.create () in
+  let n_replies = ref 0 in
+  let note _ = Mutex.protect mu (fun () -> incr n_replies) in
+  (* more requests than worker+queue capacity: some complete fast
+     (exercising the begin/end race), at least one is shed *)
+  List.iter
+    (fun id -> Server.submit server ~line:(clean_line id) ~reply:note)
+    [ "j1"; "j2"; "j3"; "j4" ];
+  Server.stop server (* drains the queue, then flushes + closes *);
+  check int "every request replied exactly once" 4 !n_replies;
+  check (list string) "no request left open in the journal" []
+    (Checkpoint.load ~path).inflight
+
 let test_server_circuit_breaker_trips () =
   (* Internal failures against one spec trip its breaker; a healthy
      spec keeps flowing. Internal errors are provoked through a spec
@@ -427,24 +549,36 @@ let () =
         [
           test_case "roundtrip" `Quick test_json_roundtrip;
           test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          test_case "depth limited" `Quick test_json_depth_limited;
+          test_case "float roundtrip" `Quick test_json_float_roundtrip;
         ] );
       ( "admission",
         [ test_case "sheds when full" `Quick test_admission_sheds_when_full ] );
       ( "breaker",
-        [ test_case "state machine" `Quick test_breaker_state_machine ] );
+        [
+          test_case "state machine" `Quick test_breaker_state_machine;
+          test_case "probe abort recovers" `Quick
+            test_breaker_probe_abort_recovers;
+        ] );
       ( "protocol",
         [
           test_case "requests" `Quick test_protocol_requests;
           test_case "classification" `Quick test_protocol_classification;
         ] );
       ( "checkpoint",
-        [ test_case "roundtrip" `Quick test_checkpoint_roundtrip ] );
+        [
+          test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          test_case "begin/end interleaving" `Quick
+            test_checkpoint_begin_end_interleaved;
+        ] );
       ( "server",
         [
           test_case "ok and degraded" `Quick test_server_ok_and_degraded;
           test_case "deadline expiry sheds" `Quick
             test_server_sheds_on_deadline_expiry;
           test_case "full queue sheds" `Quick test_server_sheds_when_queue_full;
+          test_case "journal closes every request" `Quick
+            test_server_journal_closes_every_request;
           test_case "io errors do not trip the breaker" `Quick
             test_server_circuit_breaker_trips;
           test_case "warm restart replays identically" `Quick
