@@ -38,6 +38,7 @@ let run_trace ?(policy = First_applicable) ?budget ?prepare spec =
   let inst = Instance.init spec in
   let steps =
     Ground.instantiate
+      ~intern:(Specification.intern spec)
       ~ruleset:(Specification.ruleset spec)
       ~entity:(Specification.entity spec)
       ~master:(Specification.master spec)

@@ -8,11 +8,17 @@ type t = {
   relation : Relation.t;
   orders : Attr_order.t array;
   te : Value.t array;
+  (* Interned id of each template cell ([Intern.null_id] while null),
+     maintained in lockstep with [te] against the specification's
+     shared table — chase engines compare template fills against
+     ground-step constants by id instead of structurally. *)
+  te_ids : int array;
+  intern : Relational.Intern.t;
 }
 
 type event =
   | Edge of { attr : int; c1 : int; c2 : int }
-  | Te_set of { attr : int; value : Value.t }
+  | Te_set of { attr : int; value : Value.t; vid : int }
 
 type outcome =
   | Unchanged
@@ -22,13 +28,27 @@ type outcome =
 let init spec =
   let relation = Specification.entity spec in
   let orders = Array.map Attr_order.of_numbering (Specification.numbering spec) in
-  { relation; orders; te = Specification.template spec }
+  let intern = Specification.intern spec in
+  let te = Specification.template spec in
+  (* [Value.Null] interns to [null_id], so one map covers both the
+     null and pre-filled template cells. *)
+  let te_ids = Array.map (Relational.Intern.intern intern) te in
+  { relation; orders; te; te_ids; intern }
 
 let relation t = t.relation
 let schema t = Relation.schema t.relation
 let order t a = t.orders.(a)
 let te t = Array.copy t.te
 let te_value t a = t.te.(a)
+let te_id t a = t.te_ids.(a)
+
+(* The single write path for template cells: [te] and [te_ids] move
+   together, and the event carries the id so engines never re-intern. *)
+let set_te t attr value =
+  let vid = Relational.Intern.intern t.intern value in
+  t.te.(attr) <- value;
+  t.te_ids.(attr) <- vid;
+  Te_set { attr; value; vid }
 let te_complete t = Array.for_all (fun v -> not (Value.is_null v)) t.te
 
 let null_attrs t =
@@ -51,10 +71,7 @@ let lambda t attr =
            constrains a template value supplied from elsewhere —
            Example 7's candidate targets may take any domain value. *)
         Ok []
-      else if Value.is_null t.te.(attr) then begin
-        t.te.(attr) <- v;
-        Ok [ Te_set { attr; value = v } ]
-      end
+      else if Value.is_null t.te.(attr) then Ok [ set_te t attr v ]
       else if Value.equal t.te.(attr) v then Ok []
       else
         Error
@@ -72,10 +89,7 @@ let apply t action =
       | Error reason -> Invalid { reason; applied = [] })
   | Rules.Ground.Assign { attr; value } ->
       assert (not (Value.is_null value));
-      if Value.is_null t.te.(attr) then begin
-        t.te.(attr) <- value;
-        Changed [ Te_set { attr; value } ]
-      end
+      if Value.is_null t.te.(attr) then Changed [ set_te t attr value ]
       else if Value.equal t.te.(attr) value then Unchanged
       else
         Invalid
@@ -122,7 +136,9 @@ let apply t action =
    caller undoing a whole suffix of the event stream restores the
    exact poset bitmap (see {!Poset.remove_pair}). *)
 let undo_event t = function
-  | Te_set { attr; value = _ } -> t.te.(attr) <- Value.Null
+  | Te_set { attr; _ } ->
+      t.te.(attr) <- Value.Null;
+      t.te_ids.(attr) <- Relational.Intern.null_id
   | Edge { attr; c1; c2 } -> Attr_order.remove_classes t.orders.(attr) c1 c2
 
 let leq t attr t1 t2 = Attr_order.leq_tuples t.orders.(attr) t1 t2
@@ -136,6 +152,8 @@ let copy t =
     relation = t.relation;
     orders = Array.map Attr_order.copy t.orders;
     te = Array.copy t.te;
+    te_ids = Array.copy t.te_ids;
+    intern = t.intern;
   }
 
 let pp ppf t =

@@ -10,8 +10,11 @@ type t
 type event =
   | Edge of { attr : int; c1 : int; c2 : int }
       (** strict class pair newly added to the attr's order *)
-  | Te_set of { attr : int; value : Relational.Value.t }
-      (** target attribute instantiated (value is non-null) *)
+  | Te_set of { attr : int; value : Relational.Value.t; vid : int }
+      (** target attribute instantiated (value is non-null); [vid] is
+          the value's id in the specification's intern table, so
+          engines can test compiled equality constraints without
+          re-hashing the value *)
 
 (** Result of enforcing one ground action. *)
 type outcome =
@@ -38,6 +41,10 @@ val te : t -> Relational.Value.t array
 (** Snapshot of the current target template. *)
 
 val te_value : t -> int -> Relational.Value.t
+
+val te_id : t -> int -> int
+(** Interned id of [te\[a\]] in the specification's shared table;
+    [Intern.null_id] while the cell is null. *)
 
 val te_complete : t -> bool
 (** No null attribute remains in the template. *)

@@ -20,18 +20,48 @@ type stat = {
   changed_steps : int;
 }
 
-(* The compiled form keeps everything immutable across runs: the
-   ground steps, the per-step predicate arrays, and the Φ_δ watch
-   tables. A run only allocates the per-step remaining counters, the
+(* A template-attribute watcher, compiled at [compile] time against
+   the specification's intern table. Equality and inequality
+   constraints — every form-(2) residue the grounder emits, i.e. the
+   overwhelming majority — specialize to a single comparison of
+   interned ids (sound because the intern table dedups by
+   [Value.equal], exactly [eval_op Eq]'s notion of equality, and the
+   fill's id comes from the same table via the [Te_set] event); the
+   ordered operators keep a structural closure over the expected
+   value. *)
+type te_watcher = {
+  w_sid : int;
+  w_slot : int;
+  w_test : int -> Relational.Value.t -> bool;
+      (* interned id of the fill, then the fill itself *)
+}
+
+let compile_te_test intern op expected =
+  match (op : Rules.Ar.op) with
+  | Rules.Ar.Eq ->
+      let eid = Relational.Intern.intern intern expected in
+      fun vid _ -> vid = eid
+  | Rules.Ar.Neq ->
+      let eid = Relational.Intern.intern intern expected in
+      fun vid _ -> vid <> eid
+  | op -> fun _ w -> Rules.Ar.eval_op op w expected
+
+(* The compiled form keeps everything immutable across runs, built
+   straight from the packed (flat-array) form of Γ: the decoded
+   per-step actions, the slot space, and the Φ_δ watch tables. The
+   [step] records themselves are only materialized lazily, for
+   provenance traces — the compile/clean path never builds them. A
+   run only allocates the per-step remaining counters, the
    per-predicate satisfied flags, and the worklist. *)
 type compiled = {
   cspec : Specification.t;
-  steps : Ground.step array;
-  preds : Ground.gpred array array; (* per step *)
+  packed : Ground.packed;
+  actions : Ground.action array; (* per step, indexed by sid *)
   slot_base : int array; (* step -> offset into the flat slot space *)
   total_slots : int;
   ord_watch : (int * int * int, (int * int) list) Hashtbl.t;
-  te_watch : (int, (int * int) list) Hashtbl.t;
+  te_watch : (int, te_watcher list) Hashtbl.t;
+  steps : Ground.step array Lazy.t; (* trace/explain only *)
 }
 
 let compile spec =
@@ -39,48 +69,48 @@ let compile spec =
      relation, cached on the specification; class ids therefore
      agree with every future run's orders without building a
      throwaway instance here. *)
-  let steps =
-    Array.of_list
-      (Ground.instantiate
-         ~ruleset:(Specification.ruleset spec)
-         ~entity:(Specification.entity spec)
-         ~master:(Specification.master spec)
-         ~orders:(Specification.numbering spec))
+  let packed =
+    Ground.instantiate_packed
+      ~intern:(Specification.intern spec)
+      ~ruleset:(Specification.ruleset spec)
+      ~entity:(Specification.entity spec)
+      ~master:(Specification.master spec)
+      ~orders:(Specification.numbering spec)
   in
-  let preds = Array.map (fun (s : Ground.step) -> Array.of_list s.preds) steps in
-  let slot_base = Array.make (Array.length steps) 0 in
+  let n = Ground.packed_count packed in
+  let slot_base = Array.make n 0 in
   let total = ref 0 in
-  Array.iteri
-    (fun sid ps ->
-      slot_base.(sid) <- !total;
-      total := !total + Array.length ps)
-    preds;
+  for sid = 0 to n - 1 do
+    slot_base.(sid) <- !total;
+    total := !total + Ground.packed_pred_count packed sid
+  done;
   let ord_acc = Hashtbl.create 256 and te_acc = Hashtbl.create 64 in
   let watch tbl key entry =
     Hashtbl.replace tbl key
       (entry :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
   in
-  Array.iteri
-    (fun sid ps ->
-      Array.iteri
-        (fun slot p ->
-          match p with
-          | Ground.P_ord { attr; c1; c2 } -> watch ord_acc (attr, c1, c2) (sid, slot)
-          | Ground.P_te { attr; _ } -> watch te_acc attr (sid, slot))
-        ps)
-    preds;
+  let intern = Specification.intern spec in
+  for sid = 0 to n - 1 do
+    Ground.packed_iter_predi packed sid (fun slot p ->
+        match p with
+        | Ground.P_ord { attr; c1; c2 } -> watch ord_acc (attr, c1, c2) (sid, slot)
+        | Ground.P_te { attr; op; value } ->
+            watch te_acc attr
+              { w_sid = sid; w_slot = slot; w_test = compile_te_test intern op value })
+  done;
   {
     cspec = spec;
-    steps;
-    preds;
+    packed;
+    actions = Ground.packed_actions packed;
     slot_base;
     total_slots = !total;
     ord_watch = ord_acc;
     te_watch = te_acc;
+    steps = lazy (Array.of_list (Ground.steps_of_packed packed));
   }
 
 let compiled_spec c = c.cspec
-let ground_size c = Array.length c.steps
+let ground_size c = Array.length c.actions
 
 (* One reversal record of the undo log. Rollback is order-
    independent: each entry resets one monotone bit (or counter tick)
@@ -110,11 +140,11 @@ type run_state = {
 let record st u = if st.logging then st.log <- u :: st.log
 
 let fresh_state c =
-  let n = Array.length c.steps in
+  let n = Array.length c.actions in
   let st =
     {
       c;
-      remaining = Array.init n (fun sid -> Array.length c.preds.(sid));
+      remaining = Array.init n (fun sid -> Ground.packed_pred_count c.packed sid);
       sat = Bytes.make c.total_slots '\000';
       dead = Bytes.make n '\000';
       queued = Bytes.make n '\000';
@@ -162,22 +192,19 @@ let handle_event st event =
       match Hashtbl.find_opt st.c.ord_watch (attr, c1, c2) with
       | None -> ()
       | Some l -> List.iter (fun (sid, slot) -> satisfy st sid slot) l)
-  | Instance.Te_set { attr; value } -> (
+  | Instance.Te_set { attr; value; vid } -> (
       match Hashtbl.find_opt st.c.te_watch attr with
       | None -> ()
       | Some l ->
           List.iter
-            (fun (sid, slot) ->
+            (fun { w_sid = sid; w_slot = slot; w_test } ->
               if Bytes.get st.dead sid = '\000' then
-                match st.c.preds.(sid).(slot) with
-                | Ground.P_te { op; value = expected; _ } ->
-                    if Rules.Ar.eval_op op value expected then satisfy st sid slot
-                    else begin
-                      record st (U_dead sid);
-                      Bytes.set st.dead sid '\001'
-                      (* te is write-once: this step can never fire *)
-                    end
-                | Ground.P_ord _ -> assert false)
+                if w_test vid value then satisfy st sid slot
+                else begin
+                  record st (U_dead sid);
+                  Bytes.set st.dead sid '\001'
+                  (* te is write-once: this step can never fire *)
+                end)
             l)
 
 (* Reverse everything logged since [logging] was switched on,
@@ -205,7 +232,7 @@ let rollback st inst =
 let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
   let stat () =
     {
-      ground_steps = Array.length c.steps;
+      ground_steps = Array.length c.actions;
       fired_steps = !fired;
       changed_steps = !changed;
     }
@@ -233,12 +260,14 @@ let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
           | None -> (
               incr fired;
               Obs.Counter.incr m_fired;
-              match Instance.apply inst c.steps.(sid).action with
+              match Instance.apply inst c.actions.(sid) with
               | Instance.Unchanged -> go ()
               | Instance.Changed events ->
                   incr changed;
                   Obs.Counter.incr m_changed;
-                  (match trace with Some f -> f c.steps.(sid) | None -> ());
+                  (match trace with
+                  | Some f -> f (Lazy.force c.steps).(sid)
+                  | None -> ());
                   List.iter (fun e -> record st (U_event e)) events;
                   List.iter (handle_event st) events;
                   go ()
@@ -246,7 +275,8 @@ let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
                   Obs.Counter.incr m_conflicts;
                   List.iter (fun e -> record st (U_event e)) applied;
                   ( `Done
-                      (Not_church_rosser { rule = c.steps.(sid).rule_name; reason }),
+                      (Not_church_rosser
+                         { rule = Ground.packed_rule_name c.packed sid; reason }),
                     stat () ))
         end
   in
@@ -270,7 +300,8 @@ let prepare ?template c =
   Array.iteri
     (fun attr value ->
       if not (Relational.Value.is_null value) then
-        handle_event st (Instance.Te_set { attr; value }))
+        handle_event st
+          (Instance.Te_set { attr; value; vid = Instance.te_id inst attr }))
     (Instance.te inst);
   (inst, st)
 
@@ -290,7 +321,7 @@ type budgeted =
 let run_budgeted ?trace ?template ~budget c =
   let inst, st = prepare ?template c in
   let fired = ref 0 and changed = ref 0 in
-  match Robust.Budget.charge_instantiations budget (Array.length c.steps) with
+  match Robust.Budget.charge_instantiations budget (Array.length c.actions) with
   | Some trip -> Exhausted { partial = inst; fired = 0; trip }
   | None -> (
       match drain_budgeted ?trace ~budget c st inst ~fired ~changed with

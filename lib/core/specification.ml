@@ -15,6 +15,11 @@ type t = {
      lazy cell), so compiling and instantiating never rehash the
      entity columns twice. *)
   numbering : Attr_order.numbering array Lazy.t;
+  (* The specification's value-interning table, shared (like the
+     numbering) by every derived specification, so ids handed out at
+     compile time agree with every later chase, snapshot delta and
+     session fill over the same world. *)
+  intern : Relational.Intern.t;
 }
 
 let numbering_of_entity entity =
@@ -62,6 +67,7 @@ let make ?template ~entity ?master ruleset =
                 ruleset;
                 template;
                 numbering = numbering_of_entity entity;
+                intern = Relational.Intern.create ();
               })
 
 let make_exn ?template ~entity ?master ruleset =
@@ -72,6 +78,7 @@ let make_exn ?template ~entity ?master ruleset =
 let entity t = t.entity
 let master t = t.master
 let numbering t = Lazy.force t.numbering
+let intern t = t.intern
 let ruleset t = t.ruleset
 let schema t = Rules.Ruleset.schema t.ruleset
 let template t = Array.copy t.template

@@ -37,6 +37,13 @@ val numbering : t -> Ordering.Attr_order.numbering array
     ground-step compilation and every fresh {!Instance} order are
     built from, so neither allocates a throwaway instance. *)
 
+val intern : t -> Relational.Intern.t
+(** The specification's value-interning table, created with it and
+    shared by {!with_template}/{!with_ruleset} derivatives — ground
+    compilation, instances, snapshots and session fills over this
+    world all intern into (and read ids from) the same table, so an
+    id means the same value everywhere. *)
+
 val template : t -> Relational.Value.t array
 (** Fresh copy of the initial template. *)
 

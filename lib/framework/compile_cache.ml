@@ -20,7 +20,12 @@ let n_misses = Atomic.make 0
    cluster), so they are compared by content with a physical
    shortcut per tuple. Content equality is [Value.equal]-wise — the
    same notion every chase comparison uses — so a hit is guaranteed
-   to produce an equivalent artifact. *)
+   to produce an equivalent artifact. [hash] below leans on the
+   [Value.hash]/[Value.compare] consistency contract (equal values —
+   including an [Int]/[Float] pair spelling the same number — hash
+   alike): without it, two content-equal specifications could land
+   in different buckets and silently compile twice, defeating the
+   warm-restart byte-identity the service relies on. *)
 module Key = struct
   type t = Core.Specification.t
 

@@ -23,27 +23,30 @@ type add_result =
   | Extended of (int * int) list
   | Conflict
 
-(* Hash key that distinguishes runtime types but unifies the numeric
-   values that Value.equal unifies (Int 2 = Float 2.). *)
-let class_key v =
-  match v with
-  | Value.Null -> "n"
-  | Value.Bool b -> if b then "bt" else "bf"
-  | Value.Int i -> "d" ^ string_of_float (float_of_int i)
-  | Value.Float f -> "d" ^ string_of_float f
-  | Value.String s -> "s" ^ s
+(* Classes are keyed by the value itself: [Value.hash] is consistent
+   with [Value.compare], so the table unifies exactly the numeric
+   twins that [Value.equal] unifies (Int 2 = Float 2.). The previous
+   key rendered numbers through [string_of_float], which both
+   allocated per tuple and collapsed distinct ints beyond 2^53 into
+   one class. *)
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
 
 let numbering_of_column column =
   let n = Array.length column in
   let tuple_class = Array.make n (-1) in
   let values = ref [] and count = ref 0 in
-  let index = Hashtbl.create (max 16 n) in
+  let index = Vtbl.create (max 16 n) in
   for ti = 0 to n - 1 do
-    let key = class_key column.(ti) in
-    match Hashtbl.find_opt index key with
+    let key = column.(ti) in
+    match Vtbl.find_opt index key with
     | Some c -> tuple_class.(ti) <- c
     | None ->
-        Hashtbl.add index key !count;
+        Vtbl.add index key !count;
         tuple_class.(ti) <- !count;
         values := column.(ti) :: !values;
         incr count

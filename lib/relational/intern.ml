@@ -1,0 +1,81 @@
+(* Observability: both are registered as counters so the bench
+   harness's counter snapshot picks them up. The table only ever
+   grows, so after an [Obs.reset] the size counter reads exactly the
+   number of distinct values interned by the instrumented run. *)
+let m_size =
+  Obs.Counter.make ~help:"distinct values interned (table inserts)"
+    "intern_table_size"
+
+let m_hits =
+  Obs.Counter.make ~help:"intern lookups answered by an existing id"
+    "intern_hits_total"
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  lock : Mutex.t;
+  ids : int Vtbl.t; (* canonical value -> id *)
+  mutable values : Value.t array; (* id -> first-interned representative *)
+  mutable count : int;
+}
+
+let null_id = 0
+
+let create () =
+  let t =
+    {
+      lock = Mutex.create ();
+      ids = Vtbl.create 256;
+      values = Array.make 64 Value.Null;
+      count = 1;
+    }
+  in
+  Vtbl.replace t.ids Value.Null null_id;
+  t
+
+(* Manual lock discipline instead of [Mutex.protect]: interning sits
+   on the grounding hot path (thousands of calls per instantiate),
+   and the closure + [Fun.protect] + [Some] the convenience wrappers
+   allocate per call are measurable there. [Vtbl.find] only raises
+   [Not_found]; both arms unlock on every path. *)
+let intern t v =
+  Mutex.lock t.lock;
+  match Vtbl.find t.ids v with
+  | id ->
+      Mutex.unlock t.lock;
+      Obs.Counter.incr m_hits;
+      id
+  | exception Not_found ->
+      let id = t.count in
+      (if id = Array.length t.values then
+         match Array.make (2 * id) Value.Null with
+         | grown ->
+             Array.blit t.values 0 grown 0 id;
+             t.values <- grown
+         | exception e ->
+             Mutex.unlock t.lock;
+             raise e);
+      t.values.(id) <- v;
+      t.count <- id + 1;
+      Vtbl.replace t.ids v id;
+      Mutex.unlock t.lock;
+      Obs.Counter.incr m_size;
+      id
+
+let find_opt t v = Mutex.protect t.lock (fun () -> Vtbl.find_opt t.ids v)
+
+let value t id =
+  if id < 0 || id >= t.count then invalid_arg "Intern.value: unknown id";
+  (* Lock-free read: entries below [count] are write-once and
+     published before [count] advances, and a stale [values] array
+     seen across a concurrent grow holds identical entries below the
+     old count. Decoding sits on the grounding hot path, where a
+     mutex round-trip per predicate is measurable. *)
+  t.values.(id)
+
+let size t = Mutex.protect t.lock (fun () -> t.count)

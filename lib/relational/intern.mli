@@ -1,0 +1,47 @@
+(** Global value interning: a bijection between the distinct values
+    of one specification's world (entity columns, master columns,
+    rule constants, templates, fills) and dense non-negative ids.
+
+    Identity is {!Value.equal} — which, with the {!Value.compare}-
+    consistent {!Value.hash}, unifies numerically-equal [Int]/[Float]
+    keys ([Int 2] and [Float 2.] intern to the {e same} id). The hot
+    paths of grounding and the chase then work on flat [int] arrays
+    of ids: dedup keys, the per-attribute master-tuple index and the
+    [te] slot state compare and hash machine words instead of
+    walking value structure.
+
+    Ids are allocated densely from 0 in first-intern order, so a
+    single-threaded interning sequence is deterministic. Id {!null_id}
+    (= 0) is pre-assigned to [Value.Null] at creation.
+
+    A table is shared by everything derived from one
+    {!Core.Specification} (compile, chase, snapshot deltas, session
+    fills) and may be hit from several worker domains at once; all
+    operations are serialized by an internal mutex. Interning is a
+    boundary operation — once per distinct value at compile time,
+    once per fill or template attribute at run time — never an
+    inner-loop one. *)
+
+type t
+
+val create : unit -> t
+(** A fresh table holding only [Value.Null] at {!null_id}. *)
+
+val null_id : int
+(** The id of [Value.Null]: always [0]. *)
+
+val intern : t -> Value.t -> int
+(** The id of [v], allocating the next dense id on first sight.
+    [Value.equal]-equal values always receive the same id. *)
+
+val find_opt : t -> Value.t -> int option
+(** The id of [v] if already interned, without allocating one. *)
+
+val value : t -> int -> Value.t
+(** The canonical representative of an id: the first-interned value
+    of its equality class (so an [Int]/[Float] pair is represented
+    by whichever arrived first). Raises [Invalid_argument] on an id
+    never returned by {!intern}. *)
+
+val size : t -> int
+(** Number of allocated ids, including {!null_id}. *)

@@ -8,13 +8,39 @@ type t =
 let null = Null
 let is_null v = v = Null
 
+(* Exact numeric comparison of an int and a non-nan float. The naive
+   [Float.compare (float_of_int x) y] loses precision for
+   |x| > 2^53 (float_of_int rounds), which broke total-order
+   transitivity over mixed Int/Float triples — fatal for the
+   deterministic heaps in top-k and for any sorted structure keyed
+   on values. Split instead: floats outside the 63-bit int range
+   compare by sign; inside it, [floor y] is an exact integer (the
+   float grid is coarser than 1 only beyond 2^52 < 2^62, where every
+   float is integral anyway), so the comparison reduces to exact
+   integer ordering plus a fractional-part tie-break. *)
+let cmp_int_float x y =
+  (* OCaml ints are 63-bit: max_int = 2^62 - 1, min_int = -2^62. *)
+  if y >= 0x1p62 then -1 (* y > max_int >= x *)
+  else if y < -0x1p62 then 1 (* y < min_int <= x *)
+  else
+    let fy = Float.floor y in
+    (* [int_of_float] is exact here: fy is integral and within the
+       63-bit int range, and the conversion never allocates (unlike
+       going through boxed Int64) — this runs on compare hot paths. *)
+    let iy = int_of_float fy in
+    if x < iy then -1
+    else if x > iy then 1
+    else if y > fy then -1 (* x = floor y < y *)
+    else 0
+
 let equal a b =
   match (a, b) with
   | Null, Null -> true
   | Bool x, Bool y -> x = y
   | Int x, Int y -> x = y
   | Float x, Float y -> Float.equal x y
-  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Int x, Float y | Float y, Int x ->
+      (not (Float.is_nan y)) && cmp_int_float x y = 0
   | String x, String y -> String.equal x y
   | (Null | Bool _ | Int _ | Float _ | String _), _ -> false
 
@@ -31,8 +57,23 @@ let compare a b =
   | Bool x, Bool y -> Bool.compare x y
   | Int x, Int y -> Int.compare x y
   | Float x, Float y -> Float.compare x y
-  | Int x, Float y -> Float.compare (float_of_int x) y
-  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Int x, Float y ->
+      (* nan sorts below every float (Float.compare), hence below
+         every int too; a numeric tie defers to Float.compare on the
+         exactly-representable image of x, which only separates the
+         zeroes (-0. < Int 0 = 0.) — keeping Int-vs-Float ties
+         transitive with the Float-vs-Float order. *)
+      if Float.is_nan y then 1
+      else (
+        match cmp_int_float x y with
+        | 0 -> Float.compare (float_of_int x) y
+        | c -> c)
+  | Float x, Int y ->
+      if Float.is_nan x then -1
+      else (
+        match cmp_int_float y x with
+        | 0 -> Float.compare x (float_of_int y)
+        | c -> -c)
   | String x, String y -> String.compare x y
   | _ -> Int.compare (type_rank a) (type_rank b)
 
@@ -41,17 +82,27 @@ let lt a b =
   | Bool x, Bool y -> (not x) && y
   | Int x, Int y -> x < y
   | Float x, Float y -> x < y
-  | Int x, Float y -> float_of_int x < y
-  | Float x, Int y -> x < float_of_int y
+  | Int x, Float y -> (not (Float.is_nan y)) && cmp_int_float x y < 0
+  | Float x, Int y -> (not (Float.is_nan x)) && cmp_int_float y x > 0
   | String x, String y -> String.compare x y < 0
   | _ -> false
 
+(* Invariant (QCheck-enforced): compare a b = 0 implies
+   hash a = hash b. Since compare unifies Int x with the integral
+   floats equal to x, every integral float within the 63-bit int
+   range must hash as that int — the old cutoff at 1e15 left
+   integral floats in [1e15, 2^62) hashing structurally while
+   comparing equal to their int twins, silently splitting
+   value-keyed hashtables (Ground dedup, the master index,
+   Compile_cache content keys). -0. also hashes as int 0: it
+   compares below 0. but a collision is harmless. *)
 let hash = function
   | Null -> 0
   | Bool b -> if b then 17 else 19
   | Int i -> Hashtbl.hash i
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then Hashtbl.hash (int_of_float f)
+      if Float.is_integer f && f >= -0x1p62 && f < 0x1p62 then
+        Hashtbl.hash (int_of_float f)
       else Hashtbl.hash f
   | String s -> Hashtbl.hash s
 

@@ -21,19 +21,31 @@ val is_null : t -> bool
 val equal : t -> t -> bool
 (** Structural equality. [Null] equals only [Null]; note that the
     paper's rule predicates ([=], [<>]) never match on null operands
-    — see {!Rules.Predicate} — this is plain equality of the carrier. *)
+    — see {!Rules.Predicate} — this is plain equality of the carrier.
+    Mixed [Int]/[Float] pairs are equal exactly when they denote the
+    same number ([equal a b] iff [compare a b = 0]). *)
 
 val compare : t -> t -> int
-(** Total order: [Null] < [Bool] < [Int] < [Float] < [String], with
+(** Total order: [Null] < [Bool] < [Int]/[Float] < [String], with
     the natural order within each type. Ints and floats are compared
-    numerically against each other. *)
+    numerically against each other, {e exactly} (no float-conversion
+    rounding, so the order stays transitive beyond 2^53); a numeric
+    tie between an int and a float zero resolves as
+    [Float (-0.) < Int 0 = Float 0.], matching [Float.compare]'s
+    treatment of the zeroes, and [Float nan] sorts below every
+    number, again as in [Float.compare]. *)
 
 val lt : t -> t -> bool
-(** Domain less-than: numeric for [Int]/[Float] (mixed allowed),
-    lexicographic for [String], [false <. true] for [Bool]; [false]
-    when either side is [Null] or the types are otherwise mixed. *)
+(** Domain less-than: numeric for [Int]/[Float] (mixed allowed,
+    exact), lexicographic for [String], [false <. true] for [Bool];
+    [false] when either side is [Null] or the types are otherwise
+    mixed, and [false] on any comparison against [Float nan]. *)
 
 val hash : t -> int
+(** Consistent with {!compare}: [compare a b = 0] implies
+    [hash a = hash b] — in particular every integral float in the
+    63-bit int range hashes as the equal int, so value-keyed
+    hashtables never split numerically-equal keys. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints [null], [true], [42], [3.14], or the raw string. *)

@@ -1,4 +1,5 @@
 module Value = Relational.Value
+module Intern = Relational.Intern
 module Relation = Relational.Relation
 module Attr_order = Ordering.Attr_order
 
@@ -27,235 +28,965 @@ type step = {
   action : action;
 }
 
-(* Outcome of folding one predicate against a fixed tuple pair. *)
-type folded = F_true | F_false | F_residual of gpred
-
-let fold_cmp values_of_side l op r =
-  let known = function
-    | Ar.Tuple_attr (s, a) -> Some (values_of_side s a)
-    | Ar.Const v -> Some v
-    | Ar.Target_attr _ -> None
-  in
-  match (known l, known r) with
-  | Some vl, Some vr -> if Ar.eval_op op vl vr then F_true else F_false
-  | None, Some vr -> (
-      match l with
-      | Ar.Target_attr a -> F_residual (P_te { attr = a; op; value = vr })
-      | _ -> assert false)
-  | Some vl, None -> (
-      match r with
-      | Ar.Target_attr a ->
-          F_residual (P_te { attr = a; op = Ar.mirror_op op; value = vl })
-      | _ -> assert false)
-  | None, None -> (
-      match (l, r) with
-      | Ar.Target_attr a, Ar.Target_attr b when a = b ->
-          (* Reflexive target comparison folds by the operator. *)
-          if Ar.eval_op op Value.Null Value.Null then F_true else F_false
-      | _ ->
-          invalid_arg
-            "Ground.instantiate: predicate compares two distinct target attributes")
-
-let fold_ord orders tuple_of_side ~strict ~left ~right ~attr =
-  let c1 = Attr_order.numbering_class_of_tuple orders.(attr) (tuple_of_side left) in
-  let c2 = Attr_order.numbering_class_of_tuple orders.(attr) (tuple_of_side right) in
-  if c1 = c2 then if strict then F_false else F_true
-  else F_residual (P_ord { attr; c1; c2 })
-
-(* ------------------------------------------------------------------ *)
-(* Structural dedup keys                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* The canonical identity of a candidate step is (sorted residual
-   predicates, action), compared and hashed structurally — no string
-   rendering on the instantiation hot path. Value comparisons go
-   through [Value.equal]/[Value.hash], which unify the numerics that
-   the chase unifies (Int 2 = Float 2.). *)
-
 let op_tag = function
   | Ar.Eq -> 0 | Ar.Neq -> 1 | Ar.Lt -> 2 | Ar.Gt -> 3 | Ar.Leq -> 4 | Ar.Geq -> 5
 
-let equal_gpred p q =
-  match (p, q) with
-  | P_ord a, P_ord b -> a.attr = b.attr && a.c1 = b.c1 && a.c2 = b.c2
-  | P_te a, P_te b ->
-      a.attr = b.attr && a.op = b.op && Value.equal a.value b.value
-  | (P_ord _ | P_te _), _ -> false
+let op_of_tag = function
+  | 0 -> Ar.Eq | 1 -> Ar.Neq | 2 -> Ar.Lt | 3 -> Ar.Gt | 4 -> Ar.Leq | 5 -> Ar.Geq
+  | _ -> assert false
 
-let compare_gpred p q =
-  match (p, q) with
-  | P_ord a, P_ord b -> (
-      match Int.compare a.attr b.attr with
-      | 0 -> (
-          match Int.compare a.c1 b.c1 with
-          | 0 -> Int.compare a.c2 b.c2
-          | c -> c)
-      | c -> c)
-  | P_te a, P_te b -> (
-      match Int.compare a.attr b.attr with
-      | 0 -> (
-          match Int.compare (op_tag a.op) (op_tag b.op) with
-          | 0 -> Value.compare a.value b.value
-          | c -> c)
-      | c -> c)
-  | P_ord _, P_te _ -> -1
-  | P_te _, P_ord _ -> 1
+(* ------------------------------------------------------------------ *)
+(* Packed canonical identities                                        *)
+(* ------------------------------------------------------------------ *)
 
-let combine h x = (h * 1000003) + x
+(* Every residual predicate and every action packs into one
+   non-negative 61-bit word over value-class ids and interned value
+   ids — the canonical identity of a candidate step is then a short
+   sorted [int array], compared and hashed word-wise. The hot
+   instantiation loop walks no value structure and allocates nothing
+   per candidate beyond that key. Interned ids stand in for values:
+   {!Intern} identity is [Value.equal], exactly the equality the old
+   structural keys used, so the dedup classes are unchanged.
 
-let hash_gpred = function
-  | P_ord { attr; c1; c2 } -> combine (combine (combine 3 attr) c1) c2
-  | P_te { attr; op; value } ->
-      combine (combine (combine 5 attr) (op_tag op)) (Value.hash value)
+   Layout: tag(3) | attr(12) | x(23) | y(23), where x/y carry value
+   class ids, interned value ids, or an operator tag. *)
 
-let equal_action a b =
-  match (a, b) with
-  | Add_order x, Add_order y -> x.attr = y.attr && x.c1 = y.c1 && x.c2 = y.c2
-  | Refresh x, Refresh y -> x = y
-  | Assign x, Assign y -> x.attr = y.attr && Value.equal x.value y.value
-  | (Add_order _ | Refresh _ | Assign _), _ -> false
+let bits_xy = 23
+let max_xy = 1 lsl bits_xy
+let max_attr = 1 lsl 12
+let tag_ord = 0 (* pred: x = c1, y = c2 *)
+let tag_te = 1 (* pred: x = op tag, y = interned value id *)
+let tag_add = 2 (* action: x = c1, y = c2 *)
+let tag_refresh = 3 (* action *)
+let tag_assign = 4 (* action: y = interned value id *)
 
-let hash_action = function
-  | Add_order { attr; c1; c2 } -> combine (combine (combine 7 attr) c1) c2
-  | Refresh attr -> combine 11 attr
-  | Assign { attr; value } -> combine (combine 13 attr) (Value.hash value)
+let pack ~tag ~attr ~x ~y =
+  if attr >= max_attr || x >= max_xy || y >= max_xy then
+    invalid_arg "Ground.instantiate: attribute/class/value id exceeds packing range"
+  else (((((tag lsl 12) lor attr) lsl bits_xy) lor x) lsl bits_xy) lor y
 
-module Step_tbl = Hashtbl.Make (struct
-  (* Predicates are pre-sorted with [compare_gpred] by the caller so
-     that predicate order is canonical. *)
-  type t = gpred list * action
+let unpack_tag p = p lsr (12 + (2 * bits_xy))
+let unpack_attr p = (p lsr (2 * bits_xy)) land (max_attr - 1)
+let unpack_x p = (p lsr bits_xy) land (max_xy - 1)
+let unpack_y p = p land (max_xy - 1)
 
-  let equal (p1, a1) (p2, a2) =
-    equal_action a1 a2 && List.equal equal_gpred p1 p2
+(* Decoding only happens for steps that survive dedup — the cold
+   path. A decoded [P_te] carries the interning table's canonical
+   representative of its value class (first spelling interned), which
+   is [Value.equal] to whatever the rule read. *)
+let gpred_of_pack intern p =
+  let attr = unpack_attr p in
+  if unpack_tag p = tag_ord then P_ord { attr; c1 = unpack_x p; c2 = unpack_y p }
+  else
+    P_te
+      { attr; op = op_of_tag (unpack_x p); value = Intern.value intern (unpack_y p) }
 
-  let hash (preds, action) =
-    List.fold_left (fun h p -> combine h (hash_gpred p)) (hash_action action) preds
+(* FxHash-style word mixing: the multiply spreads entropy upward and
+   the xor-shift folds it back into the low bits the hashtable
+   indexes by. Packed words carry their discriminating fields in
+   high bits (c1 sits at bit 23), so an additive fold like
+   [h * p + x] would leave those bits out of the bucket index and
+   collapse every (attr, c2) group into one bucket. *)
+let combine h x =
+  let h = (h lxor x) * 0x27d4eb2f165667c5 in
+  h lxor (h lsr 29)
+
+(* Candidate-step identity set: a key is the packed action followed
+   by the sorted, deduplicated packed residual predicates. Open
+   addressing (linear probing, power-of-two capacity) with the
+   action and first predicate stored inline in one stride-2 int
+   array — most keys carry at most one residual, so a probe touches
+   a single cache line and chases no pointer; longer tails spill to
+   a side array. A membership probe hashes the caller's scratch
+   prefix in place: testing a duplicate — the common case, over half
+   of all syn emissions — allocates nothing.
+
+   The 0 word doubles as the empty marker in both lanes: action tags
+   are ≥ 2, and a predicate word is never 0 either (a [P_ord] needs
+   c1 ≠ c2 and [P_te] has tag 1). *)
+module Key_set = struct
+  type t = {
+    mutable slots : int array; (* stride 2: action word, first pred *)
+    mutable spill : int array array; (* per slot: preds 2.. , [||] if none *)
+    mutable mask : int; (* slot count - 1 *)
+    mutable fill : int;
+  }
+
+  let empty_spill : int array = [||]
+
+  (* Rounds the requested capacity up to a power of two (the probe
+     mask requires it). Partitioned per action attribute by the
+     caller, each table stays small enough to live in cache across a
+     rule's whole pair loop. *)
+  let create want =
+    let cap = ref 16 in
+    while !cap < want do
+      cap := 2 * !cap
+    done;
+    let cap = !cap in
+    {
+      slots = Array.make (2 * cap) 0;
+      spill = Array.make cap empty_spill;
+      mask = cap - 1;
+      fill = 0;
+    }
+
+  (* Bit 61 sits above every packed word (tag ends at bit 60). *)
+  let spill_bit = 1 lsl 61
+
+  (* The compiler only turns a recursive helper into a closure-free
+     static function when it captures nothing, so the hot helpers
+     below thread every variable through their parameters — without
+     flambda, a capturing [let rec] (or a local [ref]) heap-allocates
+     on every call, and these run once per candidate step. *)
+  let rec hash_words (buf : int array) len h k =
+    if k >= len then h land max_int
+    else hash_words buf len (combine h (Array.unsafe_get buf k)) (k + 1)
+
+  let hash ~action (buf : int array) len = hash_words buf len (combine 17 action) 0
+
+  let grow t =
+    let oslots = t.slots and ospill = t.spill in
+    let ocap = t.mask + 1 in
+    let cap = 2 * ocap in
+    t.slots <- Array.make (2 * cap) 0;
+    t.spill <- Array.make cap empty_spill;
+    t.mask <- cap - 1;
+    for i = 0 to ocap - 1 do
+      let w0 = oslots.(2 * i) in
+      if w0 <> 0 then begin
+        let w1 = oslots.((2 * i) + 1) in
+        let sp = ospill.(i) in
+        let h = ref (combine 17 (w0 land lnot spill_bit)) in
+        if w1 <> 0 then h := combine !h w1;
+        Array.iter (fun x -> h := combine !h x) sp;
+        let j = ref (!h land max_int land t.mask) in
+        while t.slots.(2 * !j) <> 0 do
+          j := (!j + 1) land t.mask
+        done;
+        t.slots.(2 * !j) <- w0;
+        t.slots.((2 * !j) + 1) <- w1;
+        t.spill.(!j) <- sp
+      end
+    done
+
+  (* Returns [true] if the key was already present; otherwise inserts
+     it (copying only the spilled tail) and returns [false]. The
+     stored action word carries [spill_bit] when the key has a
+     spilled tail, so probing a short key — the overwhelmingly common
+     case — decides on the two inline words alone and never touches
+     the spill array's cache lines. *)
+  let rec spill_eq (sp : int array) (buf : int array) len k =
+    k >= len || (Array.unsafe_get sp (k - 1) = Array.unsafe_get buf k && spill_eq sp buf len (k + 1))
+
+  let rec probe t (slots : int array) mask w0want w1 (buf : int array) len i =
+    let w0 = Array.unsafe_get slots (2 * i) in
+    if w0 = 0 then begin
+      Array.unsafe_set slots (2 * i) w0want;
+      Array.unsafe_set slots ((2 * i) + 1) w1;
+      if len > 1 then t.spill.(i) <- Array.sub buf 1 (len - 1);
+      t.fill <- t.fill + 1;
+      if 4 * t.fill > 3 * (mask + 1) then grow t;
+      false
+    end
+    else if
+      w0 = w0want
+      && Array.unsafe_get slots ((2 * i) + 1) = w1
+      && (len <= 1
+         ||
+         let sp = Array.unsafe_get t.spill i in
+         Array.length sp = len - 1 && spill_eq sp buf len 1)
+    then true
+    else probe t slots mask w0want w1 buf len ((i + 1) land mask)
+
+  let capacity t = t.mask + 1
+
+  let clear t =
+    Array.fill t.slots 0 (Array.length t.slots) 0;
+    Array.fill t.spill 0 (Array.length t.spill) empty_spill;
+    t.fill <- 0
+
+  let test_and_add t ~action (buf : int array) len =
+    let w1 = if len > 0 then buf.(0) else 0 in
+    let w0want = if len > 1 then action lor spill_bit else action in
+    let h = hash ~action buf len in
+    (* Indices are masked, so 2i and 2i+1 stay inside [slots] by
+       construction. *)
+    probe t t.slots t.mask w0want w1 buf len (h land t.mask)
+end
+
+(* Distinct class-signature representatives (form-(1) pair pruning):
+   signatures are small int lists, hashed word-wise — no polymorphic
+   hashing. *)
+module Sig_tbl = Hashtbl.Make (struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+  let hash l = List.fold_left combine 17 l
 end)
 
-(* Within-step predicate dedup: residue lists are a handful of
-   entries, so a quadratic membership scan beats any keying. *)
-let dedup_preds preds =
-  List.fold_left
-    (fun acc p -> if List.exists (equal_gpred p) acc then acc else p :: acc)
-    [] preds
-  |> List.rev
+module Itbl = Hashtbl.Make (Int)
 
-module Vtbl = Hashtbl.Make (struct
-  type t = Value.t
+(* Open-addressing set of non-negative ints (linear probing, [-1]
+   empty). Sized once at creation — callers bound the insert count —
+   so membership costs one mixed hash and a short flat scan, with no
+   per-insert allocation. *)
+module Int_set = struct
+  type t = { a : int array; mask : int }
 
-  let equal = Value.equal
-  let hash = Value.hash
-end)
+  let create n =
+    let c = ref 16 in
+    while !c < 2 * n do
+      c := 2 * !c
+    done;
+    { a = Array.make !c (-1); mask = !c - 1 }
 
-let instantiate ~ruleset ~entity ~master ~orders =
+  let rec probe (a : int array) mask x i =
+    let w = Array.unsafe_get a i in
+    if w = -1 then begin
+      Array.unsafe_set a i x;
+      true
+    end
+    else if w = x then false
+    else probe a mask x ((i + 1) land mask)
+
+  (* Returns [true] iff [x] was absent (and inserts it). *)
+  let add t x = probe t.a t.mask x (combine 17 x land t.mask)
+end
+
+(* Insertion sort + adjacent dedup of the scratch prefix; returns the
+   deduplicated length. Residue lists are a handful of words, so this
+   beats any general sort. Written as capture-free recursion — see
+   the note in {!Key_set}. *)
+let rec sd_insert (buf : int array) v j =
+  if j >= 0 && Array.unsafe_get buf j > v then begin
+    Array.unsafe_set buf (j + 1) (Array.unsafe_get buf j);
+    sd_insert buf v (j - 1)
+  end
+  else Array.unsafe_set buf (j + 1) v
+
+let rec sd_sort (buf : int array) len i =
+  if i < len then begin
+    sd_insert buf (Array.unsafe_get buf i) (i - 1);
+    sd_sort buf len (i + 1)
+  end
+
+let rec sd_dedup (buf : int array) len i out =
+  if i >= len then out
+  else if out > 0 && Array.unsafe_get buf (out - 1) = Array.unsafe_get buf i then
+    sd_dedup buf len (i + 1) out
+  else begin
+    Array.unsafe_set buf out (Array.unsafe_get buf i);
+    sd_dedup buf len (i + 1) (out + 1)
+  end
+
+let sort_dedup (buf : int array) len =
+  sd_sort buf len 1;
+  sd_dedup buf len 0 0
+
+(* Residual predicates in first-encounter order, duplicates dropped —
+   the spelling the emitted step carries (the key is the sorted
+   form). Reads an arena slice [off, off+len). *)
+let rec pred_seen (pa : int array) p off i =
+  i >= off && (Array.unsafe_get pa i = p || pred_seen pa p off (i - 1))
+
+(* Flat open-addressing map from non-zero packed words to decoded
+   blocks — the materializer's sharing caches. Hashtbl's generic
+   seeded hash plus bucket chasing measured ~60ns per probe here,
+   wiping out the sharing win; this probe is a handful of
+   instructions on one cache line. *)
+module Imap = struct
+  type 'a t = {
+    mutable keys : int array; (* 0 = empty; packed words are never 0 *)
+    mutable vals : 'a array;
+    mutable mask : int;
+    mutable fill : int;
+    dummy : 'a;
+  }
+
+  let create cap dummy =
+    { keys = Array.make cap 0; vals = Array.make cap dummy; mask = cap - 1; fill = 0; dummy }
+
+  let hash k =
+    let h = combine 17 k land max_int in
+    h
+
+  let rec probe (keys : int array) mask k i =
+    let key = Array.unsafe_get keys i in
+    if key = k || key = 0 then i else probe keys mask k ((i + 1) land mask)
+
+  let slot t k = probe t.keys t.mask k (hash k land t.mask)
+
+  let grow t =
+    let okeys = t.keys and ovals = t.vals in
+    let cap = 2 * (t.mask + 1) in
+    t.keys <- Array.make cap 0;
+    t.vals <- Array.make cap t.dummy;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k <> 0 then begin
+          let j = probe t.keys t.mask k (hash k land t.mask) in
+          t.keys.(j) <- k;
+          t.vals.(j) <- ovals.(i)
+        end)
+      okeys
+
+  let add t k v =
+    if 4 * (t.fill + 1) > 3 * (t.mask + 1) then grow t;
+    let i = slot t k in
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.fill <- t.fill + 1
+
+  let capacity t = t.mask + 1
+
+  let clear t =
+    Array.fill t.keys 0 (Array.length t.keys) 0;
+    Array.fill t.vals 0 (Array.length t.vals) t.dummy;
+    t.fill <- 0
+end
+
+(* Decoded predicate blocks are shared across steps: the full dedup
+   key (action + residuals) is unique per step, but its components
+   repeat heavily — one [Refresh]/[Add_order] action recurs under
+   thousands of residual sets and vice versa — so memoizing per
+   packed word shrinks the materialized list by whole multiples, and
+   with it the survivor bytes the minor GC must promote. *)
+let gpred_cached intern (pc : gpred Imap.t) p =
+  let i = Imap.slot pc p in
+  if Array.unsafe_get pc.Imap.keys i <> 0 then Array.unsafe_get pc.Imap.vals i
+  else begin
+    let g = gpred_of_pack intern p in
+    Imap.add pc p g;
+    g
+  end
+
+let rec decode_loop intern pc (pa : int array) off k acc =
+  if k < off then acc
+  else
+    let p = pa.(k) in
+    let acc =
+      if pred_seen pa p off (k - 1) then acc else gpred_cached intern pc p :: acc
+    in
+    decode_loop intern pc pa off (k - 1) acc
+
+(* Singleton residual lists — the overwhelmingly common shape — share
+   the cons cell too, keyed by the lone packed word. *)
+let decode_preds intern pc pl1 (pa : int array) off len =
+  if len = 0 then []
+  else if len = 1 then begin
+    let p = pa.(off) in
+    let i = Imap.slot pl1 p in
+    if Array.unsafe_get pl1.Imap.keys i <> 0 then Array.unsafe_get pl1.Imap.vals i
+    else begin
+      let l = [ gpred_cached intern pc p ] in
+      Imap.add pl1 p l;
+      l
+    end
+  end
+  else decode_loop intern pc pa off (off + len - 1) []
+
+(* ------------------------------------------------------------------ *)
+(* Form-(1) rule compilation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each AR is compiled once, against the entity's class numbering and
+   the interning table, into guards (pair filters whose tuple-local
+   parts are precomputed into per-tuple byte tables) and residual
+   emitters (which write packed predicate words straight from flat id
+   arrays). The per-pair loop then touches only machine ints. *)
+
+type guard =
+  | G1 of Bytes.t (* precomputed over the T1 tuple *)
+  | G2 of Bytes.t (* precomputed over the T2 tuple *)
+  | G_cls_eq of int array (* same attr on both sides: class equality *)
+  | G_cls_neq of int array
+  | G_mat of { m : Bytes.t; rows : int array; cols : int array; kc : int }
+      (* two-sided compare, precomputed per class pair: entry at
+         [rows.(i) * kc + cols.(j)] *)
+  | G_cross of (int -> int -> bool)
+      (* fallback when the class-pair matrix would be too large *)
+
+type res =
+  | R_const of int (* fully static packed predicate *)
+  | R_te1 of { base : int; vids : int array } (* base lor vids.(i) *)
+  | R_te2 of { base : int; vids : int array } (* base lor vids.(j) *)
+  | R_ord of {
+      strict : bool;
+      left : Ar.side;
+      right : Ar.side;
+      base : int;
+      cls : int array;
+    }
+
+type cform1 = {
+  c1_name : string;
+  guards : guard array;
+  res : res array;
+  rhs_left : Ar.side;
+  rhs_right : Ar.side;
+  rhs_attr : int;
+  rhs_cls : int array;
+  reps1 : int array;
+  reps2 : int array;
+}
+
+(* Form-(2) row template: static residues pack once per rule, master
+   reads resolve per row as probes into the column's interned-id
+   array (0 = null, which never interns to a live id). *)
+type f2_item = T_static of int | T_master of { attr : int; vids : int array }
+
+(* The per-pair evaluators: capture-free recursion over the compiled
+   guard and residual arrays (see the note in {!Key_set}). *)
+let rec guards_pass (gs : guard array) ng i j k =
+  k >= ng
+  || (match Array.unsafe_get gs k with
+     | G1 b -> Bytes.unsafe_get b i = '\001'
+     | G2 b -> Bytes.unsafe_get b j = '\001'
+     | G_cls_eq cls -> Array.unsafe_get cls i = Array.unsafe_get cls j
+     | G_cls_neq cls -> Array.unsafe_get cls i <> Array.unsafe_get cls j
+     | G_mat { m; rows; cols; kc } ->
+         Bytes.unsafe_get m
+           ((Array.unsafe_get rows i * kc) + Array.unsafe_get cols j)
+         = '\001'
+     | G_cross f -> f i j)
+     && guards_pass gs ng i j (k + 1)
+
+(* Packs the pair's residual predicates into [enc]; returns the
+   filled length, or [-1] when a strict same-class [R_ord] makes the
+   step unsatisfiable. *)
+let rec fill_res (rs : res array) nr (enc : int array) i j k len =
+  if k >= nr then len
+  else
+    match Array.unsafe_get rs k with
+    | R_const p ->
+        enc.(len) <- p;
+        fill_res rs nr enc i j (k + 1) (len + 1)
+    | R_te1 { base; vids } ->
+        enc.(len) <- base lor Array.unsafe_get vids i;
+        fill_res rs nr enc i j (k + 1) (len + 1)
+    | R_te2 { base; vids } ->
+        enc.(len) <- base lor Array.unsafe_get vids j;
+        fill_res rs nr enc i j (k + 1) (len + 1)
+    | R_ord { strict; left; right; base; cls } ->
+        let tl = match left with Ar.T1 -> i | Ar.T2 -> j in
+        let tr = match right with Ar.T1 -> i | Ar.T2 -> j in
+        let c1 = Array.unsafe_get cls tl and c2 = Array.unsafe_get cls tr in
+        if c1 = c2 then
+          if strict then -1 else fill_res rs nr enc i j (k + 1) len
+        else begin
+          enc.(len) <- base lor (c1 lsl bits_xy) lor c2;
+          fill_res rs nr enc i j (k + 1) (len + 1)
+        end
+
+type scratch = {
+  mutable s_rec : int array; (* stride 3: packed action, preds off, preds len *)
+  mutable s_preds : int array;
+  mutable s_names : string array;
+  mutable s_avals : Value.t array;
+  (* Per-attribute dedup tables and the materializer's sharing
+     caches, reused across calls: refilling a retained table is a
+     cheap sequential sweep, where allocating fresh ones every call
+     put megabytes per run through the major heap — and on a shared
+     heap each major-GC slice that churn provokes re-marks whatever
+     else the process keeps live. [s_epoch] makes the clearing lazy:
+     a table is swept the first time a call touches it. *)
+  mutable s_seen : Key_set.t option array; (* indexed by attribute *)
+  mutable s_seen_ep : int array;
+  mutable s_pc : gpred Imap.t;
+  mutable s_pl1 : gpred list Imap.t;
+  mutable s_add : action Imap.t;
+  mutable s_epoch : int;
+}
+
+let dummy_pred = P_ord { attr = 0; c1 = 0; c2 = 0 }
+let dummy_action = Refresh 0
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_rec = Array.make 3072 0;
+        s_preds = Array.make 4096 0;
+        s_names = Array.make 1024 "";
+        s_avals = Array.make 64 Value.null;
+        s_seen = Array.make 8 None;
+        s_seen_ep = Array.make 8 0;
+        s_pc = Imap.create 64 dummy_pred;
+        s_pl1 = Imap.create 64 [];
+        s_add = Imap.create 64 dummy_action;
+        s_epoch = 0;
+      })
+
+(* The flat result of instantiation: exactly the emission arenas,
+   copied out of domain-local scratch into caller-owned arrays. The
+   fast consumers ([Is_cr.compile], the bench harness) read it in
+   place — packed action words, packed predicate words, interned ids
+   throughout — and only the reference engines pay for materializing
+   [step] records (see [steps_of_packed]). *)
+type packed = {
+  pk_intern : Intern.t;
+  pk_count : int;
+  pk_rec : int array; (* stride 3 per step: action word, preds off, preds len *)
+  pk_preds : int array; (* packed residual words, sliced by pk_rec *)
+  pk_names : string array; (* rule provenance per step *)
+  pk_avals : Value.t array; (* Assign spellings, in emission order *)
+}
+
+let instantiate_packed ~intern ~ruleset ~entity ~master ~orders =
   let rules = Ruleset.rules ruleset in
   let n = Relation.size entity in
-  let steps = ref [] in
+  let arity = Array.length orders in
+  (* Flat per-attribute id tables: tuple -> class, tuple -> interned
+     value id of its class. Everything the form-(1) hot loop reads
+     lives here; interning happens once per value class, never per
+     tuple pair. *)
+  let cls =
+    Array.init arity (fun a ->
+        Array.init n (fun ti -> Attr_order.numbering_class_of_tuple orders.(a) ti))
+  in
+  let class_vid =
+    Array.init arity (fun a ->
+        Array.init
+          (Attr_order.numbering_classes orders.(a))
+          (fun c -> Intern.intern intern (Attr_order.numbering_class_value orders.(a) c)))
+  in
+  let tuple_vid =
+    Array.init arity (fun a -> Array.map (fun c -> class_vid.(a).(c)) cls.(a))
+  in
+  (* Deferred materialization: the emission loop writes each
+     surviving step into flat arenas — packed action, arena slice of
+     its residuals, rule name, and (for [Assign]) the row's value
+     spelling — and the [step] records are built in one pass at the
+     very end. During the loop nothing boxed survives a minor
+     collection, so the GC never promotes per-emission records; the
+     records themselves are born at return, in emission order. The
+     arenas live in domain-local scratch so repeated calls (the chase
+     re-grounds once per clean) reuse them with zero steady-state
+     allocation; DLS keeps parallel cleaners isolated per domain. *)
+  let sc = Domain.DLS.get scratch_key in
+  let plen = ref 0 in
+  let navals = ref 0 in
   let count = ref 0 in
-  let seen = Step_tbl.create 256 in
-  let emit rule_name ~form preds action =
-    let preds = dedup_preds preds in
-    let key = (List.sort compare_gpred preds, action) in
-    if not (Step_tbl.mem seen key) then begin
-      Step_tbl.add seen key ();
-      steps := { sid = !count; rule_name; preds; action } :: !steps;
-      Obs.Counter.incr (match form with `Form1 -> m_form1 | `Form2 -> m_form2);
-      incr count
+  let emit ~packed_action ~rule_name (enc : int array) len =
+    let n = !count in
+    if 3 * (n + 1) > Array.length sc.s_rec then begin
+      let grown = Array.make (2 * Array.length sc.s_rec) 0 in
+      Array.blit sc.s_rec 0 grown 0 (3 * n);
+      sc.s_rec <- grown
+    end;
+    if n = Array.length sc.s_names then begin
+      let grown = Array.make (2 * n) "" in
+      Array.blit sc.s_names 0 grown 0 n;
+      sc.s_names <- grown
+    end;
+    if !plen + len > Array.length sc.s_preds then begin
+      let grown = Array.make (2 * (!plen + len)) 0 in
+      Array.blit sc.s_preds 0 grown 0 !plen;
+      sc.s_preds <- grown
+    end;
+    let r = sc.s_rec in
+    r.(3 * n) <- packed_action;
+    r.((3 * n) + 1) <- !plen;
+    r.((3 * n) + 2) <- len;
+    Array.blit enc 0 sc.s_preds !plen len;
+    plen := !plen + len;
+    sc.s_names.(n) <- rule_name;
+    count := n + 1
+  in
+  let emit_assign_value v =
+    if !navals = Array.length sc.s_avals then begin
+      let grown = Array.make (2 * !navals) Value.null in
+      Array.blit sc.s_avals 0 grown 0 !navals;
+      sc.s_avals <- grown
+    end;
+    sc.s_avals.(!navals) <- v;
+    incr navals
+  in
+  (* Metric deltas accumulate locally and flush once on exit — the
+     emission loop runs ~|Γ| + dedup times and an atomic RMW per
+     candidate is measurable. *)
+  let n_form1 = ref 0 and n_form2 = ref 0 in
+  let n_dedup = ref 0 and n_mrows = ref 0 in
+  (* Dedup tables partitioned by the action's attribute: every key
+     embeds its attribute in the action word, so partitioning is
+     semantically invisible, but a rule's probes all land in its own
+     attribute's table — a working set of tens of kilobytes instead
+     of one table spanning every rule's keys. *)
+  sc.s_epoch <- sc.s_epoch + 1;
+  let epoch = sc.s_epoch in
+  if Array.length sc.s_seen < arity then begin
+    let seen = Array.make arity None and eps = Array.make arity 0 in
+    Array.blit sc.s_seen 0 seen 0 (Array.length sc.s_seen);
+    Array.blit sc.s_seen_ep 0 eps 0 (Array.length sc.s_seen_ep);
+    sc.s_seen <- seen;
+    sc.s_seen_ep <- eps
+  end;
+  (* Sized to the entity: candidate keys per attribute scale with
+     distinct representative pairs, a slice of n². Small datasets get
+     small tables (grow covers underestimates); syn300-scale gets 8k
+     slots, enough to never rehash. *)
+  let seen_want = min 8192 (max 64 ((n * n) / 8)) in
+  let seen_for attr =
+    match Array.unsafe_get sc.s_seen attr with
+    | Some t when Array.unsafe_get sc.s_seen_ep attr = epoch -> t
+    | Some t when Key_set.capacity t >= seen_want ->
+        Key_set.clear t;
+        sc.s_seen_ep.(attr) <- epoch;
+        t
+    | _ ->
+        let t = Key_set.create seen_want in
+        sc.s_seen.(attr) <- Some t;
+        sc.s_seen_ep.(attr) <- epoch;
+        t
+  in
+  (* Reusable scratch: packed residuals in encounter order, plus a
+     sorting copy the dedup key is probed from. Grown per rule, never
+     per pair. *)
+  let buf_enc = ref (Array.make 32 0) in
+  let buf_sort = ref (Array.make 32 0) in
+  let reserve len =
+    if Array.length !buf_enc < len then begin
+      buf_enc := Array.make (2 * len) 0;
+      buf_sort := Array.make (2 * len) 0
     end
-    else Obs.Counter.incr m_dedup
   in
-  (* A form (1) rule only reads a handful of attributes on each
-     tuple variable; two tuples whose value classes agree on that
-     side's read-set (plus the concluded attribute) produce
-     identical ground steps. Grounding therefore iterates over
-     distinct signature representatives rather than all |Ie|²
-     tuple pairs — same Γ, typically orders of magnitude fewer
-     folds. *)
-  let side_reads (r : Ar.form1) side =
-    let acc = ref [ r.f1_rhs.Ar.attr ] in
-    let add_if s a = if s = side then acc := a :: !acc in
-    List.iter
-      (function
-        | Ar.Cmp (l, _, rt) ->
-            let of_term = function
-              | Ar.Tuple_attr (s, a) -> add_if s a
-              | Ar.Target_attr _ | Ar.Const _ -> ()
-            in
-            of_term l;
-            of_term rt
-        | Ar.Ord { left; right; attr; _ } ->
-            add_if left attr;
-            add_if right attr)
-      r.f1_lhs;
-    (* The RHS sides also matter: add both (cheap and safe). *)
-    acc := r.f1_rhs.Ar.attr :: !acc;
-    List.sort_uniq Int.compare !acc
+  (* Dedup probe for the scratch prefix; true iff this candidate is
+     new. One residual needs no sort; longer residues sort into the
+     scratch copy so the encounter order survives for decoding. *)
+  let dedup_is_new ~attr ~packed_action len =
+    let seen = seen_for attr in
+    if len <= 1 then
+      not (Key_set.test_and_add seen ~action:packed_action !buf_enc len)
+    else begin
+      let srt = !buf_sort in
+      Array.blit !buf_enc 0 srt 0 len;
+      let dlen = sort_dedup srt len in
+      not (Key_set.test_and_add seen ~action:packed_action srt dlen)
+    end
   in
-  let representatives reads =
-    (* Distinct class-vector signatures over [reads], with one
-       representative tuple index each. *)
-    let seen = Hashtbl.create (max 16 n) in
-    let reps = ref [] in
-    for i = 0 to n - 1 do
-      let sig_ =
-        List.map (fun a -> Attr_order.numbering_class_of_tuple orders.(a) i) reads
-      in
-      if not (Hashtbl.mem seen sig_) then begin
-        Hashtbl.add seen sig_ ();
-        reps := i :: !reps
-      end
+  (* ---------------- form (1) ---------------- *)
+  let value_at ti a = Relation.get entity ti a in
+  let bool_tbl f =
+    let b = Bytes.make (max n 1) '\000' in
+    for ti = 0 to n - 1 do
+      if f ti then Bytes.set b ti '\001'
     done;
-    List.rev !reps
+    b
   in
-  let ground_form1 (r : Ar.form1) =
-    let reps1 = representatives (side_reads r Ar.T1) in
-    let reps2 = representatives (side_reads r Ar.T2) in
+  (* Rules in a ruleset overwhelmingly share predicate shapes, and a
+     compiled guard depends only on the predicate — attributes,
+     operator, constant's value class — never on which rule it came
+     from. Each distinct shape compiles once; later rules reuse the
+     byte table / matrix / representative list. Constants key by
+     interned id, which identifies them up to [Value.equal] — exactly
+     the equivalence [Ar.eval_op] respects. *)
+  let bytes_cache : Bytes.t Sig_tbl.t = Sig_tbl.create 64 in
+  let mat_cache : guard Sig_tbl.t = Sig_tbl.create 32 in
+  let reps_cache : int list Sig_tbl.t = Sig_tbl.create 32 in
+  let cached_bytes key build =
+    match Sig_tbl.find_opt bytes_cache key with
+    | Some b -> b
+    | None ->
+        let b = build () in
+        Sig_tbl.add bytes_cache key b;
+        b
+  in
+  let compile_form1 (r : Ar.form1) =
+    let guards = ref [] and res = ref [] in
+    let dead = ref false in
+    let add_guard gd = guards := gd :: !guards in
+    let add_res rs = res := rs :: !res in
+    let te_residual ~attr ~op ~side ~read =
+      let base = pack ~tag:tag_te ~attr ~x:(op_tag op) ~y:0 in
+      let vids = tuple_vid.(read) in
+      match side with
+      | Ar.T1 -> add_res (R_te1 { base; vids })
+      | Ar.T2 -> add_res (R_te2 { base; vids })
+    in
     List.iter
-      (fun i ->
+      (fun p ->
+        if not !dead then
+          match p with
+          | Ar.Cmp (Ar.Const v1, op, Ar.Const v2) ->
+              if not (Ar.eval_op op v1 v2) then dead := true
+          | Ar.Cmp (Ar.Tuple_attr (s, a), op, Ar.Const c) ->
+              let tbl =
+                cached_bytes [ 0; a; op_tag op; Intern.intern intern c ]
+                  (fun () -> bool_tbl (fun ti -> Ar.eval_op op (value_at ti a) c))
+              in
+              add_guard (match s with Ar.T1 -> G1 tbl | Ar.T2 -> G2 tbl)
+          | Ar.Cmp (Ar.Const c, op, Ar.Tuple_attr (s, a)) ->
+              let tbl =
+                cached_bytes [ 1; a; op_tag op; Intern.intern intern c ]
+                  (fun () -> bool_tbl (fun ti -> Ar.eval_op op c (value_at ti a)))
+              in
+              add_guard (match s with Ar.T1 -> G1 tbl | Ar.T2 -> G2 tbl)
+          | Ar.Cmp (Ar.Tuple_attr (s1, a), op, Ar.Tuple_attr (s2, b)) ->
+              if s1 = s2 then
+                let tbl =
+                  cached_bytes [ 2; a; op_tag op; b ]
+                    (fun () ->
+                      bool_tbl (fun ti ->
+                          Ar.eval_op op (value_at ti a) (value_at ti b)))
+                in
+                add_guard (match s1 with Ar.T1 -> G1 tbl | Ar.T2 -> G2 tbl)
+              else if a = b && op = Ar.Eq then
+                (* Same attribute across sides: value classes are
+                   exactly the [Value.equal] classes, so equality is
+                   a class-id compare. *)
+                add_guard (G_cls_eq cls.(a))
+              else if a = b && op = Ar.Neq then add_guard (G_cls_neq cls.(a))
+              else begin
+                (* General cross-side compare: evaluate once per
+                   class pair, not per tuple pair. The matrix is
+                   oriented (i, j); when the syntactic T1 term sits
+                   on attribute [a], tuple i reads [a], else it reads
+                   [b] and the operands swap. *)
+                let ka = Attr_order.numbering_classes orders.(a) in
+                let kb = Attr_order.numbering_classes orders.(b) in
+                let va c = Attr_order.numbering_class_value orders.(a) c in
+                let vb c = Attr_order.numbering_class_value orders.(b) c in
+                if ka * kb <= 1 lsl 22 then begin
+                  let orient = match s1 with Ar.T1 -> 0 | Ar.T2 -> 1 in
+                  let key = [ 3; a; b; op_tag op; orient ] in
+                  match Sig_tbl.find_opt mat_cache key with
+                  | Some g -> add_guard g
+                  | None ->
+                      let m = Bytes.make (max (ka * kb) 1) '\000' in
+                      let g =
+                        match s1 with
+                        | Ar.T1 ->
+                            for ca = 0 to ka - 1 do
+                              for cb = 0 to kb - 1 do
+                                if Ar.eval_op op (va ca) (vb cb) then
+                                  Bytes.set m ((ca * kb) + cb) '\001'
+                              done
+                            done;
+                            G_mat { m; rows = cls.(a); cols = cls.(b); kc = kb }
+                        | Ar.T2 ->
+                            for cb = 0 to kb - 1 do
+                              for ca = 0 to ka - 1 do
+                                if Ar.eval_op op (va ca) (vb cb) then
+                                  Bytes.set m ((cb * ka) + ca) '\001'
+                              done
+                            done;
+                            G_mat { m; rows = cls.(b); cols = cls.(a); kc = ka }
+                      in
+                      Sig_tbl.add mat_cache key g;
+                      add_guard g
+                end
+                else
+                  match s1 with
+                  | Ar.T1 ->
+                      add_guard
+                        (G_cross (fun i j -> Ar.eval_op op (value_at i a) (value_at j b)))
+                  | Ar.T2 ->
+                      add_guard
+                        (G_cross (fun i j -> Ar.eval_op op (value_at j a) (value_at i b)))
+              end
+          | Ar.Cmp (Ar.Target_attr attr, op, Ar.Const c) ->
+              add_res
+                (R_const
+                   (pack ~tag:tag_te ~attr ~x:(op_tag op) ~y:(Intern.intern intern c)))
+          | Ar.Cmp (Ar.Const c, op, Ar.Target_attr attr) ->
+              add_res
+                (R_const
+                   (pack ~tag:tag_te ~attr ~x:(op_tag (Ar.mirror_op op))
+                      ~y:(Intern.intern intern c)))
+          | Ar.Cmp (Ar.Target_attr attr, op, Ar.Tuple_attr (s, a)) ->
+              te_residual ~attr ~op ~side:s ~read:a
+          | Ar.Cmp (Ar.Tuple_attr (s, a), op, Ar.Target_attr attr) ->
+              te_residual ~attr ~op:(Ar.mirror_op op) ~side:s ~read:a
+          | Ar.Cmp (Ar.Target_attr a, op, Ar.Target_attr b) ->
+              if a = b then begin
+                (* Reflexive target comparison folds by the operator. *)
+                if not (Ar.eval_op op Value.Null Value.Null) then dead := true
+              end
+              else
+                invalid_arg
+                  "Ground.instantiate: predicate compares two distinct target attributes"
+          | Ar.Ord { strict; left; right; attr } ->
+              add_res
+                (R_ord
+                   {
+                     strict;
+                     left;
+                     right;
+                     base = pack ~tag:tag_ord ~attr ~x:0 ~y:0;
+                     cls = cls.(attr);
+                   }))
+      r.f1_lhs;
+    if !dead then None
+    else
+      (* A form (1) rule only reads a handful of attributes on each
+         tuple variable; two tuples whose value classes agree on that
+         side's read-set (plus the concluded attribute) produce
+         identical ground steps. Grounding therefore iterates over
+         distinct signature representatives rather than all |Ie|²
+         tuple pairs — same Γ, typically orders of magnitude fewer
+         pair evaluations. *)
+      let side_reads side =
+        let acc = ref [ r.f1_rhs.Ar.attr ] in
+        let add_if s a = if s = side then acc := a :: !acc in
         List.iter
-          (fun j ->
-            let tuple_of_side = function Ar.T1 -> i | Ar.T2 -> j in
-            let values_of_side s a = Relation.get entity (tuple_of_side s) a in
-            let rec fold_lhs acc = function
-              | [] -> Some acc
-              | p :: rest -> (
-                  let folded =
-                    match p with
-                    | Ar.Cmp (l, op, rt) -> fold_cmp values_of_side l op rt
-                    | Ar.Ord { strict; left; right; attr } ->
-                        fold_ord orders tuple_of_side ~strict ~left ~right ~attr
-                  in
-                  match folded with
-                  | F_false -> None
-                  | F_true -> fold_lhs acc rest
-                  | F_residual g -> fold_lhs (g :: acc) rest)
+          (function
+            | Ar.Cmp (l, _, rt) ->
+                let of_term = function
+                  | Ar.Tuple_attr (s, a) -> add_if s a
+                  | Ar.Target_attr _ | Ar.Const _ -> ()
+                in
+                of_term l;
+                of_term rt
+            | Ar.Ord { left; right; attr; _ } ->
+                add_if left attr;
+                add_if right attr)
+          r.f1_lhs;
+        List.sort_uniq Int.compare !acc
+      in
+      let representatives reads =
+        match Sig_tbl.find_opt reps_cache reads with
+        | Some reps -> reps
+        | None ->
+            (* Signatures are a handful of class ids; when their bit
+               widths sum below a word they pack into one int and
+               dedup through an int table — the general list-keyed
+               path only backs up pathological schemas. *)
+            let cols = Array.of_list (List.map (fun a -> cls.(a)) reads) in
+            let nb =
+              Array.of_list
+                (List.map
+                   (fun a ->
+                     let k = Attr_order.numbering_classes orders.(a) in
+                     let b = ref 1 in
+                     while 1 lsl !b < k do
+                       incr b
+                     done;
+                     !b)
+                   reads)
             in
-            match fold_lhs [] r.f1_lhs with
-            | None -> ()
-            | Some preds ->
-                let { Ar.strict = _; left; right; attr } = r.f1_rhs in
-                let c1 =
-                  Attr_order.numbering_class_of_tuple orders.(attr) (tuple_of_side left)
-                in
-                let c2 =
-                  Attr_order.numbering_class_of_tuple orders.(attr)
-                    (tuple_of_side right)
-                in
-                let action =
-                  if c1 = c2 then Refresh attr else Add_order { attr; c1; c2 }
-                in
-                emit r.f1_name ~form:`Form1 (List.rev preds) action)
-          reps2)
-      reps1
+            let total = Array.fold_left ( + ) 0 nb in
+            let acc = ref [] in
+            if total <= 62 then begin
+              let seen = Int_set.create n in
+              for i = 0 to n - 1 do
+                let key = ref 0 in
+                for c = 0 to Array.length cols - 1 do
+                  key := (!key lsl nb.(c)) lor cols.(c).(i)
+                done;
+                if Int_set.add seen !key then acc := i :: !acc
+              done
+            end
+            else begin
+              let seen = Sig_tbl.create (max 16 n) in
+              for i = 0 to n - 1 do
+                let sig_ = List.map (fun a -> cls.(a).(i)) reads in
+                if not (Sig_tbl.mem seen sig_) then begin
+                  Sig_tbl.add seen sig_ ();
+                  acc := i :: !acc
+                end
+              done
+            end;
+            let reps = List.rev !acc in
+            Sig_tbl.add reps_cache reads reps;
+            reps
+      in
+      (* Single-sided guards depend on only one representative, so
+         they hoist out of the pair loop entirely: filter each side's
+         representative list through its byte tables once, and leave
+         only genuinely two-sided guards for the O(|reps1|·|reps2|)
+         inner loop. Pairs dropped here are exactly those
+         [guards_pass] would reject, so emission and dedup counters
+         are unchanged. *)
+      let all_guards = List.rev !guards in
+      let cross =
+        List.filter (function G1 _ | G2 _ -> false | _ -> true) all_guards
+      in
+      let pass1 i =
+        List.for_all
+          (function G1 b -> Bytes.get b i = '\001' | _ -> true)
+          all_guards
+      and pass2 j =
+        List.for_all
+          (function G2 b -> Bytes.get b j = '\001' | _ -> true)
+          all_guards
+      in
+      Some
+        {
+          c1_name = r.f1_name;
+          guards = Array.of_list cross;
+          res = Array.of_list (List.rev !res);
+          rhs_left = r.f1_rhs.Ar.left;
+          rhs_right = r.f1_rhs.Ar.right;
+          rhs_attr = r.f1_rhs.Ar.attr;
+          rhs_cls = cls.(r.f1_rhs.Ar.attr);
+          reps1 =
+            Array.of_list (List.filter pass1 (representatives (side_reads Ar.T1)));
+          reps2 =
+            Array.of_list (List.filter pass2 (representatives (side_reads Ar.T2)));
+        }
   in
-  (* Per-master-attribute index: value -> rows holding it, built
-     lazily on the first [Master_const (b, Eq, _)] lookup of
-     attribute [b]. Rules with an equality selection then visit only
-     the matching rows instead of scanning all of |Im|. *)
-  let master_index : int list Vtbl.t option array =
+  let run_form1 (c : cform1) =
+    let nguards = Array.length c.guards and nres = Array.length c.res in
+    reserve nres;
+    let enc = !buf_enc in
+    let guards = c.guards and res = c.res and rhs_cls = c.rhs_cls in
+    let eval_pair i j =
+      if guards_pass guards nguards i j 0 then begin
+        let len = fill_res res nres enc i j 0 0 in
+        if len >= 0 then begin
+          let tl = match c.rhs_left with Ar.T1 -> i | Ar.T2 -> j in
+          let tr = match c.rhs_right with Ar.T1 -> i | Ar.T2 -> j in
+          let c1 = Array.unsafe_get rhs_cls tl
+          and c2 = Array.unsafe_get rhs_cls tr in
+          let packed_action =
+            if c1 = c2 then pack ~tag:tag_refresh ~attr:c.rhs_attr ~x:0 ~y:0
+            else pack ~tag:tag_add ~attr:c.rhs_attr ~x:c1 ~y:c2
+          in
+          if dedup_is_new ~attr:c.rhs_attr ~packed_action len then begin
+            emit ~packed_action ~rule_name:c.c1_name enc len;
+            incr n_form1
+          end
+          else incr n_dedup
+        end
+      end
+    in
+    let reps1 = c.reps1 and reps2 = c.reps2 in
+    for x = 0 to Array.length reps1 - 1 do
+      let i = Array.unsafe_get reps1 x in
+      for y = 0 to Array.length reps2 - 1 do
+        eval_pair i (Array.unsafe_get reps2 y)
+      done
+    done
+  in
+  (* ---------------- form (2) ---------------- *)
+  (* Per-master-attribute index: interned value id -> rows holding
+     it, built lazily on the first [Master_const (b, Eq, _)] lookup
+     of attribute [b]. Rules with an equality selection then visit
+     only the matching rows instead of scanning all of |Im|. *)
+  let master_index : int list Itbl.t option array =
     match master with
     | None -> [||]
     | Some im -> Array.make (Relational.Schema.arity (Relation.schema im)) None
+  in
+  (* Interned ids for a master column, computed once per attribute —
+     form-(2) rules re-read the same few columns for every selected
+     row, and a mutexed intern per read is measurable. *)
+  let master_vids : int array option array =
+    match master with
+    | None -> [||]
+    | Some im -> Array.make (Relational.Schema.arity (Relation.schema im)) None
+  in
+  let master_vid_col im b =
+    match master_vids.(b) with
+    | Some a -> a
+    | None ->
+        let a =
+          Array.init (Relation.size im) (fun m ->
+              Intern.intern intern (Relation.get im m b))
+        in
+        master_vids.(b) <- Some a;
+        a
   in
   let master_rows_for im (r : Ar.form2) =
     let eq_sel =
@@ -272,54 +1003,231 @@ let instantiate ~ruleset ~entity ~master ~orders =
           match master_index.(b) with
           | Some idx -> idx
           | None ->
-              let idx = Vtbl.create (max 16 (Relation.size im)) in
+              let idx = Itbl.create (max 16 (Relation.size im)) in
+              let vids = master_vid_col im b in
               for m = Relation.size im - 1 downto 0 do
-                let v = Relation.get im m b in
-                Vtbl.replace idx v
-                  (m :: (try Vtbl.find idx v with Not_found -> []))
+                let vid = vids.(m) in
+                Itbl.replace idx vid
+                  (m :: (try Itbl.find idx vid with Not_found -> []))
               done;
               master_index.(b) <- Some idx;
               idx
         in
-        (try Vtbl.find idx c with Not_found -> [])
+        (match Intern.find_opt intern c with
+        | None -> []
+        | Some vid -> ( try Itbl.find idx vid with Not_found -> []))
   in
   let ground_form2 (r : Ar.form2) =
     match master with
     | None -> ()
     | Some im ->
+        let tests = ref [] and items_rev = ref [] in
+        List.iter
+          (function
+            | Ar.Master_const (b, op, c) -> tests := (b, op, c) :: !tests
+            | Ar.Te_const (a, op, c) ->
+                items_rev :=
+                  T_static
+                    (pack ~tag:tag_te ~attr:a ~x:(op_tag op)
+                       ~y:(Intern.intern intern c))
+                  :: !items_rev
+            | Ar.Te_master (a, b) ->
+                items_rev := T_master { attr = a; vids = master_vid_col im b } :: !items_rev)
+          r.f2_lhs;
+        let tests = List.rev !tests in
+        let items = Array.of_list (List.rev !items_rev) in
+        reserve (Array.length items);
+        let enc = !buf_enc in
+        let tm_vids = master_vid_col im r.f2_tm_attr in
         List.iter
           (fun m ->
-            Obs.Counter.incr m_mrows;
+            incr n_mrows;
             let tm a = Relation.get im m a in
-            let rec fold_lhs acc = function
-              | [] -> Some acc
-              | p :: rest -> (
-                  match p with
-                  | Ar.Master_const (b, op, c) ->
-                      if Ar.eval_op op (tm b) c then fold_lhs acc rest else None
-                  | Ar.Te_const (a, op, c) ->
-                      fold_lhs (P_te { attr = a; op; value = c } :: acc) rest
-                  | Ar.Te_master (a, b) ->
-                      let v = tm b in
-                      if Value.is_null v then None
-                        (* te is never assigned null: unsatisfiable *)
-                      else fold_lhs (P_te { attr = a; op = Ar.Eq; value = v } :: acc) rest)
-            in
-            match fold_lhs [] r.f2_lhs with
-            | None -> ()
-            | Some preds ->
-                let value = tm r.f2_tm_attr in
-                if not (Value.is_null value) then
-                  emit r.f2_name ~form:`Form2 (List.rev preds)
-                    (Assign { attr = r.f2_te_attr; value }))
+            if List.for_all (fun (b, op, c) -> Ar.eval_op op (tm b) c) tests
+            then begin
+              let len = ref 0 and alive = ref true in
+              Array.iter
+                (fun item ->
+                  if !alive then
+                    match item with
+                    | T_static p ->
+                        enc.(!len) <- p;
+                        incr len
+                    | T_master { attr; vids } ->
+                        let vid = Array.unsafe_get vids m in
+                        if vid = Intern.null_id then alive := false
+                          (* te is never assigned null: unsatisfiable *)
+                        else begin
+                          enc.(!len) <-
+                            pack ~tag:tag_te ~attr ~x:(op_tag Ar.Eq) ~y:vid;
+                          incr len
+                        end)
+                items;
+              if !alive then begin
+                let avid = Array.unsafe_get tm_vids m in
+                if avid <> Intern.null_id then begin
+                  let packed_action =
+                    pack ~tag:tag_assign ~attr:r.f2_te_attr ~x:0 ~y:avid
+                  in
+                  if dedup_is_new ~attr:r.f2_te_attr ~packed_action !len then begin
+                    (* The step stores the row's own spelling of the
+                       assigned value (first provenance wins), so
+                       downstream reports stay byte-identical to the
+                       master data. *)
+                    emit ~packed_action ~rule_name:r.f2_name enc !len;
+                    emit_assign_value (tm r.f2_tm_attr);
+                    incr n_form2
+                  end
+                  else incr n_dedup
+                end
+              end
+            end)
           (master_rows_for im r)
   in
-  List.iter
-    (function
-      | Ar.Form1 r -> ground_form1 r
-      | Ar.Form2 r -> ground_form2 r)
-    rules;
-  List.rev !steps
+  let flush_metrics () =
+    Obs.Counter.add m_form1 !n_form1;
+    Obs.Counter.add m_form2 !n_form2;
+    Obs.Counter.add m_dedup !n_dedup;
+    Obs.Counter.add m_mrows !n_mrows
+  in
+  Fun.protect ~finally:flush_metrics (fun () ->
+      List.iter
+        (function
+          | Ar.Form1 r -> (
+              match compile_form1 r with None -> () | Some c -> run_form1 c)
+          | Ar.Form2 r -> ground_form2 r)
+        rules);
+  (* Copy the arenas into a caller-owned packed result (flat int
+     blits, no per-step boxing), then drop the scratch references to
+     rule names and master values so the reused arenas don't pin a
+     retired specification's heap. *)
+  let pk =
+    {
+      pk_intern = intern;
+      pk_count = !count;
+      pk_rec = Array.sub sc.s_rec 0 (3 * !count);
+      pk_preds = Array.sub sc.s_preds 0 !plen;
+      pk_names = Array.sub sc.s_names 0 !count;
+      pk_avals = Array.sub sc.s_avals 0 !navals;
+    }
+  in
+  Array.fill sc.s_names 0 !count "";
+  Array.fill sc.s_avals 0 !navals Value.null;
+  pk
+
+let packed_count pk = pk.pk_count
+let packed_rule_name pk sid = pk.pk_names.(sid)
+let packed_pred_count pk sid = pk.pk_rec.((3 * sid) + 2)
+
+let packed_iter_predi pk sid f =
+  let off = pk.pk_rec.((3 * sid) + 1) and len = pk.pk_rec.((3 * sid) + 2) in
+  for k = 0 to len - 1 do
+    f k (gpred_of_pack pk.pk_intern pk.pk_preds.(off + k))
+  done
+
+(* Decoded actions, one per step. [Assign] spellings come from the
+   aval arena in emission order (an explicit forward loop — the
+   evaluation order of [Array.init] is unspecified). *)
+let packed_actions pk =
+  let out = Array.make pk.pk_count (Refresh 0) in
+  let vi = ref 0 in
+  for i = 0 to pk.pk_count - 1 do
+    let pact = pk.pk_rec.(3 * i) in
+    let tag = unpack_tag pact and attr = unpack_attr pact in
+    out.(i) <-
+      (if tag = tag_assign then begin
+         let v = pk.pk_avals.(!vi) in
+         incr vi;
+         Assign { attr; value = v }
+       end
+       else if tag = tag_refresh then Refresh attr
+       else Add_order { attr; c1 = unpack_x pact; c2 = unpack_y pact })
+  done;
+  out
+
+(* Materialize [step] records: walk the arrays backward so the list
+   comes out in emission (sid) order without a [List.rev] pass.
+   Assign values were pushed in emission order, so they pop in
+   lockstep. Shared sub-structure (predicate blocks, singleton
+   lists, [Add_order]/[Refresh] actions) is hash-consed through the
+   domain-local caches, keeping the materialized heap small. *)
+let steps_of_packed pk =
+  let sc = Domain.DLS.get scratch_key in
+  let intern = pk.pk_intern in
+  let ra = pk.pk_rec and pa = pk.pk_preds and nm = pk.pk_names and av = pk.pk_avals in
+  let count = pk.pk_count in
+  (* Cache capacity scales with the emission count (known exactly):
+     distinct components are a fraction of it, and tiny datasets get
+     tiny tables. *)
+  let icap =
+    let w = ref 64 in
+    while !w < count && !w < 16384 do
+      w := 2 * !w
+    done;
+    2 * !w
+  in
+  let imap_for get set =
+    let t = get sc in
+    if Imap.capacity t >= icap then begin
+      Imap.clear t;
+      t
+    end
+    else begin
+      let t = Imap.create icap t.Imap.dummy in
+      set sc t;
+      t
+    end
+  in
+  let pc = imap_for (fun sc -> sc.s_pc) (fun sc t -> sc.s_pc <- t) in
+  let pl1 = imap_for (fun sc -> sc.s_pl1) (fun sc t -> sc.s_pl1 <- t) in
+  (* One action cache serves both shared kinds: refresh and add words
+     carry distinct tags, so their keys never collide. [Assign]
+     actions are never shared — the step records the row's own value
+     spelling, and equal-compare values with different spellings
+     (Int 3 vs Float 3.) intern to the same id. *)
+  let act_cache = imap_for (fun sc -> sc.s_add) (fun sc t -> sc.s_add <- t) in
+  let rec build i vi acc =
+    if i < 0 then acc
+    else
+      let pact = ra.(3 * i) in
+      let off = ra.((3 * i) + 1)
+      and len = ra.((3 * i) + 2) in
+      let tag = unpack_tag pact and attr = unpack_attr pact in
+      let vi, action =
+        if tag = tag_assign then (vi - 1, Assign { attr; value = av.(vi - 1) })
+        else
+          ( vi,
+            let slot = Imap.slot act_cache pact in
+            if Array.unsafe_get act_cache.Imap.keys slot <> 0 then
+              Array.unsafe_get act_cache.Imap.vals slot
+            else begin
+              let a =
+                if tag = tag_refresh then Refresh attr
+                else Add_order { attr; c1 = unpack_x pact; c2 = unpack_y pact }
+              in
+              Imap.add act_cache pact a;
+              a
+            end )
+      in
+      build (i - 1) vi
+        ({
+           sid = i;
+           rule_name = nm.(i);
+           preds = decode_preds intern pc pl1 pa off len;
+           action;
+         }
+        :: acc)
+  in
+  let steps = build (count - 1) (Array.length av) [] in
+  (* Drop decoded blocks so the caches don't pin a retired
+     specification's heap. *)
+  Imap.clear pc;
+  Imap.clear pl1;
+  Imap.clear act_cache;
+  steps
+
+let instantiate ~intern ~ruleset ~entity ~master ~orders =
+  steps_of_packed (instantiate_packed ~intern ~ruleset ~entity ~master ~orders)
 
 let pp_gpred ppf = function
   | P_ord { attr; c1; c2 } -> Format.fprintf ppf "ord(%d: %d<%d)" attr c1 c2

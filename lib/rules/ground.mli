@@ -44,7 +44,52 @@ type step = {
   action : action;
 }
 
+type packed
+(** Γ in flat form: the emission arenas themselves — packed action
+    and predicate words over interned ids, rule-name and
+    [Assign]-spelling side arrays — copied out of domain-local
+    scratch into a caller-owned value. This is what the fast
+    consumers use: {!Core.Is_cr.compile} builds its watch tables and
+    slot space straight from the words, so the ~|Γ| [step] records
+    and predicate lists are never materialized on the compile/clean
+    path. {!steps_of_packed} recovers the record form for the
+    reference engines and for provenance traces. *)
+
+val instantiate_packed :
+  intern:Relational.Intern.t ->
+  ruleset:Ruleset.t ->
+  entity:Relational.Relation.t ->
+  master:Relational.Relation.t option ->
+  orders:Ordering.Attr_order.numbering array ->
+  packed
+(** Γ without record materialization — see {!instantiate} for the
+    instantiation semantics; the two entry points share the whole
+    emission pipeline and produce identical step sequences. *)
+
+val packed_count : packed -> int
+(** |Γ|. *)
+
+val packed_rule_name : packed -> int -> string
+(** Provenance of step [sid]. *)
+
+val packed_pred_count : packed -> int -> int
+(** Number of residual predicates of step [sid]. *)
+
+val packed_iter_predi : packed -> int -> (int -> gpred -> unit) -> unit
+(** [packed_iter_predi pk sid f] decodes each residual of step [sid]
+    and calls [f slot pred] in slot order. *)
+
+val packed_actions : packed -> action array
+(** The decoded action of every step, indexed by [sid]. [Assign]
+    actions carry the master row's own value spelling, exactly as in
+    the [step] records. *)
+
+val steps_of_packed : packed -> step list
+(** The [step] records of a packed Γ, in [sid] order, with shared
+    sub-structure hash-consed through domain-local caches. *)
+
 val instantiate :
+  intern:Relational.Intern.t ->
   ruleset:Ruleset.t ->
   entity:Relational.Relation.t ->
   master:Relational.Relation.t option ->
@@ -53,12 +98,25 @@ val instantiate :
 (** Γ. [orders] supplies the value-class numbering of each attribute
     (instantiation only reads classes, never order state, so it takes
     the bare numbering — see {!Core.Specification.numbering}).
-    Dedup keys are structural (hashed over the predicate/action
-    variants, no string rendering), and form (2) rules carrying a
+
+    Each AR is compiled once against the entity's class numbering and
+    the interning table [intern] (pass {!Core.Specification.intern}
+    so ids agree with the rest of the pipeline; a fresh table is fine
+    for standalone grounding): tuple-local predicate parts become
+    precomputed
+    per-tuple byte tables, residuals become packed-int emitters over
+    flat id arrays, and the per-pair hot loop touches only machine
+    ints. Candidate identities are sorted packed-[int array] keys —
+    no structural value hashing — with {!Relational.Intern} ids
+    standing in for values, so the dedup classes are exactly those of
+    [Value.equal] (numeric twins unify). Form (2) rules carrying a
     [Master_const (b, Eq, c)] selection look up the matching master
-    rows through a per-attribute value index instead of scanning all
-    of [Im].
+    rows through a per-attribute index keyed by interned id instead
+    of scanning all of [Im].
+
     Raises [Invalid_argument] on a form (1) predicate comparing two
-    different target attributes (outside the paper's grammar). *)
+    different target attributes (outside the paper's grammar), or if
+    an attribute/class/value-id exceeds the packed-key ranges (4096
+    attributes, ~8.4M classes or distinct values). *)
 
 val pp_step : Format.formatter -> step -> unit

@@ -20,4 +20,22 @@ if [ -n "$offenders" ]; then
   echo "$offenders" >&2
   exit 1
 fi
-echo "lint: no string building in lib/rules/ground.ml or lib/core/is_cr.ml"
+
+# Since the interning layer (Relational.Intern), the grounding and
+# chase hot paths work on dense interned ids: dedup keys, the master
+# index and the te slot state are flat ints. Structural Value.t
+# hashing there (Value.hash per probe, polymorphic Hashtbl.hash, or a
+# Value-keyed table) reintroduces the wall this removed — and a
+# polymorphic hash on Value.t is also WRONG, because it splits the
+# Int/Float spellings that Value.compare unifies. Intern at the
+# boundary, probe by id inside.
+interning=$(grep -rnE \
+  '(^|[^._[:alnum:]])(Hashtbl\.hash|Value\.hash|Hashtbl\.Make \(Value\))' \
+  lib/rules/ground.ml lib/core/is_cr.ml lib/core/instance.ml || true)
+
+if [ -n "$interning" ]; then
+  echo "structural Value.t hashing on an interned hot path (use interned ids):" >&2
+  echo "$interning" >&2
+  exit 1
+fi
+echo "lint: no string building or structural value hashing in the chase hot paths"

@@ -139,7 +139,7 @@ let test_instance_refresh_single_class () =
   let spec = simple_spec [ [| Value.Int 1; Value.String "x" |] ] in
   let inst = Instance.init spec in
   (match Instance.apply inst (Rules.Ground.Refresh 1) with
-  | Instance.Changed [ Instance.Te_set { attr = 1; value } ] ->
+  | Instance.Changed [ Instance.Te_set { attr = 1; value; _ } ] ->
       check value_testable "single class value" (Value.String "x") value
   | _ -> Alcotest.fail "refresh should instantiate te");
   match Instance.apply inst (Rules.Ground.Refresh 1) with
@@ -541,6 +541,62 @@ let snapshot_delta_property =
                 candidates)
         ds.entities)
 
+(* Undo must restore the interned slot state exactly, not just the
+   structural [te] — the compiled watchers test fills by id, so a
+   stale id after rollback would flip later verdicts. *)
+let test_undo_restores_interned_slot () =
+  let spec =
+    simple_spec [ [| Value.Null; Value.Null |]; [| Value.Null; Value.Null |] ]
+  in
+  let inst = Instance.init spec in
+  check Alcotest.int "null slot starts at null_id" Relational.Intern.null_id
+    (Instance.te_id inst 0);
+  match Instance.apply inst (Rules.Ground.Assign { attr = 0; value = Value.Int 7 }) with
+  | Instance.Changed [ (Instance.Te_set { vid; _ } as ev) ] ->
+      check Alcotest.bool "live slot id" true (vid <> Relational.Intern.null_id);
+      check Alcotest.int "te_id tracks the event id" vid (Instance.te_id inst 0);
+      Instance.undo_event inst ev;
+      check Alcotest.int "undo restores null_id" Relational.Intern.null_id
+        (Instance.te_id inst 0);
+      check value_testable "undo restores the null value" Value.Null
+        (Instance.te_value inst 0);
+      (* Re-filling with the Float spelling of the same number must
+         land on the same interned id — the watchers depend on it. *)
+      (match
+         Instance.apply inst
+           (Rules.Ground.Assign { attr = 0; value = Value.Float 7.0 })
+       with
+      | Instance.Changed [ Instance.Te_set { vid = vid2; _ } ] ->
+          check Alcotest.int "respelled refill, same id" vid vid2
+      | _ -> Alcotest.fail "refill must change the instance")
+  | _ -> Alcotest.fail "assign must produce one Te_set"
+
+(* Snapshot deltas run entirely on interned slot state; after any
+   mix of accepted and rejected candidates — including Int/Float
+   respellings of the same target — the rollback must leave the
+   snapshot answering exactly like a fresh compiled check. *)
+let test_snapshot_after_interning_respelled () =
+  let compiled = Is_cr.compile Mj.specification in
+  let z = Is_cr.snapshot compiled in
+  let respell t =
+    Array.map
+      (function Value.Int n -> Value.Float (float_of_int n) | v -> v)
+      t
+  in
+  let wrong = Array.copy Mj.expected_target in
+  wrong.(Schema.index Mj.stat_schema "league") <- Value.String "SL";
+  List.iter
+    (fun (label, t) ->
+      check Alcotest.bool label (Is_cr.check compiled t) (Is_cr.check_snapshot z t))
+    [
+      ("int-spelled target", Mj.expected_target);
+      ("float-spelled target", respell Mj.expected_target);
+      ("rejected candidate", wrong);
+      ("float-spelled rejected", respell wrong);
+      ("float-spelled target after rejections", respell Mj.expected_target);
+      ("int-spelled target after rejections", Mj.expected_target);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Explain (provenance)                                               *)
 (* ------------------------------------------------------------------ *)
@@ -623,7 +679,8 @@ let test_chase_queue_hwm_counts_seeding () =
   let spec = Mj.specification in
   let seeded =
     let steps =
-      Rules.Ground.instantiate ~ruleset:(Spec.ruleset spec)
+      Rules.Ground.instantiate ~intern:(Spec.intern spec)
+        ~ruleset:(Spec.ruleset spec)
         ~entity:(Spec.entity spec) ~master:(Spec.master spec)
         ~orders:(Spec.numbering spec)
     in
@@ -684,6 +741,55 @@ let differential_random_policy =
               | Chase.Terminal (got, _) ->
                   Array.for_all2 Value.equal (Instance.te expected) (Instance.te got)
               | Chase.Stuck _ | Chase.Exhausted _ -> false))
+        ds.Datagen.Entity_gen.entities)
+
+(* Interned engine vs the structural reference path on mixed-type
+   worlds: respell roughly half of the exactly-representable Int
+   cells of both the entity instances and the master relation as the
+   numerically-equal Float. Interning identifies the spellings (ids
+   are allocated per [Value.equal] class), the naive chase compares
+   structurally — the cleaned target must not notice, and neither
+   engine may disagree with its own run on the original spelling.
+   Med datasets already carry the generator's injected faults
+   (stale versions, covered-attribute noise). *)
+let respell_relation g rel =
+  Relation.map rel (fun t ->
+      let out = ref t in
+      for i = 0 to Tuple.arity t - 1 do
+        match Tuple.get t i with
+        | Value.Int n
+          when Util.Prng.int g 2 = 0 && int_of_float (float_of_int n) = n ->
+            out := Tuple.set !out i (Value.Float (float_of_int n))
+        | _ -> ()
+      done;
+      !out)
+
+let mixed_spelling_equivalence =
+  QCheck.Test.make ~count:20
+    ~name:"interned chase invariant under Int/Float respelling (vs naive)"
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let ds = Datagen.Med_gen.dataset ~entities:3 ~seed () in
+      let g = Util.Prng.create (seed + 99) in
+      let master = respell_relation g ds.Datagen.Entity_gen.master in
+      List.for_all
+        (fun (e : Datagen.Entity_gen.entity) ->
+          let spec = Datagen.Entity_gen.spec_for ds e in
+          let respelled =
+            Spec.make_exn
+              ~entity:(respell_relation g e.instance)
+              ~master ds.Datagen.Entity_gen.ruleset
+          in
+          match (Is_cr.run spec, Is_cr.run respelled) with
+          | Is_cr.Church_rosser a, Is_cr.Church_rosser b -> (
+              Array.for_all2 Value.equal (Instance.te a) (Instance.te b)
+              &&
+              (* structural reference engine on the respelled world *)
+              match Chase.run respelled with
+              | Chase.Terminal (c, _) ->
+                  Array.for_all2 Value.equal (Instance.te b) (Instance.te c)
+              | Chase.Stuck _ | Chase.Exhausted _ -> false)
+          | _ -> false (* generator guarantees CR either way *))
         ds.Datagen.Entity_gen.entities)
 
 let test_chase_sequence_nonempty () =
@@ -759,6 +865,10 @@ let () =
             test_snapshot_budget_trip_then_retry;
           Alcotest.test_case "equivalence under rule faults" `Quick
             test_snapshot_equivalence_under_rule_faults;
+          Alcotest.test_case "undo restores interned slot state" `Quick
+            test_undo_restores_interned_slot;
+          Alcotest.test_case "respelled candidates after interning" `Quick
+            test_snapshot_after_interning_respelled;
           QCheck_alcotest.to_alcotest snapshot_delta_property;
         ] );
       ( "metrics",
@@ -782,5 +892,6 @@ let () =
             test_naive_chase_stuck_on_example6;
           Alcotest.test_case "chase sequence" `Quick test_chase_sequence_nonempty;
           QCheck_alcotest.to_alcotest differential_random_policy;
+          QCheck_alcotest.to_alcotest mixed_spelling_equivalence;
         ] );
     ]

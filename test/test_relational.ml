@@ -92,6 +92,115 @@ let value_qcheck =
         | _ -> Value.equal (Value.of_string_guess (Value.to_string v)) v);
   ]
 
+(* Mixed numeric values, biased toward the regions where the old
+   compare/hash pair broke: ints beyond the 2^53 float grid, integral
+   floats up to the 63-bit boundary, signed zeroes, infinities, nan. *)
+let numeric_value_gen =
+  QCheck.Gen.(
+    let big = 1 lsl 53 in
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-10) 10);
+        map
+          (fun i -> Value.Int i)
+          (oneofl
+             [ max_int; min_int; big - 1; big; big + 1; -big; -big - 1 ]);
+        map (fun d -> Value.Int (big + d)) (int_range 0 64);
+        map (fun i -> Value.Float (float_of_int i)) (int_range (-10) 10);
+        (* integral floats with large magnitudes (exact up to 2^62) *)
+        map
+          (fun i -> Value.Float (Float.ldexp (float_of_int i) 40))
+          (int_range (-1000) 1000);
+        map
+          (fun f -> Value.Float f)
+          (oneofl
+             [
+               0.; -0.; 0.5; -0.5; 0x1p53; 0x1p53 +. 2.; 0x1p62; -0x1p62;
+               1e300; -1e300; infinity; neg_infinity; nan;
+             ]);
+        float |> map (fun f -> Value.Float f);
+      ])
+
+let numeric_arb = QCheck.make ~print:Value.to_string numeric_value_gen
+
+let numeric_qcheck =
+  let open QCheck in
+  let cmp = Value.compare in
+  [
+    Test.make ~count:2000 ~name:"numeric compare: antisymmetry"
+      (pair numeric_arb numeric_arb)
+      (fun (a, b) ->
+        let c1 = cmp a b and c2 = cmp b a in
+        (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0));
+    Test.make ~count:2000 ~name:"numeric compare: transitivity"
+      (triple numeric_arb numeric_arb numeric_arb)
+      (fun (a, b, c) ->
+        (not (cmp a b <= 0 && cmp b c <= 0)) || cmp a c <= 0);
+    Test.make ~count:2000 ~name:"numeric equal consistent with compare"
+      (pair numeric_arb numeric_arb)
+      (fun (a, b) -> Value.equal a b = (cmp a b = 0));
+    Test.make ~count:2000 ~name:"compare a b = 0 implies hash a = hash b"
+      (pair numeric_arb numeric_arb)
+      (fun (a, b) -> cmp a b <> 0 || Value.hash a = Value.hash b);
+    (* [lt] keeps IEEE semantics (nan incomparable, always false),
+       [compare] totalizes nan below everything — so they only have
+       to agree away from nan. *)
+    Test.make ~count:2000 ~name:"lt agrees with compare on non-nan numerics"
+      (pair numeric_arb numeric_arb)
+      (fun (a, b) ->
+        let is_nan = function Value.Float f -> Float.is_nan f | _ -> false in
+        is_nan a || is_nan b || Value.lt a b = (cmp a b < 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Intern                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Intern = Relational.Intern
+
+let test_intern_basic () =
+  let t = Intern.create () in
+  check Alcotest.int "null pre-interned" Intern.null_id
+    (Intern.intern t Value.Null);
+  let a = Intern.intern t (Value.Int 3) in
+  check Alcotest.int "second intern hits" a (Intern.intern t (Value.Int 3));
+  check Alcotest.int "numerically equal float shares the id" a
+    (Intern.intern t (Value.Float 3.0));
+  check value_testable "round-trip keeps the first spelling" (Value.Int 3)
+    (Intern.value t a);
+  let b = Intern.intern t (Value.String "x") in
+  check Alcotest.bool "distinct values, distinct ids" true (a <> b);
+  check (Alcotest.option Alcotest.int) "find_opt hit" (Some b)
+    (Intern.find_opt t (Value.String "x"));
+  check (Alcotest.option Alcotest.int) "find_opt does not allocate ids" None
+    (Intern.find_opt t (Value.Int 99));
+  check Alcotest.int "size = null + 2" 3 (Intern.size t);
+  Alcotest.check_raises "unknown id rejected"
+    (Invalid_argument "Intern.value: unknown id") (fun () ->
+      ignore (Intern.value t 99))
+
+let test_intern_growth () =
+  (* Push the table through several growths of its id->value array. *)
+  let t = Intern.create () in
+  let ids = Array.init 500 (fun i -> Intern.intern t (Value.Int i)) in
+  Array.iteri
+    (fun i id -> check value_testable "survives growth" (Value.Int i) (Intern.value t id))
+    ids;
+  check Alcotest.int "dense ids" 501 (Intern.size t)
+
+let intern_qcheck =
+  let open QCheck in
+  [
+    Test.make ~count:500 ~name:"intern ids coincide exactly on equal values"
+      (pair numeric_arb numeric_arb)
+      (fun (a, b) ->
+        let t = Intern.create () in
+        let ia = Intern.intern t a and ib = Intern.intern t b in
+        (ia = ib) = Value.equal a b
+        && Value.equal (Intern.value t ia) a
+        && Value.equal (Intern.value t ib) b);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Schema                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -274,7 +383,14 @@ let () =
           Alcotest.test_case "domain lt" `Quick test_value_lt;
           Alcotest.test_case "parse" `Quick test_value_parse;
         ]
-        @ List.map QCheck_alcotest.to_alcotest value_qcheck );
+        @ List.map QCheck_alcotest.to_alcotest value_qcheck
+        @ List.map QCheck_alcotest.to_alcotest numeric_qcheck );
+      ( "intern",
+        [
+          Alcotest.test_case "basic" `Quick test_intern_basic;
+          Alcotest.test_case "growth" `Quick test_intern_growth;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest intern_qcheck );
       ( "schema",
         [
           Alcotest.test_case "basic" `Quick test_schema_basic;

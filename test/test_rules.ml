@@ -278,7 +278,7 @@ let orders_of rel =
 
 let ground rules =
   let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master rules in
-  Ground.instantiate ~ruleset:rs ~entity:instance ~master:None ~orders:(orders_of instance)
+  Ground.instantiate ~intern:(Relational.Intern.create ()) ~ruleset:rs ~entity:instance ~master:None ~orders:(orders_of instance)
 
 let test_ground_constant_folding () =
   (* t1.a < t2.a -> t1 ⪯a t2: only the pairs with a strictly smaller
@@ -370,7 +370,7 @@ let test_ground_form2 () =
   in
   let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master [ rule ] in
   let steps =
-    Ground.instantiate ~ruleset:rs ~entity:instance ~master:(Some m_rel)
+    Ground.instantiate ~intern:(Relational.Intern.create ()) ~ruleset:rs ~entity:instance ~master:(Some m_rel)
       ~orders:(orders_of instance)
   in
   (* The null-valued master row must not produce an assignment. *)
@@ -386,7 +386,7 @@ let test_ground_axiom7_immediate () =
      applicable step null ⪯ 5. *)
   let rs = Ruleset.make_exn ~schema ~master [] in
   let steps =
-    Ground.instantiate ~ruleset:rs ~entity:instance ~master:None
+    Ground.instantiate ~intern:(Relational.Intern.create ()) ~ruleset:rs ~entity:instance ~master:None
       ~orders:(orders_of instance)
   in
   check Alcotest.bool "null-below-5 step exists" true
@@ -432,6 +432,55 @@ let test_ground_dedup_counter () =
           Alcotest.failf "expected one step from cur1, got %d"
             (List.length steps))
 
+let test_ground_dedup_mixed_spelling () =
+  (* Regression for the Int/Float hash split: two form-(2) rules
+     whose only difference is the spelling of a numeric selection
+     constant (Int 3 vs Float 3.0) must (a) both find the Int-keyed
+     master row through the interned per-attribute index and (b)
+     ground to the SAME step, so the second is discarded by dedup.
+     With a structural [Value.hash] the Float spelling missed the
+     index bucket entirely and the duplicate survived. *)
+  let m_rel =
+    Relation.make master
+      [
+        Tuple.make [| Value.Int 3; Value.String "v" |];
+        Tuple.make [| Value.Int 4; Value.String "w" |];
+      ]
+  in
+  let rule name spelling =
+    Ar.Form2
+      {
+        f2_name = name;
+        f2_lhs = [ Ar.Te_master (0, 0); Ar.Master_const (0, Ar.Eq, spelling) ];
+        f2_te_attr = 1;
+        f2_tm_attr = 1;
+      }
+  in
+  let rs =
+    Ruleset.make_exn ~include_axioms:false ~schema ~master
+      [ rule "int-spelled" (Value.Int 3); rule "float-spelled" (Value.Float 3.0) ]
+  in
+  with_obs (fun () ->
+      let steps =
+        Ground.instantiate ~intern:(Relational.Intern.create ()) ~ruleset:rs
+          ~entity:instance ~master:(Some m_rel) ~orders:(orders_of instance)
+      in
+      (match steps with
+      | [ { Ground.rule_name = "int-spelled";
+            action = Ground.Assign { attr = 1; value }; _ } ] ->
+          check Alcotest.bool "assigns v" true
+            (Value.equal value (Value.String "v"))
+      | _ ->
+          Alcotest.failf "expected one step from int-spelled, got %d"
+            (List.length steps));
+      check Alcotest.int "float spelling deduped against int spelling" 1
+        (counter "instantiation_dedup_skipped_total");
+      (* Both rules probed the index and visited exactly the one
+         matching row each — the Float probe did not degrade to a
+         miss (0 rows) or a scan (2 rows). *)
+      check Alcotest.int "index hit for both spellings" 2
+        (counter "instantiation_master_rows_visited_total"))
+
 let test_ground_master_index_selective () =
   (* A [tm.ma = "k7"] selection over a 200-row master must visit only
      the matching rows (via the per-attribute value index), not scan
@@ -457,7 +506,7 @@ let test_ground_master_index_selective () =
   let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master [ rule ] in
   with_obs (fun () ->
       let steps =
-        Ground.instantiate ~ruleset:rs ~entity:instance ~master:(Some m_rel)
+        Ground.instantiate ~intern:(Relational.Intern.create ()) ~ruleset:rs ~entity:instance ~master:(Some m_rel)
           ~orders:(orders_of instance)
       in
       (* correctness: exactly the k7 row grounds, assigning v7 *)
@@ -477,7 +526,7 @@ let test_ground_master_index_selective () =
   let rs = Ruleset.make_exn ~include_axioms:false ~schema ~master [ unselective ] in
   with_obs (fun () ->
       ignore
-        (Ground.instantiate ~ruleset:rs ~entity:instance ~master:(Some m_rel)
+        (Ground.instantiate ~intern:(Relational.Intern.create ()) ~ruleset:rs ~entity:instance ~master:(Some m_rel)
            ~orders:(orders_of instance)
           : Ground.step list);
       check Alcotest.int "full scan without a selection" rows
@@ -522,6 +571,8 @@ let () =
           Alcotest.test_case "form2 + null master cell" `Quick test_ground_form2;
           Alcotest.test_case "axiom φ7 immediate" `Quick test_ground_axiom7_immediate;
           Alcotest.test_case "dedup skip counter" `Quick test_ground_dedup_counter;
+          Alcotest.test_case "dedup across Int/Float spellings" `Quick
+            test_ground_dedup_mixed_spelling;
           Alcotest.test_case "master index prunes scan" `Quick
             test_ground_master_index_selective;
         ] );
