@@ -29,8 +29,12 @@ bench:
 
 # The bench suite into a throwaway directory: proves every kernel
 # still runs end to end (CI) without touching the committed baselines.
+# The update suite shrinks to a smoke-sized corpus; the committed
+# baseline (make bench) uses the 10k-entity defaults.
 bench-smoke:
-	mkdir -p _build/bench-smoke && dune exec bench/main.exe -- --bench-json _build/bench-smoke
+	mkdir -p _build/bench-smoke && \
+	RELACC_UPDATE_ENTITIES=200 RELACC_UPDATE_COUNT=50 \
+	dune exec bench/main.exe -- --bench-json _build/bench-smoke
 
 # Chaos soak of the long-lived service: ~10 s of mixed traffic at
 # ~10% injected faults, then SIGKILL + warm restart with a probe

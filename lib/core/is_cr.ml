@@ -64,19 +64,7 @@ type compiled = {
   steps : Ground.step array Lazy.t; (* trace/explain only *)
 }
 
-let compile spec =
-  (* The value-class numbering is a pure function of the entity
-     relation, cached on the specification; class ids therefore
-     agree with every future run's orders without building a
-     throwaway instance here. *)
-  let packed =
-    Ground.instantiate_packed
-      ~intern:(Specification.intern spec)
-      ~ruleset:(Specification.ruleset spec)
-      ~entity:(Specification.entity spec)
-      ~master:(Specification.master spec)
-      ~orders:(Specification.numbering spec)
-  in
+let compile_packed spec packed =
   let n = Ground.packed_count packed in
   let slot_base = Array.make n 0 in
   let total = ref 0 in
@@ -109,7 +97,21 @@ let compile spec =
     steps = lazy (Array.of_list (Ground.steps_of_packed packed));
   }
 
+let compile spec =
+  (* The value-class numbering is a pure function of the entity
+     relation, cached on the specification; class ids therefore
+     agree with every future run's orders without building a
+     throwaway instance here. *)
+  compile_packed spec
+    (Ground.instantiate_packed
+       ~intern:(Specification.intern spec)
+       ~ruleset:(Specification.ruleset spec)
+       ~entity:(Specification.entity spec)
+       ~master:(Specification.master spec)
+       ~orders:(Specification.numbering spec))
+
 let compiled_spec c = c.cspec
+let compiled_packed c = c.packed
 let ground_size c = Array.length c.actions
 
 (* One reversal record of the undo log. Rollback is order-
@@ -444,8 +446,8 @@ let check_snapshot_budgeted ~budget z tuple =
 (* ------------------------------------------------------------------ *)
 
 type session = {
-  sc : compiled;
-  sst : run_state;
+  mutable sc : compiled;
+  mutable sst : run_state;
   sinst : Instance.t;
   mutable broken : bool;
 }
@@ -490,6 +492,102 @@ let session_fill s fills =
       match drain s.sc s.sst s.sinst ~fired:(ref 0) ~changed:(ref 0) with
       | Church_rosser _, _ -> Ok ()
       | Not_church_rosser { rule; reason }, _ -> fail rule reason)
+
+(* Carry a drained (or budget-paused) run state over to an extended
+   compiled form. Old sids keep their slot offsets — [slot_base] is a
+   prefix sum in sid order, so appending steps never moves an
+   existing flat slot — which makes this a plain blit plus fresh
+   counters for the appended suffix. *)
+let extend_state c' st =
+  let n = Array.length c'.actions in
+  let old_n = Array.length st.c.actions in
+  let remaining =
+    Array.init n (fun sid ->
+        if sid < old_n then st.remaining.(sid)
+        else Ground.packed_pred_count c'.packed sid)
+  in
+  let sat = Bytes.make c'.total_slots '\000' in
+  Bytes.blit st.sat 0 sat 0 (Bytes.length st.sat);
+  let dead = Bytes.make n '\000' in
+  Bytes.blit st.dead 0 dead 0 old_n;
+  let queued = Bytes.make n '\000' in
+  Bytes.blit st.queued 0 queued 0 old_n;
+  {
+    c = c';
+    remaining;
+    sat;
+    dead;
+    queued;
+    queue = Queue.copy st.queue;
+    logging = false;
+    log = [];
+  }
+
+let session_extend_spec s spec delta =
+  if s.broken then invalid_arg "Is_cr.session_extend: session is broken";
+  let added = Ground.packed_count delta in
+  if added = 0 then begin
+    (* Γ unchanged: nothing to re-fire, but a rule-set swap must
+       still land on the compiled form so later extends ground
+       against the current Σ. *)
+    if spec != s.sc.cspec then s.sc <- { s.sc with cspec = spec };
+    Ok 0
+  end
+  else begin
+    let packed = Ground.packed_append s.sc.packed delta in
+    let c' = compile_packed spec packed in
+    let st' = extend_state c' s.sst in
+    let inst = s.sinst in
+    let old_n = Array.length s.sc.actions in
+    s.sc <- c';
+    s.sst <- st';
+    (* Evaluate each appended step's residuals against the live
+       fixpoint. [Instance.apply] reports every newly-implied strict
+       class pair of an [Extended] batch, so at a fixpoint a [P_ord]
+       watcher has fired exactly when [lt_classes] holds now; [te] is
+       write-once, so an assigned attribute decides a [P_te] residual
+       for good (mismatch kills the step) and an unassigned one
+       leaves the new watch-table entry to do its job later. *)
+    let intern = Specification.intern spec in
+    for sid = old_n to Array.length c'.actions - 1 do
+      Ground.packed_iter_predi packed sid (fun slot p ->
+          match p with
+          | Ground.P_ord { attr; c1; c2 } ->
+              if Ordering.Attr_order.lt_classes (Instance.order inst attr) c1 c2
+              then satisfy st' sid slot
+          | Ground.P_te { attr; op; value } ->
+              let cur = (Instance.te inst).(attr) in
+              if not (Relational.Value.is_null cur) then
+                if compile_te_test intern op value (Instance.te_id inst attr) cur
+                then satisfy st' sid slot
+                else Bytes.set st'.dead sid '\001');
+      enqueue_if_ready st' sid
+    done;
+    match drain c' st' inst ~fired:(ref 0) ~changed:(ref 0) with
+    | Church_rosser _, _ -> Ok added
+    | Not_church_rosser { rule; reason }, _ ->
+        s.broken <- true;
+        Error (rule, reason)
+  end
+
+let session_extend s delta = session_extend_spec s s.sc.cspec delta
+
+let session_add_rule s rule =
+  if s.broken then invalid_arg "Is_cr.session_add_rule: session is broken";
+  let spec = s.sc.cspec in
+  match Rules.Ruleset.add (Specification.ruleset spec) rule with
+  | Error reason -> Error ("rule-add", reason)
+  | Ok rs ->
+      let delta =
+        Ground.instantiate_packed_only
+          ~only:(fun r -> r == rule)
+          ~intern:(Specification.intern spec)
+          ~ruleset:rs
+          ~entity:(Specification.entity spec)
+          ~master:(Specification.master spec)
+          ~orders:(Specification.numbering spec)
+      in
+      session_extend_spec s (Specification.with_ruleset spec rs) delta
 
 let deduced_target spec =
   match run spec with

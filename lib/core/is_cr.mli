@@ -41,6 +41,11 @@ val compile : Specification.t -> compiled
 val compiled_spec : compiled -> Specification.t
 val ground_size : compiled -> int
 
+val compiled_packed : compiled -> Rules.Ground.packed
+(** The packed Γ the compiled form was built from — what the
+    delta-store index ({!Rules.Delta}) of an incremental session is
+    built over. *)
+
 val run_compiled :
   ?trace:(Rules.Ground.step -> unit) ->
   ?template:Relational.Value.t array ->
@@ -158,6 +163,33 @@ val session_fill :
     [session_fill] raises. An empty fill list is allowed and simply
     drains whatever work is pending (the resume path for sessions
     started under a {!Robust.Budget.t} that tripped). *)
+
+val session_extend :
+  session -> Rules.Ground.packed -> (int, string * string) result
+(** Splice a delta Γ onto a live session and chase to the new
+    fixpoint. The delta must have been grounded with the session
+    specification's own intern table and numbering (use
+    {!Rules.Ground.instantiate_packed_only} against
+    {!Specification.intern}/{!Specification.numbering}); sound for
+    the same monotonicity reason as {!session_fill} — appended steps
+    are evaluated against the current fixpoint (already-implied
+    order pairs and assigned [te] attributes decide their residuals
+    immediately) and only the woken slice re-fires. Returns the
+    number of steps appended. [Error (rule, reason)] breaks the
+    session, as in {!session_fill}. Raises [Invalid_argument] on a
+    broken session. *)
+
+val session_add_rule :
+  session -> Rules.Ar.t -> (int, string * string) result
+(** Ground one added rule against the session's entity (a filtered
+    {!Rules.Ground.instantiate_packed_only} pass — the rest of Σ is
+    not re-instantiated), swap the enlarged rule set onto the
+    session's specification, and {!session_extend} with the result.
+    [Ok 0] means the rule contributed no ground steps: the fixpoint
+    is provably unchanged. [Error ("rule-add", reason)] when the
+    rule set rejects the rule (e.g. arity mismatch); note duplicate
+    names are {e not} rejected here — callers owning a name-keyed
+    retire path should check first. *)
 
 val run_stat : Specification.t -> verdict * stat
 

@@ -1,0 +1,168 @@
+module Prng = Util.Prng
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+type mix = {
+  add : float;
+  retract : float;
+  master_fix : float;
+  rule_cycle : float;
+}
+
+let default_mix = { add = 0.45; retract = 0.25; master_fix = 0.2; rule_cycle = 0.1 }
+
+let flatten (ds : Entity_gen.dataset) =
+  Relation.make ds.schema
+    (List.concat_map
+       (fun (e : Entity_gen.entity) -> Relation.tuples e.instance)
+       ds.entities)
+
+(* One mutable generation state per stream: the live row count (adds
+   and retracts must keep retract positions in range), the retired-
+   rule pool, and a counter for fresh values. Donor rows come from
+   the original corpus only — added rows never feed back, so the
+   stream stays a pure function of (dataset, seed) even if callers
+   replay a prefix. *)
+type state = {
+  g : Prng.t;
+  donors : Tuple.t array array;  (* per entity: its instance's rows *)
+  keys : int list;
+  master_rows : int;
+  master_arity : int;
+  master_col : int -> Value.t array;
+  mutable live : int;
+  mutable active : Rules.Ar.t list;  (* user rules currently in the session *)
+  mutable retired : Rules.Ar.t list;
+  mutable fresh : int;
+}
+
+let fresh_string st prefix =
+  st.fresh <- st.fresh + 1;
+  Value.String (Printf.sprintf "%s_%d" prefix st.fresh)
+
+(* Fresh KEY values must not resemble each other: a shared prefix
+   ("newkey_1", "newkey_2", ...) shares a soundex code and sits far
+   above any string-similarity threshold, so the resolver would
+   quietly merge every "new singleton" into one ever-growing cluster
+   of unrelated snapshots. Random letters keep the singletons
+   singleton (the counter suffix only guarantees uniqueness). *)
+let fresh_key st =
+  st.fresh <- st.fresh + 1;
+  let len = 6 + Prng.int st.g 6 in
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Char.code 'a' + Prng.int st.g 26))
+  done;
+  Value.String (Printf.sprintf "%s%d" (Bytes.to_string b) st.fresh)
+
+(* An added tuple is a snapshot of an existing entity resurfacing
+   through a lossy feed: one of the entity's own rows with a few
+   cells nulled out, and occasionally ONE cell replaced by a value
+   from a sibling snapshot (a stale read). The corruption stays
+   mild by design — a row mixing many snapshots' values is one no
+   rule can deduce, and each such row turns its entity's re-clean
+   into a full top-k frontier search (~100x the cost of a chase
+   that completes). *)
+let gen_add st =
+  let family = Prng.choose st.g st.donors in
+  let donor = Prng.choose st.g family in
+  let vals = Array.copy (Tuple.values donor) in
+  let rejoin = Prng.float st.g 1.0 < 0.7 in
+  if not rejoin then
+    (* A rewritten key founds a new singleton entity; kept keys
+       re-join (and may merge) existing ones. *)
+    List.iter (fun a -> vals.(a) <- fresh_key st) st.keys;
+  Array.iteri
+    (fun a _ ->
+      if (not (List.mem a st.keys)) && Prng.bernoulli st.g 0.15 then
+        vals.(a) <- Value.Null)
+    vals;
+  if Prng.bernoulli st.g 0.3 then begin
+    let a = Prng.int st.g (Array.length vals) in
+    if not (List.mem a st.keys) then
+      vals.(a) <- Tuple.get (Prng.choose st.g family) a
+  end;
+  st.live <- st.live + 1;
+  Framework.Session.Tuple_add (Tuple.make vals)
+
+let gen_retract st =
+  let pos = Prng.int st.g st.live in
+  st.live <- st.live - 1;
+  Framework.Session.Tuple_retract pos
+
+let gen_master_fix st =
+  let row = Prng.int st.g st.master_rows in
+  let attr = Prng.int st.g st.master_arity in
+  let col = st.master_col attr in
+  let r = Prng.float st.g 1.0 in
+  let value =
+    if r < 0.6 then Prng.choose st.g col
+    else if r < 0.8 then fresh_string st "fix"
+    else Value.Null
+  in
+  Framework.Session.Master_fix { row; attr; value }
+
+let gen_rule_cycle st =
+  (* Re-add with the same probability mass as retire, so long streams
+     oscillate instead of draining Σ; when one side is empty the
+     other is forced. *)
+  let readd =
+    match (st.active, st.retired) with
+    | _, [] -> false
+    | [], _ -> true
+    | _ -> Prng.bool st.g
+  in
+  if readd then begin
+    let i = Prng.int st.g (List.length st.retired) in
+    let rule = List.nth st.retired i in
+    st.retired <- List.filteri (fun j _ -> j <> i) st.retired;
+    st.active <- rule :: st.active;
+    Framework.Session.Rule_add rule
+  end
+  else begin
+    let i = Prng.int st.g (List.length st.active) in
+    let rule = List.nth st.active i in
+    st.active <- List.filteri (fun j _ -> j <> i) st.active;
+    st.retired <- rule :: st.retired;
+    Framework.Session.Rule_retire (Rules.Ar.name rule)
+  end
+
+let generate ?(mix = default_mix) ~n ~seed (ds : Entity_gen.dataset) =
+  let flat = flatten ds in
+  let st =
+    {
+      g = Prng.create seed;
+      donors =
+        Array.of_list
+          (List.map
+             (fun (e : Entity_gen.entity) -> Relation.tuple_array e.instance)
+             ds.entities);
+      keys = ds.config.keys;
+      master_rows = Relation.size ds.master;
+      master_arity = Relational.Schema.arity (Relation.schema ds.master);
+      master_col = (fun a -> Relation.column ds.master a);
+      live = Relation.size flat;
+      active = Rules.Ruleset.user_rules ds.ruleset;
+      retired = [];
+      fresh = 0;
+    }
+  in
+  List.init n (fun _ ->
+      (* Drop the kinds the current state cannot express and draw
+         from what remains ([add] is always available). *)
+      let kinds =
+        [
+          (`Add, mix.add);
+          (`Retract, (if st.live > 1 then mix.retract else 0.));
+          (`Master, (if st.master_rows > 0 then mix.master_fix else 0.));
+          ( `Rule,
+            if st.active = [] && st.retired = [] then 0. else mix.rule_cycle );
+        ]
+        |> List.filter (fun (_, w) -> w > 0.)
+      in
+      match Prng.choose_weighted st.g (Array.of_list kinds) with
+      | `Add -> gen_add st
+      | `Retract -> gen_retract st
+      | `Master -> gen_master_fix st
+      | `Rule -> gen_rule_cycle st)

@@ -1,0 +1,51 @@
+(** Seeded update streams for incremental-cleaning workloads.
+
+    A stream drives a {!Framework.Session} opened over a generated
+    corpus ({!Entity_gen.dataset}): single-tuple adds and retracts,
+    in-place master fixes, and rule retire / re-add cycles, mixed by
+    weight. Every stream is {e valid by construction} against the
+    session's evolving state — retract positions are drawn from the
+    live row count, master fixes from the master's extent, retires
+    only name currently-active user rules and re-adds only retired
+    ones — so [Session.update] never rejects a generated update.
+
+    Determinism matches the other generators: the stream is a pure
+    function of the dataset and the seed ({!Util.Prng}), so benches
+    and the incremental-vs-batch equivalence property replay
+    identical workloads. *)
+
+type mix = {
+  add : float;  (** [Tuple_add] weight *)
+  retract : float;  (** [Tuple_retract] weight *)
+  master_fix : float;  (** [Master_fix] weight (0 when no master) *)
+  rule_cycle : float;
+      (** [Rule_retire] / [Rule_add] weight: each draw retires an
+          active user rule or re-adds a previously retired one *)
+}
+
+val default_mix : mix
+(** Tuple-heavy, as in a live feed: add 0.45, retract 0.25,
+    master_fix 0.2, rule_cycle 0.1. *)
+
+val flatten : Entity_gen.dataset -> Relational.Relation.t
+(** The whole dirty relation: every entity's instance concatenated,
+    in entity order — the relation a cleaning session opens on. *)
+
+val generate :
+  ?mix:mix ->
+  n:int ->
+  seed:int ->
+  Entity_gen.dataset ->
+  Framework.Session.update list
+(** [generate ~n ~seed ds] is [n] updates against a session opened
+    on [flatten ds] (with [ds.master] and [ds.ruleset]).
+
+    Added tuples are new snapshots of existing entities: a copy of
+    one of the entity's rows with some cells replaced by values from
+    the entity's own version history or nulled out — most keep their
+    key cells (re-joining, and possibly merging, existing entities),
+    the rest get fresh keys (new singleton entities). Master fixes
+    rewrite one cell to another row's value for that column, a fresh
+    value, or null. Unavailable kinds (retract at one live row,
+    master fix without master rows, rule cycle with no user rules)
+    fall back to the remaining weights. *)

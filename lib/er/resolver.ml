@@ -49,6 +49,14 @@ let block_key config v =
       else Some normalized
   | v -> Some (Value.to_string v)
 
+let tuple_block_keys config t =
+  List.filter_map
+    (fun a ->
+      match block_key config (Tuple.get t a) with
+      | None -> None
+      | Some key -> Some (a, key))
+    config.key_attrs
+
 let blocks config relation =
   let table = Hashtbl.create 64 in
   let n = Relation.size relation in
@@ -92,7 +100,14 @@ let cluster config relation =
       done)
     (blocks config relation);
   let groups = Util.Union_find.groups uf in
-  Array.to_list groups |> List.filter (fun g -> g <> [])
+  (* Member lists are ascending, so sorting the groups (lexicographic
+     on int lists = by first member, as groups are disjoint) puts the
+     clusters in first-tuple order — a pure function of the partition
+     itself, independent of union-find internals such as which side a
+     rank-based union picked as representative. Incremental
+     maintenance depends on this: it recomputes the partition from
+     the edge set, not from a replayed union order. *)
+  Array.to_list groups |> List.filter (fun g -> g <> []) |> List.sort compare
 
 let entity_instances config relation =
   List.map

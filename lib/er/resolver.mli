@@ -33,13 +33,26 @@ val similarity : config -> Relational.Tuple.t -> Relational.Tuple.t -> float
     {!Relational.Value.equal} scores 1; strings are compared with
     Levenshtein similarity; other mismatches score 0. *)
 
+val tuple_block_keys :
+  config -> Relational.Tuple.t -> (int * string) list
+(** The [(attribute, key)] blocking keys of one tuple, in [key_attrs]
+    order (attributes whose value yields no key — null or empty after
+    normalization — are omitted). Two tuples can only be compared by
+    {!cluster} if they share at least one such pair; incremental
+    maintenance uses this to find the candidate neighbours of an
+    added tuple without re-blocking the relation. *)
+
 val blocks : config -> Relational.Relation.t -> int list list
 (** Candidate groups of tuple indices (singletons omitted). A tuple
     can appear in several blocks. *)
 
 val cluster : config -> Relational.Relation.t -> int list list
 (** Entity clusters as tuple-index groups (every tuple appears in
-    exactly one), in first-tuple order. *)
+    exactly one), each ascending, in first-tuple order. The result
+    is a pure function of the {e match partition} — the connected
+    components of the above-threshold same-block pair graph — so any
+    process that maintains that partition (batch or incremental)
+    reproduces the same clustering. *)
 
 val entity_instances :
   config -> Relational.Relation.t -> Relational.Relation.t list

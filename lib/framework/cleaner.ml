@@ -34,7 +34,7 @@ type report = {
   cell_changes : int;
 }
 
-(* Everything one entity contributes to the report. [clean] folds
+(* Everything one entity contributes to the report. [assemble] folds
    these in cluster order, so the report is a pure function of the
    per-entity results — the parallel path's determinism rests on
    this (each entity's result is computed in isolation; the fold
@@ -44,184 +44,160 @@ type entity_result = {
   r_outcome : outcome;
   r_retries : int;  (** budget-relax retries this entity consumed *)
   r_changes : int;  (** target cells differing from the majority *)
+  r_chase_nulls : int list;
+      (** target attributes still null at the chase fixpoint — the
+          attributes top-1 completion was allowed to touch *)
 }
 
-let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
-    ?(budget = Robust.Budget.unlimited) ?(retries = 1) ?(jobs = 1) ruleset dirty =
-  if jobs < 0 then
-    invalid_arg (Printf.sprintf "Cleaner.clean: jobs = %d" jobs);
-  (* jobs = 0 is auto: let the pool resolve the host's recommended
-     domain count. *)
-  let pool = if jobs = 1 then None else Some (Parallel.Pool.create ~jobs ()) in
-  let jobs = match pool with None -> 1 | Some p -> Parallel.Pool.jobs p in
-  let clusters =
-    match (er, clusters) with
-    | Some config, None -> Er.Resolver.cluster config dirty
-    | None, Some cs -> cs
-    | Some _, Some _ ->
-        invalid_arg "Cleaner.clean: pass either ~er or ~clusters, not both"
-    | None, None -> invalid_arg "Cleaner.clean: pass ~er or ~clusters"
+let majority = Truth.Voting.resolve
+
+let count_changes instance target =
+  let base = majority instance in
+  let changed = ref 0 in
+  Array.iteri
+    (fun a v ->
+      if (not (Value.is_null v)) && not (Value.equal v base.(a)) then
+        incr changed)
+    target;
+  !changed
+
+(* Fault degradation: the entity collapses to the majority
+   representative of whatever tuples are real, with the typed error
+   in its result. *)
+let quarantined_of_tuples schema tuples err =
+  Obs.Counter.incr m_quarantined;
+  let tuple =
+    match tuples with
+    | [] -> Tuple.make (Array.make (Relational.Schema.arity schema) Value.Null)
+    | _ -> Tuple.make (majority (Relation.make schema tuples))
   in
+  {
+    r_tuple = tuple;
+    r_outcome = Quarantined err;
+    r_retries = 0;
+    r_changes = 0;
+    r_chase_nulls = [];
+  }
+
+(* Chase one entity under the budget, relaxing and retrying on
+   transient exhaustion (up to [retries] times, ×4 each time).
+   A fresh meter per attempt: budgets are per-entity, never shared
+   across entities or domains. *)
+let rec chase_budgeted ~used compiled lim tries =
+  if Robust.Budget.is_unlimited lim then
+    `Verdict (Core.Is_cr.run_compiled compiled)
+  else
+    let meter = Robust.Budget.start lim in
+    let outcome = Core.Is_cr.run_budgeted ~budget:meter compiled in
+    Obs.Counter.add m_budget_steps (Robust.Budget.steps_used meter);
+    match outcome with
+    | Core.Is_cr.Verdict v -> `Verdict v
+    | Core.Is_cr.Exhausted { trip; fired; _ } ->
+        if tries > 0 then begin
+          incr used;
+          Obs.Counter.incr m_retries;
+          chase_budgeted ~used compiled (Robust.Budget.relax lim) (tries - 1)
+        end
+        else `Exhausted (trip, fired)
+
+(* One entity, in isolation: whatever goes wrong inside — an invalid
+   spec, a budget trip, an unexpected exception — is quarantined
+   into this entity's result and the batch carries on. The only
+   shared state this function touches is the (domain-safe) Obs
+   registry, the compile cache, and read-only inputs, which is what
+   makes it safe to run on a worker domain — and callable directly
+   by an incremental session re-cleaning one entity. *)
+let process_entity ?pref_of ?(k_budget = 2_000)
+    ?(budget = Robust.Budget.unlimited) ?(retries = 1) ?master ruleset instance
+    =
+  Obs.Counter.incr m_entities;
+  Obs.Span.with_ ~name:"cleaner.entity" @@ fun () ->
   let pref_of =
     match pref_of with
     | Some f -> f
     | None -> fun instance -> Topk.Preference.of_occurrences instance
   in
-  let schema = Relation.schema dirty in
-  Obs.Gauge.set m_jobs (float_of_int jobs);
-  let majority = Truth.Voting.resolve in
-  let count_changes instance target =
-    let base = majority instance in
-    let changed = ref 0 in
-    Array.iteri
-      (fun a v ->
-        if (not (Value.is_null v)) && not (Value.equal v base.(a)) then
-          incr changed)
-      target;
-    !changed
-  in
-  (* Chase one entity under the budget, relaxing and retrying on
-     transient exhaustion (up to [retries] times, ×4 each time).
-     A fresh meter per attempt: budgets are per-entity, never shared
-     across entities or domains. *)
-  let rec chase_budgeted ~used compiled lim tries =
-    if Robust.Budget.is_unlimited lim then
-      `Verdict (Core.Is_cr.run_compiled compiled)
-    else
-      let meter = Robust.Budget.start lim in
-      let outcome = Core.Is_cr.run_budgeted ~budget:meter compiled in
-      Obs.Counter.add m_budget_steps (Robust.Budget.steps_used meter);
-      match outcome with
-      | Core.Is_cr.Verdict v -> `Verdict v
-      | Core.Is_cr.Exhausted { trip; fired; _ } ->
-          if tries > 0 then begin
-            incr used;
-            Obs.Counter.incr m_retries;
-            chase_budgeted ~used compiled (Robust.Budget.relax lim) (tries - 1)
-          end
-          else `Exhausted (trip, fired)
-  in
-  (* Fault degradation: the entity collapses to the majority
-     representative of whatever members are real, with the typed
-     error in its result. *)
-  let quarantined_result members err =
-    Obs.Counter.incr m_quarantined;
-    let valid =
-      List.filter_map
-        (fun i ->
-          if i >= 0 && i < Relation.size dirty then
-            Some (Relation.tuple dirty i)
-          else None)
-        members
-    in
-    let tuple =
-      match valid with
-      | [] ->
-          Tuple.make (Array.make (Relational.Schema.arity schema) Value.Null)
-      | _ -> Tuple.make (majority (Relation.make schema valid))
-    in
-    { r_tuple = tuple; r_outcome = Quarantined err; r_retries = 0; r_changes = 0 }
-  in
-  (* One entity, in isolation: whatever goes wrong inside — a
-     cluster referencing rows that do not exist, an invalid spec, a
-     budget trip, an unexpected exception — is quarantined into this
-     entity's result and the batch carries on. The only shared state
-     this function touches is the (domain-safe) Obs registry and
-     read-only inputs, which is what makes it safe to run on a
-     worker domain. *)
-  let process (idx, members) =
-    Obs.Counter.incr m_entities;
-    Obs.Span.with_ ~name:"cleaner.entity" @@ fun () ->
-    let used = ref 0 in
-    match
-      let instance =
-        Relation.make schema (List.map (Relation.tuple dirty) members)
-      in
-      match Core.Specification.make ~entity:instance ?master ruleset with
-      | Error e -> `Quarantine (Robust.Error.spec_invalid e)
-      | Ok spec -> (
-          (* Per-cluster artifacts are cached process-wide: repeated
-             cleans of the same batch (retries, benchmark runs,
-             incremental re-cleans) reuse the grounding. *)
-          let compiled = Compile_cache.compile spec in
-          match chase_budgeted ~used compiled budget retries with
-          | `Exhausted (trip, fired) ->
-              `Quarantine
-                (Robust.Error.budget_exhausted ~trip ~spent:fired
-                   (Printf.sprintf "entity %d: chase did not finish within %d retries"
-                      idx (max retries 0)))
-          | `Verdict (Core.Is_cr.Not_church_rosser { rule; _ }) ->
-              (* leave the entity as its majority representative *)
+  let used = ref 0 in
+  match
+    match Core.Specification.make ~entity:instance ?master ruleset with
+    | Error e -> `Quarantine (Robust.Error.spec_invalid e)
+    | Ok spec -> (
+        (* Per-cluster artifacts are cached process-wide: repeated
+           cleans of the same batch (retries, benchmark runs,
+           incremental re-cleans) reuse the grounding. *)
+        let compiled = Compile_cache.compile spec in
+        match chase_budgeted ~used compiled budget retries with
+        | `Exhausted (trip, fired) ->
+            `Quarantine
+              (Robust.Error.budget_exhausted ~trip ~spent:fired
+                 (Printf.sprintf "chase did not finish within %d retries"
+                    (max retries 0)))
+        | `Verdict (Core.Is_cr.Not_church_rosser { rule; _ }) ->
+            (* leave the entity as its majority representative *)
+            `Result
+              {
+                r_tuple = Tuple.make (majority instance);
+                r_outcome = Not_church_rosser rule;
+                r_retries = !used;
+                r_changes = 0;
+                r_chase_nulls = [];
+              }
+        | `Verdict (Core.Is_cr.Church_rosser inst) ->
+            let te = Core.Instance.te inst in
+            if Core.Instance.te_complete inst then
               `Result
                 {
-                  r_tuple = Tuple.make (majority instance);
-                  r_outcome = Not_church_rosser rule;
+                  r_tuple = Tuple.make te;
+                  r_outcome = Complete;
                   r_retries = !used;
-                  r_changes = 0;
+                  r_changes = count_changes instance te;
+                  r_chase_nulls = [];
                 }
-          | `Verdict (Core.Is_cr.Church_rosser inst) ->
-              let te = Core.Instance.te inst in
-              if Core.Instance.te_complete inst then
-                `Result
-                  {
-                    r_tuple = Tuple.make te;
-                    r_outcome = Complete;
-                    r_retries = !used;
-                    r_changes = count_changes instance te;
-                  }
-              else begin
-                let pref = pref_of instance in
-                let targets =
-                  match
-                    Topk.solve ~algo:`Ct ~max_pops:k_budget ~k:1 ~pref
-                      compiled te
-                  with
-                  | Ok outcome -> outcome.Topk.targets
-                  | Error _ -> []
-                in
-                match targets with
-                | best :: _ ->
-                    `Result
-                      {
-                        r_tuple = Tuple.make best;
-                        r_outcome = Completed_by_topk;
-                        r_retries = !used;
-                        r_changes = count_changes instance best;
-                      }
-                | [] ->
-                    `Result
-                      {
-                        r_tuple = Tuple.make te;
-                        r_outcome = Still_incomplete;
-                        r_retries = !used;
-                        r_changes = count_changes instance te;
-                      }
-              end)
-    with
-    | `Result r -> r
-    (* Retries spent before the quarantine still count. *)
-    | `Quarantine err ->
-        { (quarantined_result members err) with r_retries = !used }
-    | exception e ->
-        { (quarantined_result members (Robust.Error.of_exn e)) with
-          r_retries = !used }
-  in
-  let tasks = Array.of_list (List.mapi (fun idx members -> (idx, members)) clusters) in
-  let results =
-    match pool with
-    | None -> Array.map process tasks
-    | Some pool ->
-      Array.mapi
-        (fun i -> function
-          | Ok r -> r
-          | Error e ->
-              (* Pool-level backstop: [process] quarantines its own
-                 exceptions, so this only fires if the boundary
-                 itself is broken. *)
-              quarantined_result (snd tasks.(i)) (Robust.Error.of_exn e))
-        (Parallel.Pool.map_result pool process tasks)
-  in
-  (* The fold over per-entity results, in cluster order. *)
+            else begin
+              let nulls = Core.Instance.null_attrs inst in
+              let pref = pref_of instance in
+              let targets =
+                match
+                  Topk.solve ~algo:`Ct ~max_pops:k_budget ~k:1 ~pref compiled
+                    te
+                with
+                | Ok outcome -> outcome.Topk.targets
+                | Error _ -> []
+              in
+              match targets with
+              | best :: _ ->
+                  `Result
+                    {
+                      r_tuple = Tuple.make best;
+                      r_outcome = Completed_by_topk;
+                      r_retries = !used;
+                      r_changes = count_changes instance best;
+                      r_chase_nulls = nulls;
+                    }
+              | [] ->
+                  `Result
+                    {
+                      r_tuple = Tuple.make te;
+                      r_outcome = Still_incomplete;
+                      r_retries = !used;
+                      r_changes = count_changes instance te;
+                      r_chase_nulls = nulls;
+                    }
+            end)
+  with
+  | `Result r -> r
+  (* Retries spent before the quarantine still count. *)
+  | `Quarantine err ->
+      { (quarantined_of_tuples (Relation.schema instance)
+           (Relation.tuples instance) err)
+        with r_retries = !used }
+  | exception e ->
+      { (quarantined_of_tuples (Relation.schema instance)
+           (Relation.tuples instance) (Robust.Error.of_exn e))
+        with r_retries = !used }
+
+(* The fold over per-entity results, in cluster order. *)
+let assemble schema results =
   let outcomes =
     Array.to_list (Array.mapi (fun idx r -> (idx, r.r_outcome)) results)
   in
@@ -246,6 +222,63 @@ let clean ?er ?clusters ?master ?pref_of ?(k_budget = 2_000)
     retries_used = Array.fold_left (fun n r -> n + r.r_retries) 0 results;
     cell_changes = Array.fold_left (fun n r -> n + r.r_changes) 0 results;
   }
+
+let clean ?er ?clusters ?master ?pref_of ?k_budget ?budget ?retries ?(jobs = 1)
+    ruleset dirty =
+  if jobs < 0 then
+    invalid_arg (Printf.sprintf "Cleaner.clean: jobs = %d" jobs);
+  (* jobs = 0 is auto: let the pool resolve the host's recommended
+     domain count. *)
+  let pool = if jobs = 1 then None else Some (Parallel.Pool.create ~jobs ()) in
+  let jobs = match pool with None -> 1 | Some p -> Parallel.Pool.jobs p in
+  let clusters =
+    match (er, clusters) with
+    | Some config, None -> Er.Resolver.cluster config dirty
+    | None, Some cs -> cs
+    | Some _, Some _ ->
+        invalid_arg "Cleaner.clean: pass either ~er or ~clusters, not both"
+    | None, None -> invalid_arg "Cleaner.clean: pass ~er or ~clusters"
+  in
+  let schema = Relation.schema dirty in
+  Obs.Gauge.set m_jobs (float_of_int jobs);
+  (* A cluster referencing rows that do not exist quarantines that
+     entity to the majority of its real members — the construction
+     fault boundary around [process_entity]'s instance input. *)
+  let quarantined_of_members members err =
+    Obs.Counter.incr m_entities;
+    let valid =
+      List.filter_map
+        (fun i ->
+          if i >= 0 && i < Relation.size dirty then
+            Some (Relation.tuple dirty i)
+          else None)
+        members
+    in
+    quarantined_of_tuples schema valid err
+  in
+  let process members =
+    match Relation.make schema (List.map (Relation.tuple dirty) members) with
+    | instance ->
+        process_entity ?pref_of ?k_budget ?budget ?retries ?master ruleset
+          instance
+    | exception e -> quarantined_of_members members (Robust.Error.of_exn e)
+  in
+  let tasks = Array.of_list clusters in
+  let results =
+    match pool with
+    | None -> Array.map process tasks
+    | Some pool ->
+      Array.mapi
+        (fun i -> function
+          | Ok r -> r
+          | Error e ->
+              (* Pool-level backstop: [process] quarantines its own
+                 exceptions, so this only fires if the boundary
+                 itself is broken. *)
+              quarantined_of_members tasks.(i) (Robust.Error.of_exn e))
+        (Parallel.Pool.map_result pool process tasks)
+  in
+  assemble schema results
 
 let pp_report ppf r =
   Format.fprintf ppf

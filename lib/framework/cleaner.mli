@@ -53,6 +53,51 @@ type report = {
       (** target cells that differ from the entity's majority value *)
 }
 
+type entity_result = {
+  r_tuple : Relational.Tuple.t;  (** the entity's cleaned target *)
+  r_outcome : outcome;
+  r_retries : int;  (** budget-relax retries this entity consumed *)
+  r_changes : int;  (** target cells differing from the majority *)
+  r_chase_nulls : int list;
+      (** target attributes still null at the chase fixpoint — the
+          attributes top-1 completion was allowed to touch; [[]]
+          whenever the chase decided the outcome by itself *)
+}
+(** Everything one entity contributes to a {!report}. The report is
+    a pure function ({!assemble}) of these, folded in cluster order
+    — which is what lets an incremental session cache them per
+    entity and re-clean only the entities an update touches. *)
+
+val quarantined_of_tuples :
+  Relational.Schema.t ->
+  Relational.Tuple.t list ->
+  Robust.Error.t ->
+  entity_result
+(** The fault-degradation result: the majority representative of the
+    given tuples (all-null when there are none) carrying the typed
+    error as a [Quarantined] outcome. Exposed for callers that keep
+    their own fault boundary around {!process_entity}'s inputs. *)
+
+val process_entity :
+  ?pref_of:(Relational.Relation.t -> Topk.Preference.t) ->
+  ?k_budget:int ->
+  ?budget:Robust.Budget.limits ->
+  ?retries:int ->
+  ?master:Relational.Relation.t ->
+  Rules.Ruleset.t ->
+  Relational.Relation.t ->
+  entity_result
+(** Clean one entity instance inside the full fault boundary —
+    spec → compile (process-wide cache) → budgeted chase with
+    relax-retries → top-1 completion, quarantining on any failure.
+    Exactly the per-entity step of {!clean} (same defaults), exposed
+    so incremental sessions recompute a single affected entity
+    through the very same code path. Safe on worker domains. *)
+
+val assemble : Relational.Schema.t -> entity_result array -> report
+(** Fold per-entity results, in cluster order, into a {!report} —
+    the (pure) reassembly step of {!clean}. *)
+
 val clean :
   ?er:Er.Resolver.config ->
   ?clusters:int list list ->

@@ -108,8 +108,7 @@ let run_topk ~k ~algo limits spec =
         (fun result -> Ranked { pref; result })
         (Topk.solve ~algo ?budget ~k ~pref compiled te)
 
-let run_clean ~key_attrs ~threshold ~retries ~jobs limits spec =
-  let schema = Core.Specification.schema spec in
+let er_config ~key_attrs ~threshold schema =
   let* keys =
     List.fold_left
       (fun acc name ->
@@ -128,7 +127,7 @@ let run_clean ~key_attrs ~threshold ~retries ~jobs limits spec =
         (Robust.Error.spec_invalid
            "clean: pass at least one key attribute for entity resolution")
   | keys ->
-      let er =
+      Ok
         {
           (Er.Resolver.default_config ~key_attrs:keys
              ~compare_attrs:(List.map (fun a -> (a, 1.0)) keys))
@@ -136,16 +135,25 @@ let run_clean ~key_attrs ~threshold ~retries ~jobs limits spec =
           use_soundex = true;
           threshold;
         }
-      in
-      let report =
-        Obs.Span.with_ ~name:"pipeline.clean" @@ fun () ->
-        Cleaner.clean ~er
-          ?master:(Core.Specification.master spec)
-          ~budget:limits ~retries ~jobs
-          (Core.Specification.ruleset spec)
-          (Core.Specification.entity spec)
-      in
-      Ok (Cleaned report)
+
+let open_session ~key_attrs ~threshold ~retries ~jobs limits spec =
+  let* er = er_config ~key_attrs ~threshold (Core.Specification.schema spec) in
+  Ok
+    (Session.create ~er
+       ?master:(Core.Specification.master spec)
+       ~budget:limits ~retries ~jobs
+       (Core.Specification.ruleset spec)
+       (Core.Specification.entity spec))
+
+let run_clean ~key_attrs ~threshold ~retries ~jobs limits spec =
+  (* The one-shot clean IS a session's initial state: open, report,
+     drop. Keeping the batch entry point on the session path is what
+     guarantees the two can never drift. *)
+  let* session =
+    Obs.Span.with_ ~name:"pipeline.clean" @@ fun () ->
+    open_session ~key_attrs ~threshold ~retries ~jobs limits spec
+  in
+  Ok (Cleaned (Session.report session))
 
 let execute ?on_step ?(limits = Robust.Budget.unlimited) spec task =
   let* outcome =
@@ -162,3 +170,28 @@ let run ?on_step cfg =
     load_spec ?master:cfg.master ~entity:cfg.entity ~rules:cfg.rules ()
   in
   execute ?on_step ~limits:cfg.limits spec cfg.task
+
+(* The long-lived entry point: [open_] is load + cluster + compile +
+   initial clean; each [update] then delta-maintains the report. The
+   inner session module does the real work; this facade adds the
+   config/loading conventions of [run]. *)
+module Session = struct
+  include Session
+
+  let open_ cfg =
+    match cfg.task with
+    | Clean { key_attrs; threshold; retries; jobs } ->
+        let* spec =
+          load_spec ?master:cfg.master ~entity:cfg.entity ~rules:cfg.rules ()
+        in
+        Obs.Span.with_ ~name:"pipeline.clean" @@ fun () ->
+        open_session ~key_attrs ~threshold ~retries ~jobs cfg.limits spec
+    | Chase | Topk _ ->
+        Error
+          (Robust.Error.spec_invalid
+             "Session.open_: only the Clean task runs incrementally")
+
+  let open_spec ~key_attrs ~threshold ?(retries = 1) ?(jobs = 1)
+      ?(limits = Robust.Budget.unlimited) spec =
+    open_session ~key_attrs ~threshold ~retries ~jobs limits spec
+end

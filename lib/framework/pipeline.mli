@@ -1,18 +1,28 @@
-(** The one-call facade over the whole engine.
+(** The facade over the whole engine.
 
-    [run] takes a declarative {!config} — file paths, a {!task}, a
-    budget — and drives loading (CSV + rules + specification
-    validation), the IsCR chase, and optionally top-k completion or
-    whole-relation cleaning, returning either a typed {!report} or a
-    {!Robust.Error.t}. The CLI subcommands and the test suite share
-    this code path, so an embedding application gets exactly the
-    behaviour the command line has: the same typed errors, the same
-    budget semantics, the same graceful degradation.
+    The primary API is {!Session}: [open_] loads (CSV + rules +
+    specification validation), clusters, compiles, and performs the
+    initial clean; [update] then delta-maintains the cleaned
+    relation under single-tuple and rule/master updates; [report]
+    reads the continuously-maintained result. {!run}, {!load_spec}
+    and {!execute} are derived one-shot conveniences over the same
+    machinery — [run] with a [Clean] task is literally "open a
+    session, read its report, drop it".
+
+    {b Migration note for embedders}: code that called
+    [run]/[execute] once per change should open a session once and
+    feed it {!Session.update}s — same typed errors, same budget
+    semantics, same report, minus the full re-clean per change. The
+    one-shot entry points are stable and remain the right call for
+    genuinely batch workloads ([Chase] and [Topk] tasks have no
+    incremental form).
 
     Every phase is wrapped in an {!Obs.Span}: [pipeline.load],
     [pipeline.compile], [pipeline.chase], [pipeline.topk],
-    [pipeline.clean]. Enable collection with [Obs.set_enabled true]
-    to get per-phase wall times and the engines' counters. *)
+    [pipeline.clean] (the initial clean of a session), plus
+    [session.update] per update. Enable collection with
+    [Obs.set_enabled true] to get per-phase wall times and the
+    engines' counters. *)
 
 type task =
   | Chase  (** check Church-Rosser and deduce the target tuple *)
@@ -70,7 +80,8 @@ val load_spec :
   rules:string ->
   unit ->
   (Core.Specification.t, Robust.Error.t) result
-(** Just the loading phase: read the CSVs (relations are named after
+(** Just the loading phase — the first half of {!Session.open_},
+    exposed standalone: read the CSVs (relations are named after
     their file, [stat.csv] -> [stat], so rule files may quantify
     over them by name), parse and validate the rules against the
     schemas, and assemble the specification. Unreadable files
@@ -87,7 +98,10 @@ val execute :
     the request entry point of a long-lived server ({!Service}
     caches loaded specs across requests and arms per-request
     [limits]). Identical semantics to the execution half of {!run};
-    compiled artifacts are shared through {!Compile_cache}. *)
+    compiled artifacts are shared through {!Compile_cache}. A
+    [Clean] task runs as a dropped-on-return {!Session} (see the
+    migration note above — callers re-executing after each change
+    should hold the session instead). *)
 
 val run :
   ?on_step:(Rules.Ground.step -> unit) ->
@@ -100,3 +114,37 @@ val run :
     For [Topk], a non-Church-Rosser verdict is an
     [Order_conflict] error — there is no well-defined target to
     complete. For [Chase] it is a verdict, carried in the report. *)
+
+(** The long-lived, incremental entry point: everything in
+    {!Framework.Session} (the session type, {!Session.update},
+    {!Session.report}, ...) plus config-level constructors. *)
+module Session : sig
+  (* Strengthened include: [Pipeline.Session.t] (and [update],
+     [delta_report]) ARE [Framework.Session]'s types, so sessions and
+     update values flow freely between the facade and direct users of
+     the inner module (e.g. generated update streams). *)
+  include module type of struct
+    include Session
+  end
+
+  val open_ : config -> (t, Robust.Error.t) result
+  (** Load ({!load_spec}), cluster, compile, and fully clean once —
+      the session's initial state; {!Session.report} then serves the
+      batch-identical result and {!Session.update} maintains it. The
+      config's task must be [Clean] (its [key_attrs]/[threshold]
+      drive ER, [retries]/[jobs] and the config [limits] the
+      per-entity budgets); [Chase]/[Topk] are rejected with
+      [Spec_invalid]. *)
+
+  val open_spec :
+    key_attrs:string list ->
+    threshold:float ->
+    ?retries:int ->
+    ?jobs:int ->
+    ?limits:Robust.Budget.limits ->
+    Core.Specification.t ->
+    (t, Robust.Error.t) result
+  (** {!open_} over an already-loaded specification (the session
+      analogue of {!execute}; a warm server opens sessions from its
+      spec cache this way). *)
+end

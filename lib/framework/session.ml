@@ -1,0 +1,658 @@
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+module Intern = Relational.Intern
+
+let m_updates = Obs.Counter.make ~help:"session updates applied" "session_updates_total"
+let m_recleaned = Obs.Counter.make ~help:"entities re-cleaned by session updates" "session_recleaned_total"
+let m_unaffected = Obs.Counter.make ~help:"entities proved unaffected by session updates" "session_unaffected_total"
+
+type update =
+  | Tuple_add of Tuple.t
+  | Tuple_retract of int
+  | Master_fix of { row : int; attr : int; value : Value.t }
+  | Rule_add of Rules.Ar.t
+  | Rule_retire of string
+
+type delta_report = {
+  d_touched : int;
+  d_recleaned : int;
+  d_rows_changed : int;
+  d_entities : int;
+}
+
+(* One live entity: its membership, the cached result of the exact
+   batch per-entity path, and the lazily-built affectedness indexes.
+   [e_vals] packs the (attribute, interned value id) pairs of the
+   member tuples — the value-level index the Master_fix analysis
+   probes; [e_delta] indexes the entity's current Γ by rule and vid
+   ({!Rules.Delta}) — the rule-level index Rule_retire probes. Both
+   are invalidated (set to [None]) whenever their inputs change. *)
+type centry = {
+  mutable e_members : int list;  (* row ids, ascending *)
+  mutable e_instance : Relation.t;
+  mutable e_spec : Core.Specification.t option;
+  mutable e_delta : Rules.Delta.t option;
+  mutable e_vals : int array option;
+  mutable e_result : Cleaner.entity_result;
+}
+
+type t = {
+  schema : Relational.Schema.t;
+  er : Er.Resolver.config;
+  pref_of : (Relation.t -> Topk.Preference.t) option;
+  k_budget : int option;
+  budget : Robust.Budget.limits;
+  retries : int option;
+  mutable ruleset : Rules.Ruleset.t;
+  mutable master : Relation.t option;
+  (* Live rows: id -> tuple, plus ids in insertion order. Ids are
+     allocated monotonically and never reused, so ascending id order
+     IS current relation-position order — which keeps cluster member
+     order and cluster order (by first member) in lockstep with what
+     a batch run over [relation] would produce. *)
+  rows : (int, Tuple.t) Hashtbl.t;
+  mutable order : int list;
+  mutable next_id : int;
+  (* (attr, block key) -> row ids, maintained under add/retract: the
+     candidate neighbours of an added tuple without re-blocking. *)
+  keys : (int * string, int list) Hashtbl.t;
+  mutable clusters : centry list;  (* sorted by first member id *)
+  (* Session-wide intern table for the affectedness analysis: entity
+     and master values map to dense ids once, so every value-level
+     probe is an integer membership test. Distinct from the
+     per-entity specification interns Γ is grounded with. *)
+  sintern : Intern.t;
+  (* (te attr, vid) pairs any form-(2) rule could assign, over the
+     current master — the "reachable through master copy" part of the
+     te-reachability test. Lazily rebuilt after master/rule changes. *)
+  mutable assign_into : (int, unit) Hashtbl.t option;
+  mutable cached : Cleaner.report option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pack_av attr vid = (attr lsl 32) lor vid
+
+let key_add t id tuple =
+  List.iter
+    (fun (a, k) ->
+      let key = (a, k) in
+      let ids = match Hashtbl.find_opt t.keys key with Some l -> l | None -> [] in
+      Hashtbl.replace t.keys key (id :: ids))
+    (Er.Resolver.tuple_block_keys t.er tuple)
+
+let key_remove t id tuple =
+  List.iter
+    (fun (a, k) ->
+      let key = (a, k) in
+      match Hashtbl.find_opt t.keys key with
+      | None -> ()
+      | Some ids -> (
+          match List.filter (fun i -> i <> id) ids with
+          | [] -> Hashtbl.remove t.keys key
+          | ids -> Hashtbl.replace t.keys key ids))
+    (Er.Resolver.tuple_block_keys t.er tuple)
+
+let tuple_of t id = Hashtbl.find t.rows id
+
+let instance_of t members =
+  Relation.make t.schema (List.map (tuple_of t) members)
+
+(* Two live rows are ER-linked iff they share a blocking key and
+   score at or above the threshold — exactly the edge relation of
+   [Er.Resolver.cluster], whose connected components the session
+   maintains. *)
+let share_block t t1 t2 =
+  let k2 = Er.Resolver.tuple_block_keys t.er t2 in
+  List.exists (fun k -> List.mem k k2) (Er.Resolver.tuple_block_keys t.er t1)
+
+let linked t t1 t2 =
+  share_block t t1 t2 && Er.Resolver.similarity t.er t1 t2 >= t.er.threshold
+
+let sort_clusters t =
+  t.clusters <-
+    List.sort
+      (fun a b -> compare (List.hd a.e_members) (List.hd b.e_members))
+      t.clusters
+
+(* ------------------------------------------------------------------ *)
+(* Per-entity recompute — the exact batch path                        *)
+(* ------------------------------------------------------------------ *)
+
+let process_entity t instance =
+  Cleaner.process_entity ?pref_of:t.pref_of ?k_budget:t.k_budget
+    ~budget:t.budget ?retries:t.retries ?master:t.master t.ruleset instance
+
+let entry_of_result t members instance result =
+  {
+    e_members = members;
+    e_instance = instance;
+    e_spec =
+      (match Core.Specification.make ~entity:instance ?master:t.master t.ruleset with
+      | Ok spec -> Some spec
+      | Error _ -> None);
+    e_delta = None;
+    e_vals = None;
+    e_result = result;
+  }
+
+let fresh_entry t members =
+  let instance = instance_of t members in
+  Obs.Counter.incr m_recleaned;
+  entry_of_result t members instance (process_entity t instance)
+
+let reclean e t =
+  e.e_instance <- instance_of t e.e_members;
+  e.e_spec <-
+    (match
+       Core.Specification.make ~entity:e.e_instance ?master:t.master t.ruleset
+     with
+    | Ok spec -> Some spec
+    | Error _ -> None);
+  e.e_delta <- None;
+  e.e_vals <- None;
+  Obs.Counter.incr m_recleaned;
+  e.e_result <- process_entity t e.e_instance
+
+(* ------------------------------------------------------------------ *)
+(* Lazy indexes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let vals_of t e =
+  match e.e_vals with
+  | Some a -> a
+  | None ->
+      let acc = ref [] in
+      List.iter
+        (fun id ->
+          let tu = tuple_of t id in
+          for a = 0 to Tuple.arity tu - 1 do
+            let v = Tuple.get tu a in
+            if not (Value.is_null v) then
+              acc := pack_av a (Intern.intern t.sintern v) :: !acc
+          done)
+        e.e_members;
+      let a = Array.of_list (List.sort_uniq compare !acc) in
+      e.e_vals <- Some a;
+      a
+
+let mem_sorted (a : int array) x =
+  let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = a.(mid) in
+    if v = x then found := true else if v < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let delta_of t e =
+  match e.e_delta with
+  | Some d -> Some d
+  | None -> (
+      match e.e_spec with
+      | None -> None
+      | Some spec ->
+          (* Γ over the CURRENT inputs: the spec's intern/numbering are
+             entity-derived and extensible, so grounding the current
+             rule set and master through them yields exactly the Γ the
+             next recompute would see. *)
+          let packed =
+            Rules.Ground.instantiate_packed
+              ~intern:(Core.Specification.intern spec)
+              ~ruleset:t.ruleset ~entity:e.e_instance ~master:t.master
+              ~orders:(Core.Specification.numbering spec)
+          in
+          let d =
+            Rules.Delta.of_packed
+              ~intern:(Core.Specification.intern spec)
+              ~orders:(Core.Specification.numbering spec)
+              packed
+          in
+          e.e_delta <- Some d;
+          Some d)
+
+let assign_into t =
+  match t.assign_into with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 256 in
+      (match t.master with
+      | None -> ()
+      | Some m ->
+          List.iter
+            (function
+              | Rules.Ar.Form2 { f2_te_attr; f2_tm_attr; _ } ->
+                  for i = 0 to Relation.size m - 1 do
+                    let v = Relation.get m i f2_tm_attr in
+                    if not (Value.is_null v) then
+                      Hashtbl.replace h
+                        (pack_av f2_te_attr (Intern.intern t.sintern v))
+                        ()
+                  done
+              | Rules.Ar.Form1 _ -> ())
+            (Rules.Ruleset.rules t.ruleset));
+      t.assign_into <- Some h;
+      h
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create ?master ?pref_of ?k_budget ?(budget = Robust.Budget.unlimited)
+    ?retries ?(jobs = 1) ~er ruleset dirty =
+  if jobs < 0 then invalid_arg (Printf.sprintf "Session.create: jobs = %d" jobs);
+  let pool = if jobs = 1 then None else Some (Parallel.Pool.create ~jobs ()) in
+  let t =
+    {
+      schema = Relation.schema dirty;
+      er;
+      pref_of;
+      k_budget;
+      budget;
+      retries;
+      ruleset;
+      master;
+      rows = Hashtbl.create (max 16 (Relation.size dirty));
+      order = [];
+      next_id = 0;
+      keys = Hashtbl.create 256;
+      clusters = [];
+      sintern = Intern.create ();
+      assign_into = None;
+      cached = None;
+    }
+  in
+  let n = Relation.size dirty in
+  for i = 0 to n - 1 do
+    Hashtbl.replace t.rows i (Relation.tuple dirty i)
+  done;
+  t.order <- List.init n Fun.id;
+  t.next_id <- n;
+  Hashtbl.iter (fun id tu -> key_add t id tu) t.rows;
+  let clusters = Er.Resolver.cluster er dirty in
+  let tasks = Array.of_list clusters in
+  let instances = Array.map (instance_of t) tasks in
+  let results =
+    match pool with
+    | None -> Array.map (process_entity t) instances
+    | Some pool ->
+        Array.mapi
+          (fun i -> function
+            | Ok r -> r
+            | Error e ->
+                Cleaner.quarantined_of_tuples t.schema
+                  (Relation.tuples instances.(i))
+                  (Robust.Error.of_exn e))
+          (Parallel.Pool.map_result pool (process_entity t) instances)
+  in
+  t.clusters <-
+    List.mapi
+      (fun i members -> entry_of_result t members instances.(i) results.(i))
+      clusters;
+  sort_clusters t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Read side                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let relation t = Relation.make t.schema (List.map (tuple_of t) t.order)
+let master t = t.master
+let ruleset t = t.ruleset
+let entities t = List.length t.clusters
+
+let report t =
+  match t.cached with
+  | Some r -> r
+  | None ->
+      let r =
+        Cleaner.assemble t.schema
+          (Array.of_list (List.map (fun e -> e.e_result) t.clusters))
+      in
+      t.cached <- Some r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Update kinds                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let dreport t ~touched ~recleaned ~rows_changed =
+  t.cached <- None;
+  Obs.Counter.incr m_updates;
+  {
+    d_touched = touched;
+    d_recleaned = recleaned;
+    d_rows_changed = rows_changed;
+    d_entities = List.length t.clusters;
+  }
+
+let tuple_add t tuple =
+  if Tuple.arity tuple <> Relational.Schema.arity t.schema then
+    Error
+      (Robust.Error.spec_invalid
+         (Printf.sprintf "Tuple_add: arity %d, schema wants %d"
+            (Tuple.arity tuple)
+            (Relational.Schema.arity t.schema)))
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    (* Candidate neighbours share a blocking key; above-threshold ones
+       merge their components with the new row — exactly the edges a
+       re-clustering would add. *)
+    let candidates =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun k ->
+             match Hashtbl.find_opt t.keys k with Some l -> l | None -> [])
+           (Er.Resolver.tuple_block_keys t.er tuple))
+    in
+    let matched =
+      List.filter
+        (fun cid ->
+          Er.Resolver.similarity t.er tuple (tuple_of t cid) >= t.er.threshold)
+        candidates
+    in
+    Hashtbl.replace t.rows id tuple;
+    t.order <- t.order @ [ id ];
+    key_add t id tuple;
+    let merged, kept =
+      List.partition
+        (fun e -> List.exists (fun m -> List.mem m matched) e.e_members)
+        t.clusters
+    in
+    let members =
+      List.sort compare (id :: List.concat_map (fun e -> e.e_members) merged)
+    in
+    List.iter (fun _ -> Obs.Counter.incr m_unaffected) kept;
+    t.clusters <- fresh_entry t members :: kept;
+    sort_clusters t;
+    Ok
+      (dreport t ~touched:(List.length merged) ~recleaned:1
+         ~rows_changed:(List.length merged + 1))
+  end
+
+let tuple_retract t pos =
+  if pos < 0 || pos >= List.length t.order then
+    Error
+      (Robust.Error.spec_invalid
+         (Printf.sprintf "Tuple_retract: position %d of %d rows" pos
+            (List.length t.order)))
+  else begin
+    let id = List.nth t.order pos in
+    let tuple = tuple_of t id in
+    t.order <- List.filter (fun i -> i <> id) t.order;
+    Hashtbl.remove t.rows id;
+    key_remove t id tuple;
+    let home, kept = List.partition (fun e -> List.mem id e.e_members) t.clusters in
+    let home = List.hd home in
+    let rest = List.filter (fun m -> m <> id) home.e_members in
+    let parts =
+      match rest with
+      | [] -> []
+      | rest ->
+          (* Re-derive the components of the shrunk cluster: edges
+             only ever existed inside it, so a local union-find over
+             the surviving members reproduces the global partition. *)
+          let arr = Array.of_list rest in
+          let n = Array.length arr in
+          let uf = Util.Union_find.create n in
+          for x = 0 to n - 1 do
+            for y = x + 1 to n - 1 do
+              if
+                (not (Util.Union_find.same uf x y))
+                && linked t (tuple_of t arr.(x)) (tuple_of t arr.(y))
+              then Util.Union_find.union uf x y
+            done
+          done;
+          Util.Union_find.groups uf |> Array.to_list
+          |> List.filter (fun g -> g <> [])
+          |> List.map (List.map (fun i -> arr.(i)))
+          |> List.sort compare
+    in
+    let fresh = List.map (fresh_entry t) parts in
+    List.iter (fun _ -> Obs.Counter.incr m_unaffected) kept;
+    t.clusters <- fresh @ kept;
+    sort_clusters t;
+    Ok
+      (dreport t ~touched:1 ~recleaned:(List.length fresh)
+         ~rows_changed:(1 + List.length fresh))
+  end
+
+(* The Master_fix affectedness test. A form-(2) rule grounds one step
+   per master row passing its [Master_const] selection; the step's
+   residuals are te-tests against the row's join values and its
+   action copies the row's [f2_tm_attr] value. Fixing one master cell
+   therefore changes a rule's grounding only when the rule mentions
+   the fixed attribute, and the changed step (removed old version /
+   added new version) can influence an entity's result only if every
+   [Te_master] residual value is one the entity's [te] can ever hold:
+   a value of the entity's own cells ([e_vals] — λ-refresh only
+   promotes column values), a value some rule can copy from master
+   ([assign_into]), or anything at all on an attribute that was still
+   null at the chase fixpoint ([r_chase_nulls] — top-1 completion
+   tries arbitrary active-domain values there). [te] is write-once,
+   so this reachable set is exhaustive for chase and candidate checks
+   alike. Entities whose outcome is not decided by the fixpoint
+   (quarantined, non-Church-Rosser) are provenance-sensitive — any
+   grounding change re-cleans them. *)
+let master_fix t ~row ~attr ~value =
+  match t.master with
+  | None -> Error (Robust.Error.spec_invalid "Master_fix: session has no master relation")
+  | Some m ->
+      if row < 0 || row >= Relation.size m then
+        Error
+          (Robust.Error.spec_invalid
+             (Printf.sprintf "Master_fix: row %d of %d" row (Relation.size m)))
+      else if attr < 0 || attr >= Relational.Schema.arity (Relation.schema m)
+      then
+        Error
+          (Robust.Error.spec_invalid (Printf.sprintf "Master_fix: attribute %d" attr))
+      else begin
+        let old_row = Relation.tuple m row in
+        let new_row = Tuple.set old_row attr value in
+        let m' =
+          Relation.make (Relation.schema m)
+            (List.mapi
+               (fun i tu -> if i = row then new_row else tu)
+               (Relation.tuples m))
+        in
+        (* Which rules ground differently, and through which row
+           versions? *)
+        let changed =
+          List.filter_map
+            (function
+              | Rules.Ar.Form1 _ -> None
+              | Rules.Ar.Form2 f2 ->
+                  let sel_attrs, join_attrs =
+                    List.fold_left
+                      (fun (sel, join) -> function
+                        | Rules.Ar.Master_const (b, _, _) -> (b :: sel, join)
+                        | Rules.Ar.Te_master (_, b) -> (sel, b :: join)
+                        | Rules.Ar.Te_const _ -> (sel, join))
+                      ([], []) f2.Rules.Ar.f2_lhs
+                  in
+                  if
+                    not
+                      (List.mem attr sel_attrs || List.mem attr join_attrs
+                     || attr = f2.Rules.Ar.f2_tm_attr)
+                  then None
+                  else
+                    let sel tu =
+                      List.for_all
+                        (function
+                          | Rules.Ar.Master_const (b, op, c) ->
+                              Rules.Ar.eval_op op (Tuple.get tu b) c
+                          | _ -> true)
+                        f2.Rules.Ar.f2_lhs
+                    in
+                    let nonsel =
+                      List.mem attr join_attrs || attr = f2.Rules.Ar.f2_tm_attr
+                    in
+                    let so = sel old_row and sn = sel new_row in
+                    let versions =
+                      (if so && ((not sn) || nonsel) then [ old_row ] else [])
+                      @ if sn && ((not so) || nonsel) then [ new_row ] else []
+                    in
+                    if versions = [] then None else Some (f2, versions))
+            (Rules.Ruleset.rules t.ruleset)
+        in
+        (* The reachability probe must cover [te] values under the
+           OLD inputs (did the removed step ever fire?) as well as
+           the new ones, so take the pre-fix copyable set and extend
+           it with the fixed cell's new value where a rule copies
+           that column. *)
+        let ai = Hashtbl.copy (assign_into t) in
+        if not (Value.is_null value) then
+          List.iter
+            (function
+              | Rules.Ar.Form2 { f2_te_attr; f2_tm_attr; _ }
+                when f2_tm_attr = attr ->
+                  Hashtbl.replace ai
+                    (pack_av f2_te_attr (Intern.intern t.sintern value))
+                    ()
+              | _ -> ())
+            (Rules.Ruleset.rules t.ruleset);
+        t.master <- Some m';
+        t.assign_into <- None;
+        List.iter (fun e -> e.e_delta <- None) t.clusters;
+        if changed = [] then Ok (dreport t ~touched:0 ~recleaned:0 ~rows_changed:0)
+        else begin
+          let prune = Robust.Budget.is_unlimited t.budget in
+          let affected e =
+            (not prune)
+            ||
+            match e.e_result.Cleaner.r_outcome with
+            | Cleaner.Quarantined _ | Cleaner.Not_church_rosser _ -> true
+            | _ ->
+                let vals = vals_of t e in
+                let nulls = e.e_result.Cleaner.r_chase_nulls in
+                let reachable al v =
+                  (not (Value.is_null v))
+                  &&
+                  (List.mem al nulls
+                  ||
+                  let key = pack_av al (Intern.intern t.sintern v) in
+                  mem_sorted vals key || Hashtbl.mem ai key)
+                in
+                List.exists
+                  (fun (f2, versions) ->
+                    List.exists
+                      (fun tu ->
+                        List.for_all
+                          (function
+                            | Rules.Ar.Te_master (al, b) ->
+                                reachable al (Tuple.get tu b)
+                            | _ -> true)
+                          f2.Rules.Ar.f2_lhs)
+                      versions)
+                  changed
+          in
+          let dirty, clean = List.partition affected t.clusters in
+          List.iter (fun e -> reclean e t) dirty;
+          List.iter (fun _ -> Obs.Counter.incr m_unaffected) clean;
+          Ok
+            (dreport t ~touched:(List.length dirty)
+               ~recleaned:(List.length dirty)
+               ~rows_changed:(List.length dirty))
+        end
+      end
+
+let rule_add t rule =
+  let name = Rules.Ar.name rule in
+  match Rules.Ruleset.find t.ruleset name with
+  | Some _ ->
+      Error
+        (Robust.Error.rule_invalid
+           (Printf.sprintf "Rule_add: a rule named %S already exists" name))
+  | None -> (
+      match Rules.Ruleset.add t.ruleset rule with
+      | Error e -> Error (Robust.Error.rule_invalid e)
+      | Ok rs ->
+          t.ruleset <- rs;
+          t.assign_into <- None;
+          List.iter (fun e -> e.e_delta <- None) t.clusters;
+          let prune = Robust.Budget.is_unlimited t.budget in
+          let affected e =
+            (not prune)
+            ||
+            match e.e_spec with
+            | None -> true
+            | Some spec ->
+                (* Ground just the new rule against this entity: zero
+                   steps means Γ is provably unchanged (the filtered
+                   pass can only over-approximate), so the cached
+                   result stands. *)
+                Rules.Ground.packed_count
+                  (Rules.Ground.instantiate_packed_only
+                     ~only:(fun r -> r == rule)
+                     ~intern:(Core.Specification.intern spec)
+                     ~ruleset:rs ~entity:e.e_instance ~master:t.master
+                     ~orders:(Core.Specification.numbering spec))
+                > 0
+          in
+          let dirty, clean = List.partition affected t.clusters in
+          List.iter (fun e -> reclean e t) dirty;
+          List.iter (fun _ -> Obs.Counter.incr m_unaffected) clean;
+          Ok
+            (dreport t ~touched:(List.length dirty)
+               ~recleaned:(List.length dirty)
+               ~rows_changed:(List.length dirty)))
+
+let rule_retire t name =
+  if
+    not
+      (List.exists
+         (fun r -> Rules.Ar.name r = name)
+         (Rules.Ruleset.user_rules t.ruleset))
+  then
+    Error
+      (Robust.Error.rule_invalid
+         (Printf.sprintf "Rule_retire: no user rule named %S (axioms cannot be retired)" name))
+  else begin
+    let prune = Robust.Budget.is_unlimited t.budget in
+    (* Probe the rule-level index BEFORE swapping the rule set: an
+       entity whose current Γ carries no step of this rule (every
+       candidate step lost first-provenance dedup or never grounded)
+       keeps an identical Γ after the retire. *)
+    let affected e =
+      (not prune)
+      ||
+      match delta_of t e with
+      | None -> true
+      | Some d -> Rules.Delta.mentions_rule d name
+    in
+    let dirty, clean = List.partition affected t.clusters in
+    t.ruleset <- Rules.Ruleset.remove t.ruleset name;
+    t.assign_into <- None;
+    List.iter (fun e -> e.e_delta <- None) dirty;
+    List.iter (fun e -> reclean e t) dirty;
+    List.iter (fun _ -> Obs.Counter.incr m_unaffected) clean;
+    Ok
+      (dreport t ~touched:(List.length dirty) ~recleaned:(List.length dirty)
+         ~rows_changed:(List.length dirty))
+  end
+
+let update t u =
+  Obs.Span.with_ ~name:"session.update" @@ fun () ->
+  match u with
+  | Tuple_add tuple -> tuple_add t tuple
+  | Tuple_retract pos -> tuple_retract t pos
+  | Master_fix { row; attr; value } -> master_fix t ~row ~attr ~value
+  | Rule_add rule -> rule_add t rule
+  | Rule_retire name -> rule_retire t name
+
+let apply t updates =
+  let* n =
+    List.fold_left
+      (fun acc u ->
+        let* n = acc in
+        let* _ = update t u in
+        Ok (n + 1))
+      (Ok 0) updates
+  in
+  Ok (n, report t)

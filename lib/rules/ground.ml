@@ -533,8 +533,12 @@ type packed = {
   pk_avals : Value.t array; (* Assign spellings, in emission order *)
 }
 
-let instantiate_packed ~intern ~ruleset ~entity ~master ~orders =
-  let rules = Ruleset.rules ruleset in
+let instantiate_packed_only ~only ~intern ~ruleset ~entity ~master ~orders =
+  (* [only] restricts which rules of Σ are instantiated — the delta
+     path: when a rule is added to a live session, only its own
+     ground steps are needed to decide whether the entity's Γ grows
+     at all. The filter runs once per rule, outside the hot loops. *)
+  let rules = List.filter only (Ruleset.rules ruleset) in
   let n = Relation.size entity in
   let arity = Array.length orders in
   (* Flat per-attribute id tables: tuple -> class, tuple -> interned
@@ -1145,6 +1149,28 @@ let packed_actions pk =
   done;
   out
 
+(* Appending packed arenas is pure index arithmetic: predicate
+   offsets of the second block shift by the first block's word count,
+   and [Assign] spellings concatenate because both decoders above
+   consume the aval arena in emission order, never via stored
+   indices. *)
+let packed_append a b =
+  if a.pk_intern != b.pk_intern then
+    invalid_arg "Ground.packed_append: arenas use different intern tables";
+  let off = Array.length a.pk_preds in
+  let rec2 = Array.copy b.pk_rec in
+  for i = 0 to b.pk_count - 1 do
+    rec2.((3 * i) + 1) <- rec2.((3 * i) + 1) + off
+  done;
+  {
+    pk_intern = a.pk_intern;
+    pk_count = a.pk_count + b.pk_count;
+    pk_rec = Array.append a.pk_rec rec2;
+    pk_preds = Array.append a.pk_preds b.pk_preds;
+    pk_names = Array.append a.pk_names b.pk_names;
+    pk_avals = Array.append a.pk_avals b.pk_avals;
+  }
+
 (* Materialize [step] records: walk the arrays backward so the list
    comes out in emission (sid) order without a [List.rev] pass.
    Assign values were pushed in emission order, so they pop in
@@ -1225,6 +1251,10 @@ let steps_of_packed pk =
   Imap.clear pl1;
   Imap.clear act_cache;
   steps
+
+let instantiate_packed ~intern ~ruleset ~entity ~master ~orders =
+  instantiate_packed_only ~only:(fun _ -> true) ~intern ~ruleset ~entity ~master
+    ~orders
 
 let instantiate ~intern ~ruleset ~entity ~master ~orders =
   steps_of_packed (instantiate_packed ~intern ~ruleset ~entity ~master ~orders)

@@ -66,6 +66,23 @@ val instantiate_packed :
     instantiation semantics; the two entry points share the whole
     emission pipeline and produce identical step sequences. *)
 
+val instantiate_packed_only :
+  only:(Ar.t -> bool) ->
+  intern:Relational.Intern.t ->
+  ruleset:Ruleset.t ->
+  entity:Relational.Relation.t ->
+  master:Relational.Relation.t option ->
+  orders:Ordering.Attr_order.numbering array ->
+  packed
+(** {!instantiate_packed} restricted to the rules [only] accepts
+    (axioms included in the scan) — the {e delta} entry point:
+    grounding just an added rule against a live entity decides
+    whether its Γ grows without re-instantiating the rest of Σ. Note
+    that dedup then only sees the filtered rules, so a step
+    duplicating one of an excluded rule is emitted here even though a
+    full instantiation would have deduplicated it — callers treat a
+    non-empty delta as "possibly affected", which stays sound. *)
+
 val packed_count : packed -> int
 (** |Γ|. *)
 
@@ -83,6 +100,14 @@ val packed_actions : packed -> action array
 (** The decoded action of every step, indexed by [sid]. [Assign]
     actions carry the master row's own value spelling, exactly as in
     the [step] records. *)
+
+val packed_append : packed -> packed -> packed
+(** Concatenate two packed arenas: the result's steps are [a]'s
+    followed by [b]'s, sids renumbered accordingly. Both must have
+    been grounded with the {e same} intern table (physical equality —
+    raises [Invalid_argument] otherwise); no cross-block dedup is
+    performed, mirroring {!instantiate_packed_only}'s contract. This
+    is how a live session splices a delta Γ onto its compiled base. *)
 
 val steps_of_packed : packed -> step list
 (** The [step] records of a packed Γ, in [sid] order, with shared

@@ -7,7 +7,21 @@ type run = {
   max_steps : int option;
 }
 
-type op = Run of run | Ping | Metrics | Shutdown
+type upd =
+  | U_tuple_add of string list
+  | U_tuple_retract of int
+  | U_master_fix of { row : int; attr : string; value : string }
+  | U_rule_add of string
+  | U_rule_retire of string
+
+type op =
+  | Run of run
+  | Session_open of run
+  | Session_update of { key : string; upd : upd }
+  | Ping
+  | Metrics
+  | Shutdown
+
 type request = { id : string; op : op }
 
 (* ------------------------------------------------------------------ *)
@@ -58,6 +72,62 @@ let task_of_json j = function
       Ok (Framework.Pipeline.Clean { key_attrs; threshold; retries; jobs })
   | t -> Error (Printf.sprintf "unknown task %S (chase|topk|clean)" t)
 
+let run_of_json j ~default_task =
+  let* tname =
+    match (opt_str j "task", default_task) with
+    | Some t, _ -> Ok t
+    | None, Some t -> Ok t
+    | None, None -> Error "missing or non-string field \"task\""
+  in
+  let* task = task_of_json j tname in
+  let* entity = str_field j "entity" in
+  let* rules = str_field j "rules" in
+  Ok
+    {
+      entity;
+      master = opt_str j "master";
+      rules;
+      task;
+      deadline_ms = opt_num j "deadline_ms";
+      max_steps = opt_int j "max_steps";
+    }
+
+let int_field j k =
+  match opt_int j k with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" k)
+
+let upd_of_json j =
+  let* kind = str_field j "kind" in
+  match kind with
+  | "tuple_add" -> (
+      match Json.member "values" j with
+      | Some (Json.Arr xs) ->
+          let vs = List.filter_map Json.to_str xs in
+          if List.length vs = List.length xs then Ok (U_tuple_add vs)
+          else Error "field \"values\" must contain only strings"
+      | _ -> Error "update \"tuple_add\" requires a string array \"values\"")
+  | "tuple_retract" ->
+      let* pos = int_field j "pos" in
+      Ok (U_tuple_retract pos)
+  | "master_fix" ->
+      let* row = int_field j "row" in
+      let* attr = str_field j "attr" in
+      let* value = str_field j "value" in
+      Ok (U_master_fix { row; attr; value })
+  | "rule_add" ->
+      let* rule = str_field j "rule" in
+      Ok (U_rule_add rule)
+  | "rule_retire" ->
+      let* name = str_field j "name" in
+      Ok (U_rule_retire name)
+  | k ->
+      Error
+        (Printf.sprintf
+           "unknown update kind %S \
+            (tuple_add|tuple_retract|master_fix|rule_add|rule_retire)"
+           k)
+
 let parse_request line =
   let* j =
     match Json.parse line with
@@ -71,21 +141,22 @@ let parse_request line =
   | Some "metrics" -> Ok { id; op = Metrics }
   | Some "shutdown" -> Ok { id; op = Shutdown }
   | Some "run" | None ->
-      let* tname = str_field j "task" in
-      let* task = task_of_json j tname in
-      let* entity = str_field j "entity" in
-      let* rules = str_field j "rules" in
-      let run =
-        {
-          entity;
-          master = opt_str j "master";
-          rules;
-          task;
-          deadline_ms = opt_num j "deadline_ms";
-          max_steps = opt_int j "max_steps";
-        }
-      in
+      let* run = run_of_json j ~default_task:None in
       Ok { id; op = Run run }
+  | Some "session" ->
+      (* A session is an incremental clean; the task may be omitted
+         (only "clean" is legal anyway). *)
+      let* run = run_of_json j ~default_task:(Some "clean") in
+      let* () =
+        match run.task with
+        | Framework.Pipeline.Clean _ -> Ok ()
+        | _ -> Error "op \"session\" requires task \"clean\""
+      in
+      Ok { id; op = Session_open run }
+  | Some "update" ->
+      let* key = str_field j "session" in
+      let* upd = upd_of_json j in
+      Ok { id; op = Session_update { key; upd } }
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
 
 let spec_key (r : run) : Checkpoint.spec_key =
@@ -99,6 +170,8 @@ let request_class req =
   | Run { task = Framework.Pipeline.Chase; _ } -> "chase"
   | Run { task = Framework.Pipeline.Topk _; _ } -> "topk"
   | Run { task = Framework.Pipeline.Clean _; _ } -> "clean"
+  | Session_open _ -> "session"
+  | Session_update _ -> "update"
 
 (* ------------------------------------------------------------------ *)
 (* Response rendering                                                 *)
@@ -114,6 +187,18 @@ let target_json schema te =
 
 let trip_json (trip : Robust.Error.trip) =
   Json.Str (Robust.Error.trip_to_string trip)
+
+let clean_fields (r : Framework.Cleaner.report) =
+  [
+    ("entities", Json.int r.entities);
+    ("complete", Json.int r.complete);
+    ("completed_by_topk", Json.int r.completed_by_topk);
+    ("still_incomplete", Json.int r.still_incomplete);
+    ("rejected", Json.int r.rejected);
+    ("quarantined", Json.int r.quarantined);
+    ("retries_used", Json.int r.retries_used);
+    ("cell_changes", Json.int r.cell_changes);
+  ]
 
 (* Render the report body and decide ok-vs-degraded. Degraded means
    "sound but partial": a tripped chase/top-k budget, or a clean with
@@ -163,18 +248,7 @@ let result_json (report : Framework.Pipeline.report) =
              ]) )
   | Cleaned r ->
       ( r.quarantined > 0,
-        Json.Obj
-          [
-            ("kind", Json.Str "clean");
-            ("entities", Json.int r.entities);
-            ("complete", Json.int r.complete);
-            ("completed_by_topk", Json.int r.completed_by_topk);
-            ("still_incomplete", Json.int r.still_incomplete);
-            ("rejected", Json.int r.rejected);
-            ("quarantined", Json.int r.quarantined);
-            ("retries_used", Json.int r.retries_used);
-            ("cell_changes", Json.int r.cell_changes);
-          ] )
+        Json.Obj (("kind", Json.Str "clean") :: clean_fields r) )
 
 let timing_fields ~queue_ms ~work_ms =
   [ ("queue_ms", Json.Num queue_ms); ("work_ms", Json.Num work_ms) ]
@@ -191,6 +265,53 @@ let ok_response ~id ~queue_ms ~work_ms report =
             ];
             timing_fields ~queue_ms ~work_ms;
             [ ("result", result) ];
+          ]))
+
+let session_response ~id ~queue_ms ~work_ms ~key (report : Framework.Cleaner.report)
+    =
+  Json.to_string
+    (Json.Obj
+       (List.concat
+          [
+            [
+              ("id", Json.Str id);
+              ( "status",
+                Json.Str (if report.quarantined > 0 then "degraded" else "ok")
+              );
+            ];
+            timing_fields ~queue_ms ~work_ms;
+            [
+              ( "result",
+                Json.Obj
+                  (("kind", Json.Str "session")
+                  :: ("session", Json.Str key)
+                  :: clean_fields report) );
+            ];
+          ]))
+
+let update_response ~id ~queue_ms ~work_ms
+    (delta : Framework.Session.delta_report)
+    (report : Framework.Cleaner.report) =
+  Json.to_string
+    (Json.Obj
+       (List.concat
+          [
+            [
+              ("id", Json.Str id);
+              ( "status",
+                Json.Str (if report.quarantined > 0 then "degraded" else "ok")
+              );
+            ];
+            timing_fields ~queue_ms ~work_ms;
+            [
+              ( "result",
+                Json.Obj
+                  (("kind", Json.Str "update")
+                  :: ("touched", Json.int delta.d_touched)
+                  :: ("recleaned", Json.int delta.d_recleaned)
+                  :: ("rows_changed", Json.int delta.d_rows_changed)
+                  :: clean_fields report) );
+            ];
           ]))
 
 let error_response ~id ~queue_ms ~work_ms err =

@@ -34,7 +34,31 @@ type run = {
   max_steps : int option;
 }
 
-type op = Run of run | Ping | Metrics | Shutdown
+(** A session update, syntactically parsed — cell values and rule
+    text are resolved against the session's schemas by the server,
+    not here. *)
+type upd =
+  | U_tuple_add of string list
+      (** cell literals, re-typed like CSV cells *)
+  | U_tuple_retract of int  (** current-relation position *)
+  | U_master_fix of { row : int; attr : string; value : string }
+      (** master row index, attribute {e name}, cell literal *)
+  | U_rule_add of string  (** one rule in relacc syntax *)
+  | U_rule_retire of string  (** user-rule name *)
+
+type op =
+  | Run of run
+  | Session_open of run
+      (** op ["session"]: open (or re-open) an incremental cleaning
+          session; the run's task must be [Clean] (and defaults to
+          it when the ["task"] field is absent) *)
+  | Session_update of { key : string; upd : upd }
+      (** op ["update"]: one update against the session named by the
+          ["session"] field (the key returned by [Session_open]) *)
+  | Ping
+  | Metrics
+  | Shutdown
+
 type request = { id : string; op : op }
 
 val parse_request : string -> (request, string) result
@@ -46,8 +70,8 @@ val spec_key : run -> Checkpoint.spec_key
     descriptor and the circuit-breaker registry key. *)
 
 val request_class : request -> string
-(** ["chase"] / ["topk"] / ["clean"] / ["ping"] / ["metrics"] /
-    ["shutdown"] — the SLO bucketing key. *)
+(** ["chase"] / ["topk"] / ["clean"] / ["session"] / ["update"] /
+    ["ping"] / ["metrics"] / ["shutdown"] — the SLO bucketing key. *)
 
 (** {2 Responses} *)
 
@@ -60,6 +84,28 @@ val ok_response :
 (** Renders status [ok] or [degraded] — degraded when the chase or
     top-k budget tripped, or a clean quarantined entities. The line
     has no trailing newline. *)
+
+val session_response :
+  id:string ->
+  queue_ms:float ->
+  work_ms:float ->
+  key:string ->
+  Framework.Cleaner.report ->
+  string
+(** The [Session_open] success line: the initial clean's counters
+    plus the ["session"] key later updates must quote. Degraded when
+    entities were quarantined, exactly as for a batch clean. *)
+
+val update_response :
+  id:string ->
+  queue_ms:float ->
+  work_ms:float ->
+  Framework.Session.delta_report ->
+  Framework.Cleaner.report ->
+  string
+(** The [Session_update] success line: the delta counters (touched /
+    recleaned / rows_changed) plus the maintained report's clean
+    counters. *)
 
 val error_response :
   id:string -> queue_ms:float -> work_ms:float -> Robust.Error.t -> string

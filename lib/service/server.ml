@@ -33,16 +33,30 @@ let m_queue_depth = Obs.Gauge.make "service_queue_depth"
 let m_queue_ms = Obs.Histogram.make "service_queue_ms"
 let m_work_ms = Obs.Histogram.make "service_work_ms"
 
+(* What a worker dequeues: a one-shot run, a session open (the
+   initial clean), or a session update. All three share the queue,
+   admission control, and the worker fault boundary. *)
+type job =
+  | J_run of Protocol.run
+  | J_open of Protocol.run
+  | J_update of { key : string; upd : Protocol.upd }
+
 type pending = {
   seq : int;
   id : string;
-  run : Protocol.run;
+  job : job;
   line : string;
   arrival_ms : float;
   reply : string -> unit;
 }
 
 type cached_spec = { spec : Core.Specification.t; mtimes : float list }
+
+(* A live session plus its own lock: sessions are single-threaded on
+   the update side, but the worker pool is not — two queued updates
+   against the same session must serialise (each other worker just
+   blocks, it does not spin). *)
+type live_session = { smu : Mutex.t; session : Framework.Pipeline.Session.t }
 
 type t = {
   cfg : config;
@@ -59,6 +73,8 @@ type t = {
   breakers : (string, Breaker.t) Hashtbl.t;
   specs_mu : Mutex.t;
   specs : (string, cached_spec) Hashtbl.t;
+  sessions_mu : Mutex.t;
+  sessions : (string, live_session) Hashtbl.t;
   checkpoint : Checkpoint.t option;
   mutable stop_requested : bool;
   mutable stopped : bool;
@@ -140,95 +156,231 @@ let is_degraded (report : Framework.Pipeline.report) =
   | Cleaned r -> r.quarantined > 0
   | Chased _ -> false
 
-let compute_response t p ~queue_ms =
-  let work_start = now_ms () in
-  let work_ms () = now_ms () -. work_start in
+(* The deadline-shed prologue, shared by runs and session opens: if
+   the deadline elapsed while the request sat in the queue, shed now
+   rather than burn a worker on an answer nobody can use. Same error
+   class as admission rejection — both mean "the service was too
+   loaded for this request". *)
+let with_deadline t ~id ~queue_ms deadline_ms k =
   let requested =
-    match p.run.deadline_ms with
+    match deadline_ms with
     | Some _ as d -> d
     | None -> t.cfg.default_deadline_ms
   in
   let remaining = Option.map (fun d -> d -. queue_ms) requested in
   match remaining with
   | Some r when r <= 0.0 ->
-      (* The deadline elapsed while the request sat in the queue:
-         shed now rather than burn a worker on an answer nobody can
-         use. Same error class as admission rejection — both mean
-         "the service was too loaded for this request". *)
       Atomic.incr t.n_shed;
       Obs.Counter.incr m_shed;
-      Protocol.error_response ~id:p.id ~queue_ms ~work_ms:0.0
+      Protocol.error_response ~id ~queue_ms ~work_ms:0.0
         (Robust.Error.overloaded ~depth:(Admission.depth t.queue)
            (Printf.sprintf
               "deadline (%.0f ms) expired after %.0f ms in queue"
               (Option.get requested) queue_ms))
-  | _ -> (
-      let kname = Checkpoint.spec_key_name (Protocol.spec_key p.run) in
-      let breaker = breaker_for t kname in
-      match Breaker.acquire breaker ~now_ms:(now_ms ()) with
-      | `Reject retry_ms ->
-          Atomic.incr t.n_breaker_rejects;
-          Obs.Counter.incr m_breaker_rejects;
-          Protocol.error_response ~id:p.id ~queue_ms ~work_ms:0.0
-            (Robust.Error.circuit_open ~spec:kname ~retry_ms
-               "circuit open: recent requests against this spec failed")
-      | (`Proceed | `Probe) as role ->
-          let result =
-            (* Exceptions become typed errors *here*, inside the
-               breaker scope, so a crashing spec counts as an
-               [Internal] failure (and resolves a half-open probe)
-               instead of escaping to the worker fault boundary past
-               the accounting below. *)
-            try
-              match spec_for t p.run with
-              | Error _ as e -> e
-              | Ok spec ->
-                  Option.iter
-                    (fun c -> Checkpoint.note_warm c (Protocol.spec_key p.run))
-                    t.checkpoint;
-                  let limits =
-                    {
-                      Robust.Budget.max_steps =
-                        (match p.run.max_steps with
-                        | Some _ as s -> s
-                        | None -> t.cfg.default_max_steps);
-                      max_instantiations = None;
-                      deadline_ms = remaining;
-                    }
-                  in
-                  Framework.Pipeline.execute ~limits spec p.run.task
-            with exn -> Error (Robust.Error.of_exn exn)
-          in
-          (* Breaker accounting: only [Internal] failures and
-             quarantine-heavy cleans count against the spec;
-             deterministic typed errors (unreadable file, bad rule
-             text) neither trip nor reset — but a half-open probe
-             must still be resolved, else the breaker wedges in
-             [Half_open] and rejects the spec forever. *)
-          (match result with
-          | Error (Robust.Error.Internal _) ->
-              Breaker.record breaker ~now_ms:(now_ms ()) ~ok:false
-          | Ok report when quarantine_heavy report ->
-              Breaker.record breaker ~now_ms:(now_ms ()) ~ok:false
-          | Ok _ -> Breaker.record breaker ~now_ms:(now_ms ()) ~ok:true
-          | Error _ -> (
-              match role with
-              | `Probe -> Breaker.abort breaker ~now_ms:(now_ms ())
-              | `Proceed -> ()));
-          (match result with
-          | Ok report ->
-              if is_degraded report then begin
-                Atomic.incr t.n_degraded;
-                Obs.Counter.incr m_degraded
-              end
-          | Error _ ->
-              Atomic.incr t.n_errors;
-              Obs.Counter.incr m_errors);
-          let work_ms = work_ms () in
-          Obs.Histogram.observe m_work_ms work_ms;
-          (match result with
-          | Ok report -> Protocol.ok_response ~id:p.id ~queue_ms ~work_ms report
-          | Error e -> Protocol.error_response ~id:p.id ~queue_ms ~work_ms e))
+  | _ -> k remaining
+
+(* Breaker-scoped execution, shared by runs and session opens:
+   [work remaining] loads the spec and computes; [render] turns the
+   [Ok] payload into a response line; [report_of] extracts the clean
+   outcome for quarantine-heavy accounting (and [degraded_of] the
+   degraded verdict). *)
+let compute_run t p (run : Protocol.run) ~queue_ms =
+  let work_start = now_ms () in
+  let work_ms () = now_ms () -. work_start in
+  let is_open = match p.job with J_open _ -> true | _ -> false in
+  with_deadline t ~id:p.id ~queue_ms run.deadline_ms @@ fun remaining ->
+  let kname = Checkpoint.spec_key_name (Protocol.spec_key run) in
+  let breaker = breaker_for t kname in
+  match Breaker.acquire breaker ~now_ms:(now_ms ()) with
+  | `Reject retry_ms ->
+      Atomic.incr t.n_breaker_rejects;
+      Obs.Counter.incr m_breaker_rejects;
+      Protocol.error_response ~id:p.id ~queue_ms ~work_ms:0.0
+        (Robust.Error.circuit_open ~spec:kname ~retry_ms
+           "circuit open: recent requests against this spec failed")
+  | (`Proceed | `Probe) as role ->
+      let limits =
+        {
+          Robust.Budget.max_steps =
+            (match run.max_steps with
+            | Some _ as s -> s
+            | None -> t.cfg.default_max_steps);
+          max_instantiations = None;
+          deadline_ms = remaining;
+        }
+      in
+      let result =
+        (* Exceptions become typed errors *here*, inside the
+           breaker scope, so a crashing spec counts as an
+           [Internal] failure (and resolves a half-open probe)
+           instead of escaping to the worker fault boundary past
+           the accounting below. *)
+        try
+          match spec_for t run with
+          | Error _ as e -> e
+          | Ok spec ->
+              Option.iter
+                (fun c -> Checkpoint.note_warm c (Protocol.spec_key run))
+                t.checkpoint;
+              if is_open then (
+                  match run.task with
+                  | Framework.Pipeline.Clean
+                      { key_attrs; threshold; retries; jobs } -> (
+                      match
+                        Framework.Pipeline.Session.open_spec ~key_attrs
+                          ~threshold ~retries ~jobs ~limits spec
+                      with
+                      | Error _ as e -> e
+                      | Ok session ->
+                          (* Re-opening replaces the old session —
+                             the idempotent "reset to a fresh full
+                             clean" semantics a crashed client
+                             wants. *)
+                          Mutex.protect t.sessions_mu (fun () ->
+                              Hashtbl.replace t.sessions kname
+                                { smu = Mutex.create (); session });
+                          Ok
+                            {
+                              Framework.Pipeline.spec;
+                              outcome =
+                                Framework.Pipeline.Cleaned
+                                  (Framework.Pipeline.Session.report session);
+                            })
+                  | _ ->
+                      Error
+                        (Robust.Error.spec_invalid
+                           "op \"session\" requires task \"clean\""))
+              else Framework.Pipeline.execute ~limits spec run.task
+        with exn -> Error (Robust.Error.of_exn exn)
+      in
+      (* Breaker accounting: only [Internal] failures and
+         quarantine-heavy cleans count against the spec;
+         deterministic typed errors (unreadable file, bad rule
+         text) neither trip nor reset — but a half-open probe
+         must still be resolved, else the breaker wedges in
+         [Half_open] and rejects the spec forever. *)
+      (match result with
+      | Error (Robust.Error.Internal _) ->
+          Breaker.record breaker ~now_ms:(now_ms ()) ~ok:false
+      | Ok report when quarantine_heavy report ->
+          Breaker.record breaker ~now_ms:(now_ms ()) ~ok:false
+      | Ok _ -> Breaker.record breaker ~now_ms:(now_ms ()) ~ok:true
+      | Error _ -> (
+          match role with
+          | `Probe -> Breaker.abort breaker ~now_ms:(now_ms ())
+          | `Proceed -> ()));
+      (match result with
+      | Ok report ->
+          if is_degraded report then begin
+            Atomic.incr t.n_degraded;
+            Obs.Counter.incr m_degraded
+          end
+      | Error _ ->
+          Atomic.incr t.n_errors;
+          Obs.Counter.incr m_errors);
+      let work_ms = work_ms () in
+      Obs.Histogram.observe m_work_ms work_ms;
+      (match result with
+      | Ok { Framework.Pipeline.outcome = Framework.Pipeline.Cleaned r; _ }
+        when is_open ->
+          (* Session open: same counters as a clean, plus the key
+             that updates must quote. *)
+          Protocol.session_response ~id:p.id ~queue_ms ~work_ms ~key:kname r
+      | Ok report -> Protocol.ok_response ~id:p.id ~queue_ms ~work_ms report
+      | Error e -> Protocol.error_response ~id:p.id ~queue_ms ~work_ms e)
+
+(* Resolve a syntactic update against the session's schemas: cell
+   literals re-type like CSV cells, master attributes resolve by
+   name, rule text parses against the live schemas. *)
+let resolve_update session (upd : Protocol.upd) =
+  let module S = Framework.Pipeline.Session in
+  match upd with
+  | Protocol.U_tuple_add cells ->
+      Ok
+        (S.Tuple_add
+           (Relational.Tuple.make
+              (Array.of_list
+                 (List.map Relational.Value.of_string_guess cells))))
+  | Protocol.U_tuple_retract pos -> Ok (S.Tuple_retract pos)
+  | Protocol.U_master_fix { row; attr; value } -> (
+      match S.master session with
+      | None ->
+          Error (Robust.Error.spec_invalid "session has no master relation")
+      | Some m -> (
+          match
+            Relational.Schema.index_opt (Relational.Relation.schema m) attr
+          with
+          | None ->
+              Error
+                (Robust.Error.spec_invalid
+                   (Printf.sprintf "unknown master attribute %S" attr))
+          | Some a ->
+              Ok
+                (S.Master_fix
+                   {
+                     row;
+                     attr = a;
+                     value = Relational.Value.of_string_guess value;
+                   })))
+  | Protocol.U_rule_add text -> (
+      let schema = Relational.Relation.schema (S.relation session) in
+      let master = Option.map Relational.Relation.schema (S.master session) in
+      match Rules.Parser.parse_robust ~schema ?master text with
+      | Error _ as e -> e
+      | Ok [ rule ] -> Ok (S.Rule_add rule)
+      | Ok rules ->
+          Error
+            (Robust.Error.rule_invalid
+               (Printf.sprintf "rule_add expects exactly one rule, got %d"
+                  (List.length rules))))
+  | Protocol.U_rule_retire name -> Ok (S.Rule_retire name)
+
+let compute_update t p ~key ~upd ~queue_ms =
+  let work_start = now_ms () in
+  let module S = Framework.Pipeline.Session in
+  let live =
+    Mutex.protect t.sessions_mu @@ fun () -> Hashtbl.find_opt t.sessions key
+  in
+  let result =
+    match live with
+    | None ->
+        Error
+          (Robust.Error.spec_invalid
+             (Printf.sprintf
+                "unknown session %S (open it with op \"session\")" key))
+    | Some { smu; session } ->
+        (* One update at a time per session; concurrent updates to
+           DIFFERENT sessions proceed in parallel on other workers. *)
+        Mutex.protect smu @@ fun () ->
+        (try
+           match resolve_update session upd with
+           | Error _ as e -> e
+           | Ok u -> (
+               match S.update session u with
+               | Error _ as e -> e
+               | Ok delta -> Ok (delta, S.report session))
+         with exn -> Error (Robust.Error.of_exn exn))
+  in
+  (match result with
+  | Ok (_, report) ->
+      if report.Framework.Cleaner.quarantined > 0 then begin
+        Atomic.incr t.n_degraded;
+        Obs.Counter.incr m_degraded
+      end
+  | Error _ ->
+      Atomic.incr t.n_errors;
+      Obs.Counter.incr m_errors);
+  let work_ms = now_ms () -. work_start in
+  Obs.Histogram.observe m_work_ms work_ms;
+  match result with
+  | Ok (delta, report) ->
+      Protocol.update_response ~id:p.id ~queue_ms ~work_ms delta report
+  | Error e -> Protocol.error_response ~id:p.id ~queue_ms ~work_ms e
+
+let compute_response t p ~queue_ms =
+  match p.job with
+  | J_run run | J_open run -> compute_run t p run ~queue_ms
+  | J_update { key; upd } -> compute_update t p ~key ~upd ~queue_ms
 
 let finish_request t seq =
   Option.iter
@@ -291,11 +443,47 @@ let metrics_response t ~id =
                ("errors", Json.int (Atomic.get t.n_errors));
                ("breaker_rejects", Json.int (Atomic.get t.n_breaker_rejects));
                ("queue_depth", Json.int (Admission.depth t.queue));
+               ( "sessions",
+                 Json.int
+                   (Mutex.protect t.sessions_mu (fun () ->
+                        Hashtbl.length t.sessions)) );
                ("completed", Json.int (Atomic.get t.completed));
                ("compile_hits", Json.int cache.hits);
                ("compile_misses", Json.int cache.misses);
              ] );
        ])
+
+let enqueue t ~id ~line ~reply job =
+  if t.stop_requested then begin
+    Atomic.incr t.n_shed;
+    Obs.Counter.incr m_shed;
+    reply
+      (Protocol.error_response ~id ~queue_ms:0.0 ~work_ms:0.0
+         (Robust.Error.overloaded ~depth:(Admission.depth t.queue)
+            "server is shutting down"))
+  end
+  else begin
+    let seq = Atomic.fetch_and_add t.seq 1 in
+    let p = { seq; id; job; line; arrival_ms = now_ms (); reply } in
+    (* Journal [begin] before the request becomes visible to
+       workers: admitting first would let a fast worker reach
+       [end_request] (a no-op on an unknown seq) before [begin]
+       lands, leaving the entry open forever and replayed on
+       every restart. A rejected admission closes the entry
+       right back; a crash in between merely replays a request
+       whose client never got an answer — idempotent. *)
+    Option.iter (fun c -> Checkpoint.begin_request c ~seq ~line) t.checkpoint;
+    match Admission.admit t.queue p with
+    | Error depth ->
+        Option.iter (fun c -> Checkpoint.end_request c ~seq) t.checkpoint;
+        Atomic.incr t.n_shed;
+        Obs.Counter.incr m_shed;
+        reply
+          (Protocol.error_response ~id ~queue_ms:0.0 ~work_ms:0.0
+             (Robust.Error.overloaded ~depth
+                (Printf.sprintf "admission queue full (depth %d)" depth)))
+    | Ok () -> Obs.Gauge.add m_queue_depth 1.0
+  end
 
 let submit t ~line ~reply =
   let reply s = try reply s with _ -> () in
@@ -310,37 +498,10 @@ let submit t ~line ~reply =
   | Ok { id; op = Shutdown } ->
       t.stop_requested <- true;
       reply (Protocol.pong_response ~id)
-  | Ok { id; op = Run run } -> (
-      if t.stop_requested then begin
-        Atomic.incr t.n_shed;
-        Obs.Counter.incr m_shed;
-        reply
-          (Protocol.error_response ~id ~queue_ms:0.0 ~work_ms:0.0
-             (Robust.Error.overloaded ~depth:(Admission.depth t.queue)
-                "server is shutting down"))
-      end
-      else
-        let seq = Atomic.fetch_and_add t.seq 1 in
-        let p = { seq; id; run; line; arrival_ms = now_ms (); reply } in
-        (* Journal [begin] before the request becomes visible to
-           workers: admitting first would let a fast worker reach
-           [end_request] (a no-op on an unknown seq) before [begin]
-           lands, leaving the entry open forever and replayed on
-           every restart. A rejected admission closes the entry
-           right back; a crash in between merely replays a request
-           whose client never got an answer — idempotent. *)
-        Option.iter (fun c -> Checkpoint.begin_request c ~seq ~line)
-          t.checkpoint;
-        match Admission.admit t.queue p with
-        | Error depth ->
-            Option.iter (fun c -> Checkpoint.end_request c ~seq) t.checkpoint;
-            Atomic.incr t.n_shed;
-            Obs.Counter.incr m_shed;
-            reply
-              (Protocol.error_response ~id ~queue_ms:0.0 ~work_ms:0.0
-                 (Robust.Error.overloaded ~depth
-                    (Printf.sprintf "admission queue full (depth %d)" depth)))
-        | Ok () -> Obs.Gauge.add m_queue_depth 1.0)
+  | Ok { id; op = Run run } -> enqueue t ~id ~line ~reply (J_run run)
+  | Ok { id; op = Session_open run } -> enqueue t ~id ~line ~reply (J_open run)
+  | Ok { id; op = Session_update { key; upd } } ->
+      enqueue t ~id ~line ~reply (J_update { key; upd })
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                          *)
@@ -401,6 +562,8 @@ let create (cfg : config) =
       breakers = Hashtbl.create 8;
       specs_mu = Mutex.create ();
       specs = Hashtbl.create 8;
+      sessions_mu = Mutex.create ();
+      sessions = Hashtbl.create 8;
       checkpoint = Option.map (fun path -> Checkpoint.create ~path)
           cfg.checkpoint_path;
       stop_requested = false;

@@ -1,9 +1,11 @@
 module Preference = Preference
 module Active_domain = Active_domain
 module Candidate_oracle = Candidate_oracle
-module Rank_join_ct = Rank_join_ct
-module Topk_ct = Topk_ct
-module Topk_ct_h = Topk_ct_h
+module Private = struct
+  module Rank_join_ct = Rank_join_ct
+  module Topk_ct = Topk_ct
+  module Topk_ct_h = Topk_ct_h
+end
 
 type algo = [ `Rank_join | `Ct | `Ct_h ]
 

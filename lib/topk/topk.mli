@@ -2,23 +2,26 @@
     domains, and one entry point — {!solve} — over the three
     completion algorithms.
 
-    [solve] is the supported API: it validates its inputs into typed
-    {!Robust.Error.t} values (instead of raising), normalises the
-    three algorithms' budget knobs, and reports exhaustion uniformly.
-    The per-algorithm modules remain available for code that needs
-    their detailed statistics, but their direct use is deprecated. *)
+    [solve] is the single public solver API: it validates its inputs
+    into typed {!Robust.Error.t} values (instead of raising),
+    normalises the three algorithms' budget knobs, and reports
+    exhaustion uniformly. The per-algorithm run surfaces live under
+    {!Private} — reachable for the test suite and benchmarks that
+    assert on their detailed statistics, not part of the supported
+    surface. *)
 
 module Preference = Preference
 module Active_domain = Active_domain
 module Candidate_oracle = Candidate_oracle
 
-module Rank_join_ct = Rank_join_ct
-[@@deprecated "Use Topk.solve ~algo:`Rank_join instead."]
-
-module Topk_ct = Topk_ct [@@deprecated "Use Topk.solve ~algo:`Ct instead."]
-
-module Topk_ct_h = Topk_ct_h
-[@@deprecated "Use Topk.solve ~algo:`Ct_h instead."]
+(** The per-algorithm engines. No stability guarantees: statistics
+    fields and run knobs change as the algorithms evolve; production
+    callers go through {!solve}. *)
+module Private : sig
+  module Rank_join_ct = Rank_join_ct
+  module Topk_ct = Topk_ct
+  module Topk_ct_h = Topk_ct_h
+end
 
 type algo = [ `Rank_join  (** RankJoinCT, §6.1 *)
             | `Ct  (** TopKCT, §6.2 (Fig. 5) — the default *)

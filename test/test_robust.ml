@@ -271,25 +271,25 @@ let test_rank_join_budget () =
   check bool "te is incomplete" true (Array.exists Value.is_null te);
   let pref = Topk.Preference.of_occurrences Mj.stat in
   let free =
-    Topk.Rank_join_ct.run ~k:2 ~pref compiled te
+    Topk.Private.Rank_join_ct.run ~k:2 ~pref compiled te
   in
-  (match free.Topk.Rank_join_ct.status with
-  | Topk.Rank_join_ct.Complete -> ()
-  | Topk.Rank_join_ct.Search_exhausted _ -> fail "unbudgeted run must complete");
+  (match free.Topk.Private.Rank_join_ct.status with
+  | Topk.Private.Rank_join_ct.Complete -> ()
+  | Topk.Private.Rank_join_ct.Search_exhausted _ -> fail "unbudgeted run must complete");
   let squeezed =
-    Topk.Rank_join_ct.run
+    Topk.Private.Rank_join_ct.run
       ~budget:(Budget.start (Budget.limits ~max_steps:1 ()))
       ~k:2 ~pref compiled te
   in
-  (match squeezed.Topk.Rank_join_ct.status with
-  | Topk.Rank_join_ct.Search_exhausted _ -> ()
-  | Topk.Rank_join_ct.Complete -> fail "1-combination budget must exhaust");
+  (match squeezed.Topk.Private.Rank_join_ct.status with
+  | Topk.Private.Rank_join_ct.Search_exhausted _ -> ()
+  | Topk.Private.Rank_join_ct.Complete -> fail "1-combination budget must exhaust");
   check bool "still returns at most k" true
-    (List.length squeezed.Topk.Rank_join_ct.targets <= 2);
+    (List.length squeezed.Topk.Private.Rank_join_ct.targets <= 2);
   (* every partial answer is a genuine candidate *)
   List.iter
     (fun t -> check bool "candidate" true (Is_cr.check compiled t))
-    squeezed.Topk.Rank_join_ct.targets
+    squeezed.Topk.Private.Rank_join_ct.targets
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection: determinism and typed degradation                 *)

@@ -407,6 +407,140 @@ let test_server_sheds_when_queue_full () =
         (Option.bind (Json.member "work_ms" j) Json.to_num)
   | Error e -> failf "bad shed response: %s" e
 
+let test_server_session_lifecycle () =
+  let corpus = Lazy.force corpus in
+  let server = Server.create Server.default_config in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let open_line =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Str "s0");
+           ("op", Json.Str "session");
+           ("entity", Json.Str corpus.Driver.flat);
+           ("master", Json.Str corpus.Driver.master);
+           ("rules", Json.Str corpus.Driver.rules);
+           ("key", Json.list (fun a -> Json.Str a) corpus.Driver.key_attrs);
+         ])
+  in
+  let resp = send_to server open_line in
+  (match Protocol.classify_response resp with
+  | `Ok | `Degraded -> ()
+  | _ -> failf "session open failed: %s" resp);
+  let result line =
+    match Json.parse line with
+    | Ok j -> Option.get (Json.member "result" j)
+    | Error e -> failf "bad json: %s" e
+  in
+  let key =
+    match Option.bind (Json.member "session" (result resp)) Json.to_str with
+    | Some k -> k
+    | None -> failf "open response carries no session key: %s" resp
+  in
+  let entities_of line =
+    Option.get (Option.bind (Json.member "entities" (result line)) Json.to_int)
+  in
+  let n0 = entities_of resp in
+  let update_line id fields =
+    Json.to_string
+      (Json.Obj
+         (("id", Json.Str id)
+         :: ("op", Json.Str "update")
+         :: ("session", Json.Str key)
+         :: fields))
+  in
+  (* Retract the first row, then add it right back: ER re-forms the
+     cluster, and the maintained entity count returns to the start. *)
+  let row0 =
+    match Relational.Csv.read_relation corpus.Driver.flat with
+    | Ok r ->
+        Array.to_list
+          (Array.map Relational.Value.to_string
+             (Relational.Tuple.values (Relational.Relation.tuple r 0)))
+    | Error _ -> fail "corpus unreadable"
+  in
+  let resp =
+    send_to server
+      (update_line "u1"
+         [ ("kind", Json.Str "tuple_retract"); ("pos", Json.int 0) ])
+  in
+  (match Protocol.classify_response resp with
+  | `Ok | `Degraded -> ()
+  | _ -> failf "retract failed: %s" resp);
+  let resp =
+    send_to server
+      (update_line "u2"
+         [
+           ("kind", Json.Str "tuple_add");
+           ("values", Json.list (fun s -> Json.Str s) row0);
+         ])
+  in
+  (match Protocol.classify_response resp with
+  | `Ok | `Degraded -> ()
+  | _ -> failf "add failed: %s" resp);
+  check int "entity count restored after retract+add" n0 (entities_of resp);
+  check bool "delta counters present" true
+    (Json.member "recleaned" (result resp) <> None);
+  (* Rule churn through the wire: retire a user rule by name, then
+     feed the same rule back as text. *)
+  let rule_name, rule_text =
+    match Relational.Csv.read_relation corpus.Driver.flat with
+    | Error _ -> fail "corpus unreadable"
+    | Ok r -> (
+        let schema = Relational.Relation.schema r in
+        let master =
+          match Relational.Csv.read_relation corpus.Driver.master with
+          | Ok m -> Some (Relational.Relation.schema m)
+          | Error _ -> None
+        in
+        let text =
+          In_channel.with_open_text corpus.Driver.rules In_channel.input_all
+        in
+        match Rules.Parser.parse_robust ~schema ?master text with
+        | Ok (r0 :: _) ->
+            (Rules.Ar.name r0, Rules.Parser.to_string ~schema ?master [ r0 ])
+        | _ -> fail "corpus rules unparseable")
+  in
+  let resp =
+    send_to server
+      (update_line "u3"
+         [ ("kind", Json.Str "rule_retire"); ("name", Json.Str rule_name) ])
+  in
+  (match Protocol.classify_response resp with
+  | `Ok | `Degraded -> ()
+  | _ -> failf "retire failed: %s" resp);
+  let resp =
+    send_to server
+      (update_line "u4"
+         [ ("kind", Json.Str "rule_add"); ("rule", Json.Str rule_text) ])
+  in
+  (match Protocol.classify_response resp with
+  | `Ok | `Degraded -> ()
+  | _ -> failf "re-add failed: %s" resp);
+  (* Typed rejections: an unknown session, and a retire of a rule
+     that no longer exists. Neither touches session state. *)
+  let resp =
+    send_to server
+      (Json.to_string
+         (Json.Obj
+            [
+              ("id", Json.Str "nosess");
+              ("op", Json.Str "update");
+              ("session", Json.Str "no-such-session");
+              ("kind", Json.Str "tuple_retract");
+              ("pos", Json.int 0);
+            ]))
+  in
+  check bool "unknown session is a typed spec error" true
+    (Protocol.classify_response resp = `Error "spec-invalid");
+  let resp =
+    send_to server
+      (update_line "u5"
+         [ ("kind", Json.Str "rule_retire"); ("name", Json.Str "no-such-rule") ])
+  in
+  check bool "unknown rule is a typed rule error" true
+    (Protocol.classify_response resp = `Error "rule-invalid")
+
 let test_server_journal_closes_every_request () =
   (* Regression: [begin] used to be journaled after admission, so a
      fast worker could hit [end] first (a no-op on an unknown seq)
@@ -577,6 +711,7 @@ let () =
           test_case "deadline expiry sheds" `Quick
             test_server_sheds_on_deadline_expiry;
           test_case "full queue sheds" `Quick test_server_sheds_when_queue_full;
+          test_case "session lifecycle" `Quick test_server_session_lifecycle;
           test_case "journal closes every request" `Quick
             test_server_journal_closes_every_request;
           test_case "io errors do not trip the breaker" `Quick

@@ -1,0 +1,295 @@
+(* The incremental-cleaning session (Framework.Session): the
+   property that justifies the whole delta store — after any valid
+   update stream, the maintained report is byte-identical to a
+   from-scratch clean of the final state — plus unit coverage of the
+   Rules.Delta index and the rule retire/re-add rollback. *)
+
+open Alcotest
+module Rel = Relational
+module Sess = Framework.Session
+
+let er_of (ds : Datagen.Entity_gen.dataset) =
+  {
+    (Er.Resolver.default_config ~key_attrs:ds.config.keys
+       ~compare_attrs:(List.map (fun a -> (a, 1.0)) ds.config.keys))
+    with
+    use_soundex = true;
+    threshold = 0.72;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report equality, byte for byte                                     *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_repr = function
+  | Framework.Cleaner.Complete -> "complete"
+  | Framework.Cleaner.Completed_by_topk -> "topk"
+  | Framework.Cleaner.Still_incomplete -> "incomplete"
+  | Framework.Cleaner.Not_church_rosser r -> "ncr:" ^ r
+  | Framework.Cleaner.Quarantined e -> "quar:" ^ Robust.Error.to_string e
+
+let report_diff (a : Framework.Cleaner.report) (b : Framework.Cleaner.report) =
+  if Rel.Relation.size a.cleaned <> Rel.Relation.size b.cleaned then
+    Some
+      (Printf.sprintf "cleaned sizes differ: %d vs %d"
+         (Rel.Relation.size a.cleaned)
+         (Rel.Relation.size b.cleaned))
+  else
+    let bad = ref None in
+    for i = 0 to Rel.Relation.size a.cleaned - 1 do
+      if
+        !bad = None
+        && not
+             (Rel.Tuple.equal_values
+                (Rel.Relation.tuple a.cleaned i)
+                (Rel.Relation.tuple b.cleaned i))
+      then bad := Some (Printf.sprintf "cleaned row %d differs" i)
+    done;
+    match !bad with
+    | Some _ as d -> d
+    | None ->
+        let pair_repr (i, o) = Printf.sprintf "%d:%s" i (outcome_repr o) in
+        let outs r =
+          String.concat ";"
+            (List.map pair_repr r.Framework.Cleaner.outcomes)
+        in
+        let errs r =
+          String.concat ";"
+            (List.map
+               (fun (i, e) ->
+                 Printf.sprintf "%d:%s" i (Robust.Error.to_string e))
+               r.Framework.Cleaner.errors)
+        in
+        let counters (r : Framework.Cleaner.report) =
+          [
+            r.entities;
+            r.complete;
+            r.completed_by_topk;
+            r.still_incomplete;
+            r.rejected;
+            r.quarantined;
+            r.retries_used;
+            r.cell_changes;
+          ]
+        in
+        if outs a <> outs b then
+          Some (Printf.sprintf "outcomes differ: [%s] vs [%s]" (outs a) (outs b))
+        else if errs a <> errs b then
+          Some (Printf.sprintf "errors differ: [%s] vs [%s]" (errs a) (errs b))
+        else if counters a <> counters b then Some "counters differ"
+        else None
+
+let check_reports_equal msg a b =
+  match report_diff a b with
+  | None -> ()
+  | Some d -> failf "%s: %s" msg d
+
+(* A from-scratch clean of the session's current state, with the same
+   knobs the session was created with. *)
+let batch_of ?budget ?(retries = 1) ~er s =
+  Framework.Cleaner.clean ~er
+    ?master:(Sess.master s) ?budget ~retries
+    (Sess.ruleset s) (Sess.relation s)
+
+(* ------------------------------------------------------------------ *)
+(* The equivalence property                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_stream ?budget ?jobs ~entities ~ds_seed ~stream_seed ~n () =
+  let ds = Datagen.Med_gen.dataset ~entities ~seed:ds_seed () in
+  let er = er_of ds in
+  let s =
+    Sess.create ~er ~master:ds.master ?budget ?jobs ds.ruleset
+      (Datagen.Update_gen.flatten ds)
+  in
+  let updates = Datagen.Update_gen.generate ~n ~seed:stream_seed ds in
+  List.iteri
+    (fun i u ->
+      match Sess.update s u with
+      | Ok _ -> ()
+      | Error e ->
+          failf "generated update %d rejected: %s" i (Robust.Error.to_string e))
+    updates;
+  (s, er)
+
+let incremental_equals_batch =
+  QCheck.Test.make ~count:10
+    ~name:"session updates == from-scratch clean of the final state"
+    QCheck.(
+      quad (int_range 6 16) (int_range 1 10_000) (int_range 5 25) bool)
+    (fun (entities, seed, n, par) ->
+      (* [par] exercises the parallel initial clean: the session may
+         open on 3 domains while the reference batch is serial — the
+         reports must not care. *)
+      let jobs = if par then 3 else 1 in
+      let s, er =
+        run_stream ~jobs ~entities ~ds_seed:(seed * 2 + 1)
+          ~stream_seed:(seed * 7 + 3) ~n ()
+      in
+      match report_diff (Sess.report s) (batch_of ~er s) with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "reports diverged: %s" d)
+
+let incremental_equals_batch_budgeted =
+  QCheck.Test.make ~count:6
+    ~name:"budgeted session updates == budgeted from-scratch clean"
+    QCheck.(triple (int_range 6 12) (int_range 1 10_000) (int_range 5 20))
+    (fun (entities, seed, n) ->
+      (* A finite step budget makes |Γ| observable, which disables the
+         master/rule pruning (the all-dirty fallback) — the report
+         must STILL match a from-scratch budgeted clean, including
+         retry and quarantine accounting. *)
+      let budget =
+        {
+          Robust.Budget.max_steps = Some 60;
+          max_instantiations = None;
+          deadline_ms = None;
+        }
+      in
+      let s, er =
+        run_stream ~budget ~entities ~ds_seed:(seed * 3 + 2)
+          ~stream_seed:(seed * 5 + 1) ~n ()
+      in
+      match report_diff (Sess.report s) (batch_of ~budget ~er s) with
+      | None -> true
+      | Some d -> QCheck.Test.fail_reportf "budgeted reports diverged: %s" d)
+
+(* ------------------------------------------------------------------ *)
+(* Update rejection leaves state untouched                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rejections_are_stateless () =
+  let ds = Datagen.Med_gen.dataset ~entities:8 ~seed:91 () in
+  let er = er_of ds in
+  let s =
+    Sess.create ~er ~master:ds.master ds.ruleset (Datagen.Update_gen.flatten ds)
+  in
+  let r0 = Sess.report s in
+  let reject msg u =
+    match Sess.update s u with
+    | Ok _ -> failf "%s: expected rejection" msg
+    | Error _ -> check_reports_equal (msg ^ " left state dirty") r0 (Sess.report s)
+  in
+  reject "arity mismatch"
+    (Sess.Tuple_add (Rel.Tuple.make [| Rel.Value.String "short" |]));
+  reject "retract out of range" (Sess.Tuple_retract 1_000_000);
+  reject "master row out of range"
+    (Sess.Master_fix { row = 1_000_000; attr = 0; value = Rel.Value.Null });
+  reject "unknown retire name" (Sess.Rule_retire "no-such-rule");
+  let dup = List.hd (Rules.Ruleset.user_rules ds.ruleset) in
+  reject "duplicate rule name" (Sess.Rule_add dup)
+
+(* ------------------------------------------------------------------ *)
+(* Rule retire / re-add rollback                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_retire_rollback () =
+  let ds = Datagen.Med_gen.dataset ~entities:10 ~seed:17 () in
+  let er = er_of ds in
+  let s =
+    Sess.create ~er ~master:ds.master ds.ruleset (Datagen.Update_gen.flatten ds)
+  in
+  let r0 = Sess.report s in
+  let rule = List.hd (Rules.Ruleset.user_rules ds.ruleset) in
+  let name = Rules.Ar.name rule in
+  (match Sess.update s (Sess.Rule_retire name) with
+  | Ok d ->
+      check int "entity count stable across retire" 10 d.Sess.d_entities;
+      check bool "retire only re-cleans affected entities" true
+        (d.Sess.d_recleaned <= d.Sess.d_entities)
+  | Error e -> failf "retire rejected: %s" (Robust.Error.to_string e));
+  (* The retired state must itself match a from-scratch clean. *)
+  check_reports_equal "retired state diverged" (Sess.report s) (batch_of ~er s);
+  (match Sess.update s (Sess.Rule_add rule) with
+  | Ok _ -> ()
+  | Error e -> failf "re-add rejected: %s" (Robust.Error.to_string e));
+  check_reports_equal "retire + re-add did not roll back" r0 (Sess.report s)
+
+(* ------------------------------------------------------------------ *)
+(* The Rules.Delta index                                              *)
+(* ------------------------------------------------------------------ *)
+
+let delta_fixture () =
+  let ds = Datagen.Med_gen.dataset ~entities:4 ~seed:23 () in
+  let e = List.hd ds.entities in
+  let spec = Datagen.Entity_gen.spec_for ds e in
+  let intern = Core.Specification.intern spec in
+  let orders = Core.Specification.numbering spec in
+  let pk =
+    Rules.Ground.instantiate_packed ~intern
+      ~ruleset:(Core.Specification.ruleset spec)
+      ~entity:(Core.Specification.entity spec)
+      ~master:(Core.Specification.master spec)
+      ~orders
+  in
+  (pk, Rules.Delta.of_packed ~intern ~orders pk, intern)
+
+let test_delta_counts_and_rules () =
+  let pk, d, _ = delta_fixture () in
+  let n = Rules.Ground.packed_count pk in
+  check int "steps = |packed|" n (Rules.Delta.steps d);
+  check bool "a non-empty gamma indexes some rule" true
+    (n = 0 || Rules.Delta.rules d <> []);
+  (* The rule partition is exact: every sid appears under exactly the
+     rule the packed arena says won its provenance. *)
+  let seen = Array.make n false in
+  List.iter
+    (fun r ->
+      check bool "indexed rule answers mentions_rule" true
+        (Rules.Delta.mentions_rule d r);
+      List.iter
+        (fun sid ->
+          check string "sid filed under its provenance rule" r
+            (Rules.Ground.packed_rule_name pk sid);
+          check bool "no sid filed twice" false seen.(sid);
+          seen.(sid) <- true)
+        (Rules.Delta.steps_of_rule d r))
+    (Rules.Delta.rules d);
+  Array.iteri
+    (fun sid covered -> check bool (Printf.sprintf "sid %d indexed" sid) true covered)
+    seen;
+  check bool "absent rule" false (Rules.Delta.mentions_rule d "no-such-rule");
+  check (list int) "absent rule has no steps" []
+    (Rules.Delta.steps_of_rule d "no-such-rule")
+
+let test_delta_vid_index () =
+  let _, d, intern = delta_fixture () in
+  let vids = Rules.Delta.vids d in
+  let rec ascending = function
+    | a :: (b :: _ as t) -> a < b && ascending t
+    | _ -> true
+  in
+  check bool "vids ascend strictly" true (ascending vids);
+  List.iter
+    (fun v ->
+      check bool "listed vid answers mentions_vid" true
+        (Rules.Delta.mentions_vid d v);
+      check bool "listed vid has steps" true (Rules.Delta.steps_of_vid d v <> []))
+    vids;
+  (* An id the table has never handed out is never mentioned. *)
+  let unknown = Rel.Intern.size intern + 17 in
+  check bool "unknown vid" false (Rules.Delta.mentions_vid d unknown);
+  check (list int) "unknown vid has no steps" []
+    (Rules.Delta.steps_of_vid d unknown)
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest incremental_equals_batch;
+          QCheck_alcotest.to_alcotest incremental_equals_batch_budgeted;
+        ] );
+      ( "updates",
+        [
+          test_case "rejections are stateless" `Quick
+            test_rejections_are_stateless;
+          test_case "rule retire/re-add rolls back" `Quick
+            test_rule_retire_rollback;
+        ] );
+      ( "delta-index",
+        [
+          test_case "rule partition" `Quick test_delta_counts_and_rules;
+          test_case "vid index" `Quick test_delta_vid_index;
+        ] );
+    ]

@@ -100,7 +100,7 @@ let test_topkct_example9 () =
   let compiled, te = example9 () in
   check value_testable "team null before top-k" Value.Null te.(team);
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct.run ~k:2 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~k:2 ~pref:p compiled te in
   (match r.targets with
   | best :: _ ->
       check value_testable "best team" (Value.String "Chicago Bulls") best.(team);
@@ -113,7 +113,7 @@ let test_topkct_example9 () =
 let test_topkct_scores_nonincreasing () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct.run ~k:6 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~k:6 ~pref:p compiled te in
   let scores = List.map (Pref.score p) r.targets in
   let rec monotone = function
     | a :: (b :: _ as rest) -> a >= b && monotone rest
@@ -124,7 +124,7 @@ let test_topkct_scores_nonincreasing () =
 let test_topkct_candidates_all_check () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct.run ~k:6 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~k:6 ~pref:p compiled te in
   List.iter
     (fun t ->
       check Alcotest.bool "candidate passes check" true (Core.Is_cr.check compiled t))
@@ -133,7 +133,7 @@ let test_topkct_candidates_all_check () =
 let test_topkct_preserves_non_null () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct.run ~k:4 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~k:4 ~pref:p compiled te in
   List.iter
     (fun t ->
       Array.iteri
@@ -146,7 +146,7 @@ let test_topkct_preserves_non_null () =
 let test_topkct_complete_te () =
   let compiled = Core.Is_cr.compile Mj.specification in
   let r =
-    Topk.Topk_ct.run ~k:3 ~pref:(Pref.of_occurrences Mj.stat) compiled
+    Topk.Private.Topk_ct.run ~k:3 ~pref:(Pref.of_occurrences Mj.stat) compiled
       Mj.expected_target
   in
   check Alcotest.int "complete te is its own candidate" 1 (List.length r.targets)
@@ -154,12 +154,12 @@ let test_topkct_complete_te () =
 let test_topkct_k_validation () =
   let compiled, te = example9 () in
   Alcotest.check_raises "k < 1" (Invalid_argument "Topk_ct.run: k < 1") (fun () ->
-      ignore (Topk.Topk_ct.run ~k:0 ~pref:(Pref.uniform ()) compiled te))
+      ignore (Topk.Private.Topk_ct.run ~k:0 ~pref:(Pref.uniform ()) compiled te))
 
 let test_topkct_budget () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct.run ~max_pops:1 ~k:10 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~max_pops:1 ~k:10 ~pref:p compiled te in
   check Alcotest.bool "budget respected" true (r.stats.queue_pops <= 1);
   check Alcotest.bool "partial result" true (List.length r.targets <= 1)
 
@@ -176,21 +176,21 @@ let tie_free_pref =
 let test_exact_algorithms_agree () =
   let compiled, te = example9 () in
   for k = 1 to 6 do
-    let a = Topk.Topk_ct.run ~k ~pref:tie_free_pref compiled te in
-    let b = Topk.Rank_join_ct.run ~k ~pref:tie_free_pref compiled te in
+    let a = Topk.Private.Topk_ct.run ~k ~pref:tie_free_pref compiled te in
+    let b = Topk.Private.Rank_join_ct.run ~k ~pref:tie_free_pref compiled te in
     check Alcotest.int
       (Printf.sprintf "same count at k=%d" k)
-      (List.length a.Topk.Topk_ct.targets)
-      (List.length b.Topk.Rank_join_ct.targets);
+      (List.length a.Topk.Private.Topk_ct.targets)
+      (List.length b.Topk.Private.Rank_join_ct.targets);
     List.iter2
       (fun x y ->
         check Alcotest.bool "same tuple" true (Array.for_all2 Value.equal x y))
-      a.Topk.Topk_ct.targets b.Topk.Rank_join_ct.targets
+      a.Topk.Private.Topk_ct.targets b.Topk.Private.Rank_join_ct.targets
   done
 
 let test_rankjoin_checks_all_combos () =
   let compiled, te = example9 () in
-  let r = Topk.Rank_join_ct.run ~k:2 ~pref:tie_free_pref compiled te in
+  let r = Topk.Private.Rank_join_ct.run ~k:2 ~pref:tie_free_pref compiled te in
   (* §6.1: every generated combination is checked. *)
   check Alcotest.int "checks = combos" r.stats.combos r.stats.checks
 
@@ -202,27 +202,27 @@ let test_rankjoin_checks_all_combos () =
 let test_rankjoin_pulls_vs_combos_trips () =
   let compiled, te = example9 () in
   let exhausted r =
-    match r.Topk.Rank_join_ct.status with
-    | Topk.Rank_join_ct.Search_exhausted t -> Robust.Error.trip_to_string t
-    | Topk.Rank_join_ct.Complete -> Alcotest.fail "cap must trip on this fixture"
+    match r.Topk.Private.Rank_join_ct.status with
+    | Topk.Private.Rank_join_ct.Search_exhausted t -> Robust.Error.trip_to_string t
+    | Topk.Private.Rank_join_ct.Complete -> Alcotest.fail "cap must trip on this fixture"
   in
   (* A pulls cap with combos uncapped trips Steps. *)
   let p =
-    Topk.Rank_join_ct.run ~max_pulls:1 ~max_combos:max_int ~k:2
+    Topk.Private.Rank_join_ct.run ~max_pulls:1 ~max_combos:max_int ~k:2
       ~pref:tie_free_pref compiled te
   in
   check Alcotest.string "pulls cap trips Steps" "max-steps" (exhausted p);
   check Alcotest.int "pull count capped" 1 p.stats.pulls;
   (* A combos cap alone trips Combos; pulls are not bounded by it. *)
   let c =
-    Topk.Rank_join_ct.run ~max_combos:1 ~k:2 ~pref:tie_free_pref compiled te
+    Topk.Private.Rank_join_ct.run ~max_combos:1 ~k:2 ~pref:tie_free_pref compiled te
   in
   check Alcotest.string "combos cap trips Combos" "max-combos" (exhausted c);
   check Alcotest.bool "pulls ran past the combos cap" true (c.stats.pulls > 1);
   (* Only [max_pulls] given: the historical single cap — combos are
      bounded by the same value. *)
   let h =
-    Topk.Rank_join_ct.run ~max_pulls:3 ~k:2 ~pref:tie_free_pref compiled te
+    Topk.Private.Rank_join_ct.run ~max_pulls:3 ~k:2 ~pref:tie_free_pref compiled te
   in
   check Alcotest.bool "combos inherit the pulls cap" true (h.stats.combos <= 3)
 
@@ -233,7 +233,7 @@ let test_rankjoin_pulls_vs_combos_trips () =
 let test_topkcth_returns_candidates () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct_h.run ~k:3 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct_h.run ~k:3 ~pref:p compiled te in
   check Alcotest.bool "non-empty" true (r.targets <> []);
   List.iter
     (fun t ->
@@ -243,9 +243,9 @@ let test_topkcth_returns_candidates () =
 let test_topkcth_top1_agrees () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let h = Topk.Topk_ct_h.run ~k:1 ~pref:p compiled te in
-  let e = Topk.Topk_ct.run ~k:1 ~pref:p compiled te in
-  match (h.targets, e.Topk.Topk_ct.targets) with
+  let h = Topk.Private.Topk_ct_h.run ~k:1 ~pref:p compiled te in
+  let e = Topk.Private.Topk_ct.run ~k:1 ~pref:p compiled te in
+  match (h.targets, e.Topk.Private.Topk_ct.targets) with
   | [ a ], [ b ] ->
       (* the top candidate needs no repair here, so both agree *)
       check Alcotest.bool "same top candidate" true (Array.for_all2 Value.equal a b)
@@ -254,7 +254,7 @@ let test_topkcth_top1_agrees () =
 let test_topkcth_no_duplicates () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct_h.run ~k:6 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct_h.run ~k:6 ~pref:p compiled te in
   let keys =
     List.map
       (fun t -> String.concat "|" (Array.to_list (Array.map Value.to_string t)))
@@ -275,7 +275,7 @@ let test_oracle_agrees_with_topkct () =
   check Alcotest.bool "candidates exist" true (oracle.candidates <> []);
   let n = List.length oracle.candidates in
   (* TopKCT at k >= |candidates| must return exactly the oracle set. *)
-  let r = Topk.Topk_ct.run ~k:(n + 3) ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~k:(n + 3) ~pref:p compiled te in
   check Alcotest.int "TopKCT finds all candidates" n (List.length r.targets);
   let key t = String.concat "|" (Array.to_list (Array.map Value.to_string t)) in
   let sort l = List.sort compare (List.map key l) in
@@ -283,14 +283,14 @@ let test_oracle_agrees_with_topkct () =
     (sort r.targets);
   (* and the scores of the top-k prefix agree for every k *)
   for k = 1 to n do
-    let topk = Topk.Topk_ct.run ~k ~pref:p compiled te in
+    let topk = Topk.Private.Topk_ct.run ~k ~pref:p compiled te in
     let score_of l = List.map (Pref.score p) l in
     let rec take n = function
       | [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r
     in
     check Alcotest.(list (float 1e-9)) "prefix scores match oracle"
       (score_of (take k oracle.candidates))
-      (score_of topk.Topk.Topk_ct.targets)
+      (score_of topk.Topk.Private.Topk_ct.targets)
   done
 
 let test_oracle_topkcth_subset () =
@@ -299,7 +299,7 @@ let test_oracle_topkcth_subset () =
   let oracle = Topk.Candidate_oracle.enumerate ~pref:p compiled te in
   let key t = String.concat "|" (Array.to_list (Array.map Value.to_string t)) in
   let universe = List.map key oracle.candidates in
-  let h = Topk.Topk_ct_h.run ~k:8 ~pref:p compiled te in
+  let h = Topk.Private.Topk_ct_h.run ~k:8 ~pref:p compiled te in
   List.iter
     (fun t ->
       check Alcotest.bool "heuristic output is a candidate" true
@@ -344,7 +344,7 @@ let test_oracle_example7 () =
   check Alcotest.int "2^n candidates" 16 count;
   (* TopKCT enumerates all of them when asked *)
   let r =
-    Topk.Topk_ct.run ~include_default:false ~k:40 ~pref:(Pref.uniform ()) compiled te
+    Topk.Private.Topk_ct.run ~include_default:false ~k:40 ~pref:(Pref.uniform ()) compiled te
   in
   check Alcotest.int "TopKCT finds all 2^n" 16 (List.length r.targets)
 
@@ -362,7 +362,7 @@ let test_oracle_limit () =
 let test_topkct_heap_pops_bounded () =
   let compiled, te = example9 () in
   let p = Pref.of_occurrences Mj.stat in
-  let r = Topk.Topk_ct.run ~k:2 ~pref:p compiled te in
+  let r = Topk.Private.Topk_ct.run ~k:2 ~pref:p compiled te in
   (* pops are per-need: at most (initial m) + one per expansion slot *)
   check Alcotest.bool "pop accounting sane" true
     (r.stats.heap_pops >= 2 && r.stats.heap_pops <= r.stats.enumerated + 2)
