@@ -33,7 +33,7 @@ bench:
 # baseline (make bench) uses the 10k-entity defaults.
 bench-smoke:
 	mkdir -p _build/bench-smoke && \
-	RELACC_UPDATE_ENTITIES=200 RELACC_UPDATE_COUNT=50 \
+	RELACC_UPDATE_ENTITIES=200 RELACC_UPDATE_COUNT=50 RELACC_GROUND_IM=500 \
 	dune exec bench/main.exe -- --bench-json _build/bench-smoke
 
 # Chaos soak of the long-lived service: ~10 s of mixed traffic at

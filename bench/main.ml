@@ -393,11 +393,42 @@ let ground_kernel spec () =
        ~orders:(Core.Specification.numbering spec)
       : Rules.Ground.packed)
 
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+(* The demand-grounding headline: a realistically small entity joined
+   against a master orders of magnitude larger. Eager grounding pays
+   one step per master row per form-(2) rule; demand emits one
+   template per rule and leaves the rows to the residual index, so
+   the gap between these two kernels IS the tentpole speedup (the
+   deferral magnitude shows up as instantiation_steps_deferred_total
+   in the counters). RELACC_GROUND_IM shrinks the master for smoke
+   runs. *)
+let ground_demand_kernel spec () =
+  ignore
+    (Rules.Ground.instantiate_demand
+       ~intern:(Relational.Intern.create ())
+       ~ruleset:(Core.Specification.ruleset spec)
+       ~entity:(Core.Specification.entity spec)
+       ~master:(Core.Specification.master spec)
+       ~orders:(Core.Specification.numbering spec)
+       ()
+      : Rules.Ground.demand)
+
+let syn_master10k =
+  Datagen.Syn_gen.dataset ~ie:30
+    ~im:(getenv_int "RELACC_GROUND_IM" 10_000)
+    ~sigma:30 ~seed:7 ()
+
 let ground_kernels =
   [
     ("ground-mj", ground_kernel mj_spec);
     ("ground-med", ground_kernel med_spec);
     ("ground-syn300", ground_kernel syn.spec);
+    ("ground-master10k", ground_demand_kernel syn_master10k.spec);
+    ("ground-master10k-eager", ground_kernel syn_master10k.spec);
   ]
 
 let measure_kernel f =
@@ -521,11 +552,6 @@ let run_serve_bench dir =
    baseline uses the paper-scale 10k-entity corpus:
      RELACC_UPDATE_ENTITIES (default 10000)
      RELACC_UPDATE_COUNT    (default 1000) *)
-let getenv_int name default =
-  match Sys.getenv_opt name with
-  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
-  | None -> default
-
 let update_stream_result ~entities ~n ~name mix =
   let ds = Datagen.Med_gen.dataset ~entities ~seed:97 () in
   let er =

@@ -2,7 +2,11 @@ module Ground = Rules.Ground
 module Value = Relational.Value
 
 (* The reference engine shares the conflict counter with Is_cr (same
-   registry entry) but counts its own rescanning steps separately. *)
+   registry entry) but counts its own rescanning steps separately.
+   It always chases the fully eager Γ ([Ground.instantiate]): demand
+   grounding is a performance shape of [Is_cr], and the equivalence
+   tests need one engine whose step set is the paper's literal
+   reading, independent of any residual-index machinery. *)
 let m_rescan = Obs.Counter.make ~help:"steps applied by the naive rescanning chase" "chase_rescan_steps_total"
 let m_conflicts = Obs.Counter.make "chase_conflicts_total"
 

@@ -1,4 +1,6 @@
 module Ground = Rules.Ground
+module Master_index = Rules.Master_index
+module Itbl = Hashtbl.Make (Int)
 
 (* Observability: the Fig. 4 loop's cost drivers. Each mutation is a
    single flag-check branch when collection is disabled (see Obs). *)
@@ -9,6 +11,7 @@ let m_conflicts = Obs.Counter.make ~help:"order conflicts (not Church-Rosser)" "
 let m_qhwm = Obs.Gauge.make ~help:"worklist Q length high-water mark" "chase_queue_hwm"
 let m_snapshots = Obs.Counter.make ~help:"candidate-independent base fixpoints built" "chase_snapshot_builds_total"
 let m_delta = Obs.Counter.make ~help:"candidate checks answered from a snapshot delta" "chase_delta_checks_total"
+let m_index_hits = Obs.Counter.make ~help:"join-key probes of the master residual index that matched rows" "residual_index_hits_total"
 
 type verdict =
   | Church_rosser of Instance.t
@@ -61,10 +64,17 @@ type compiled = {
   total_slots : int;
   ord_watch : (int * int * int, (int * int) list) Hashtbl.t;
   te_watch : (int, te_watcher list) Hashtbl.t;
+  templates : Ground.template array;
+      (* demand mode: form-(2) rules deferred behind join triggers *)
+  tpl_watch : (int, int list) Hashtbl.t;
+      (* join te-attribute -> template ids it can wake *)
+  midx : Master_index.t option;
+      (* the shared master value index templates probe; Some iff
+         templates is non-empty *)
   steps : Ground.step array Lazy.t; (* trace/explain only *)
 }
 
-let compile_packed spec packed =
+let compile_packed ?(templates = [||]) spec packed =
   let n = Ground.packed_count packed in
   let slot_base = Array.make n 0 in
   let total = ref 0 in
@@ -86,6 +96,14 @@ let compile_packed spec packed =
             watch te_acc attr
               { w_sid = sid; w_slot = slot; w_test = compile_te_test intern op value })
   done;
+  let tpl_watch = Hashtbl.create (if Array.length templates = 0 then 1 else 16) in
+  Array.iter
+    (fun t ->
+      let attr = Ground.template_join_attr t in
+      Hashtbl.replace tpl_watch attr
+        (Ground.template_id t
+        :: (match Hashtbl.find_opt tpl_watch attr with Some l -> l | None -> [])))
+    templates;
   {
     cspec = spec;
     packed;
@@ -94,24 +112,37 @@ let compile_packed spec packed =
     total_slots = !total;
     ord_watch = ord_acc;
     te_watch = te_acc;
+    templates;
+    tpl_watch;
+    midx =
+      (if Array.length templates = 0 then None
+       else Option.map Master_index.of_master (Specification.master spec));
     steps = lazy (Array.of_list (Ground.steps_of_packed packed));
   }
 
-let compile spec =
+type grounding = [ `Eager | `Demand ]
+
+let compile ?(grounding = `Demand) spec =
   (* The value-class numbering is a pure function of the entity
      relation, cached on the specification; class ids therefore
      agree with every future run's orders without building a
      throwaway instance here. *)
-  compile_packed spec
-    (Ground.instantiate_packed
-       ~intern:(Specification.intern spec)
-       ~ruleset:(Specification.ruleset spec)
-       ~entity:(Specification.entity spec)
-       ~master:(Specification.master spec)
-       ~orders:(Specification.numbering spec))
+  let intern = Specification.intern spec in
+  let ruleset = Specification.ruleset spec in
+  let entity = Specification.entity spec in
+  let master = Specification.master spec in
+  let orders = Specification.numbering spec in
+  match (grounding, master) with
+  | `Demand, Some _ ->
+      let d = Ground.instantiate_demand ~intern ~ruleset ~entity ~master ~orders () in
+      compile_packed ~templates:d.Ground.d_templates spec d.Ground.d_packed
+  | _ ->
+      compile_packed spec
+        (Ground.instantiate_packed ~intern ~ruleset ~entity ~master ~orders)
 
 let compiled_spec c = c.cspec
 let compiled_packed c = c.packed
+let compiled_template_count c = Array.length c.templates
 let ground_size c = Array.length c.actions
 
 (* One reversal record of the undo log. Rollback is order-
@@ -127,14 +158,35 @@ type undo =
   | U_event of Instance.event  (** reverse an instance mutation *)
 
 (* Mutable per-run state. [logging] turns the undo log on for
-   snapshot deltas; plain runs never pay more than the flag check. *)
+   snapshot deltas; plain runs never pay more than the flag check.
+
+   Demand mode makes the state {e growable}: steps materialized from
+   templates extend the packed numbering densely, so [n], the step
+   arrays and the flat slot space all grow in lockstep while the
+   shared [compiled] stays immutable. Watchers of materialized steps
+   live in the per-run [x_ord]/[x_te] side tables (the compiled watch
+   tables are shared), and [probed] marks join keys already taken to
+   the master index so every (value, template) pair materializes at
+   most once per run — rollback keeps materialized steps, only their
+   delta-dependent slot state is undone. *)
 type run_state = {
   c : compiled;
-  remaining : int array;
-  sat : Bytes.t;
-  dead : Bytes.t;
-  queued : Bytes.t;
+  mutable n : int; (* live step count: eager prefix + materialized *)
+  mutable remaining : int array;
+  mutable slot_base : int array; (* = c.slot_base prefix, then growth *)
+  mutable nslots : int;
+  mutable sat : Bytes.t;
+  mutable dead : Bytes.t;
+  mutable queued : Bytes.t;
   queue : int Queue.t;
+  arena : Ground.arena option; (* Some iff c.templates non-empty *)
+  probed : unit Itbl.t; (* (vid lsl 12) lor template id *)
+  x_ord : (int * int * int, (int * int) list) Hashtbl.t;
+  x_te : (int, te_watcher list) Hashtbl.t;
+  mutable base_inst : Instance.t option;
+      (* the drained snapshot base, for evaluating a materialized
+         step's residuals into un-logged (base) vs logged (delta)
+         state — see [attach_step] *)
   mutable logging : bool;
   mutable log : undo list;
 }
@@ -143,14 +195,25 @@ let record st u = if st.logging then st.log <- u :: st.log
 
 let fresh_state c =
   let n = Array.length c.actions in
+  let demand = Array.length c.templates > 0 in
   let st =
     {
       c;
+      n;
       remaining = Array.init n (fun sid -> Ground.packed_pred_count c.packed sid);
+      slot_base = (if demand then Array.copy c.slot_base else c.slot_base);
+      nslots = c.total_slots;
       sat = Bytes.make c.total_slots '\000';
       dead = Bytes.make n '\000';
       queued = Bytes.make n '\000';
       queue = Queue.create ();
+      arena =
+        (if demand then Some (Ground.arena_create c.packed c.templates)
+         else None);
+      probed = Itbl.create (if demand then 64 else 1);
+      x_ord = Hashtbl.create (if demand then 32 else 1);
+      x_te = Hashtbl.create (if demand then 32 else 1);
+      base_inst = None;
       logging = false;
       log = [];
     }
@@ -179,7 +242,7 @@ let enqueue_if_ready st sid =
   end
 
 let satisfy st sid slot =
-  let flat = st.c.slot_base.(sid) + slot in
+  let flat = st.slot_base.(sid) + slot in
   if Bytes.get st.dead sid = '\000' && Bytes.get st.sat flat = '\000' then begin
     record st (U_slot { flat; sid });
     Bytes.set st.sat flat '\001';
@@ -188,26 +251,176 @@ let satisfy st sid slot =
     enqueue_if_ready st sid
   end
 
-let handle_event st event =
+(* Grow the per-step arrays (in lockstep) and the flat slot space.
+   Sids are never reused, so the zero-fill of fresh capacity is the
+   correct initial state for every future step. *)
+let ensure_step_capacity st want =
+  if want > Array.length st.remaining then begin
+    let cap = max want (2 * max 16 (Array.length st.remaining)) in
+    let g = Array.make cap 0 in
+    Array.blit st.remaining 0 g 0 st.n;
+    st.remaining <- g;
+    let g = Array.make cap 0 in
+    Array.blit st.slot_base 0 g 0 st.n;
+    st.slot_base <- g;
+    let b = Bytes.make cap '\000' in
+    Bytes.blit st.dead 0 b 0 st.n;
+    st.dead <- b;
+    let b = Bytes.make cap '\000' in
+    Bytes.blit st.queued 0 b 0 st.n;
+    st.queued <- b
+  end
+
+let ensure_slot_capacity st want =
+  if want > Bytes.length st.sat then begin
+    let cap = max want (2 * max 64 (Bytes.length st.sat)) in
+    let b = Bytes.make cap '\000' in
+    Bytes.blit st.sat 0 b 0 st.nslots;
+    st.sat <- b
+  end
+
+(* Attach one just-materialized step to the run. Its slot block is
+   appended and each residual is decided three-way:
+
+   - holds/fails at the {e snapshot base} — settle it un-logged. The
+     step conceptually existed (un-fired) at the base fixpoint, so
+     this state must survive rollback;
+   - still open at base — register a watcher in the run's side
+     tables; and if the {e live} (mid-delta) instance has since
+     decided it, settle it logged, so rollback returns the step to
+     exactly its base state while the watcher re-fires it on any
+     later delta.
+
+   Outside snapshot deltas base and live coincide and the logging
+   flag is off, so both paths degenerate to plain evaluation against
+   the current instance. *)
+let attach_step st inst sid =
+  let arena = match st.arena with Some a -> a | None -> assert false in
+  let np = Ground.arena_pred_count arena sid in
+  ensure_step_capacity st (sid + 1);
+  ensure_slot_capacity st (st.nslots + np);
+  (* Materialization appends densely, in lockstep with [st.n]. *)
+  assert (sid = st.n);
+  let flat0 = st.nslots in
+  st.slot_base.(sid) <- flat0;
+  st.nslots <- flat0 + np;
+  st.remaining.(sid) <- np;
+  st.n <- sid + 1;
+  let base = match st.base_inst with Some b -> b | None -> inst in
+  let live_differs = base != inst in
+  let intern = Specification.intern st.c.cspec in
+  let sat_slot ~logged slot =
+    if Bytes.get st.dead sid = '\000' && Bytes.get st.sat (flat0 + slot) = '\000'
+    then begin
+      if logged then record st (U_slot { flat = flat0 + slot; sid });
+      Bytes.set st.sat (flat0 + slot) '\001';
+      st.remaining.(sid) <- st.remaining.(sid) - 1;
+      Obs.Counter.incr m_decr
+    end
+  and kill ~logged =
+    if Bytes.get st.dead sid = '\000' then begin
+      if logged then record st (U_dead sid);
+      Bytes.set st.dead sid '\001'
+    end
+  and watch tbl key entry =
+    Hashtbl.replace tbl key
+      (entry :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
+  in
+  Ground.arena_iter_predi arena sid (fun slot p ->
+      match p with
+      | Ground.P_ord { attr; c1; c2 } ->
+          if Ordering.Attr_order.lt_classes (Instance.order base attr) c1 c2 then
+            sat_slot ~logged:false slot
+          else begin
+            watch st.x_ord (attr, c1, c2) (sid, slot);
+            if
+              live_differs
+              && Ordering.Attr_order.lt_classes (Instance.order inst attr) c1 c2
+            then sat_slot ~logged:true slot
+          end
+      | Ground.P_te { attr; op; value } ->
+          let bv = Instance.te_value base attr in
+          if not (Relational.Value.is_null bv) then begin
+            (* te is write-once: the base decides this slot for good. *)
+            if compile_te_test intern op value (Instance.te_id base attr) bv
+            then sat_slot ~logged:false slot
+            else kill ~logged:false
+          end
+          else begin
+            let test = compile_te_test intern op value in
+            watch st.x_te attr { w_sid = sid; w_slot = slot; w_test = test };
+            if live_differs then begin
+              let lv = Instance.te_value inst attr in
+              if not (Relational.Value.is_null lv) then
+                if test (Instance.te_id inst attr) lv then
+                  sat_slot ~logged:true slot
+                else kill ~logged:true
+            end
+          end);
+  enqueue_if_ready st sid
+
+(* A [te] write on a template's join attribute: probe the master
+   value index for rows matching the written value and materialize
+   their steps. [probed] caps the work at one probe per (value,
+   template) per run — a re-play of the same fill after a rollback
+   finds the steps already attached and reaches them through the
+   side watch tables instead. *)
+let maybe_materialize st inst attr value vid =
+  match Hashtbl.find_opt st.c.tpl_watch attr with
+  | None -> ()
+  | Some tids ->
+      let arena = match st.arena with Some a -> a | None -> assert false in
+      let midx = match st.c.midx with Some m -> m | None -> assert false in
+      List.iter
+        (fun tid ->
+          let key = (vid lsl 12) lor tid in
+          if not (Itbl.mem st.probed key) then begin
+            Itbl.replace st.probed key ();
+            let t = Ground.arena_template arena tid in
+            match
+              Master_index.rows midx ~col:(Ground.template_join_col t) value
+            with
+            | [] -> ()
+            | rows ->
+                Obs.Counter.incr m_index_hits;
+                Ground.arena_materialize arena
+                  ~master:(Master_index.relation midx)
+                  ~rows tid
+                  ~on_new:(fun sid -> attach_step st inst sid)
+          end)
+        tids
+
+let handle_event st inst event =
   match event with
-  | Instance.Edge { attr; c1; c2 } -> (
-      match Hashtbl.find_opt st.c.ord_watch (attr, c1, c2) with
+  | Instance.Edge { attr; c1; c2 } ->
+      let key = (attr, c1, c2) in
+      (match Hashtbl.find_opt st.c.ord_watch key with
+      | None -> ()
+      | Some l -> List.iter (fun (sid, slot) -> satisfy st sid slot) l);
+      (match Hashtbl.find_opt st.x_ord key with
       | None -> ()
       | Some l -> List.iter (fun (sid, slot) -> satisfy st sid slot) l)
-  | Instance.Te_set { attr; value; vid } -> (
-      match Hashtbl.find_opt st.c.te_watch attr with
+  | Instance.Te_set { attr; value; vid } ->
+      let fire { w_sid = sid; w_slot = slot; w_test } =
+        if Bytes.get st.dead sid = '\000' then
+          if w_test vid value then satisfy st sid slot
+          else begin
+            record st (U_dead sid);
+            Bytes.set st.dead sid '\001'
+            (* te is write-once: this step can never fire *)
+          end
+      in
+      (match Hashtbl.find_opt st.c.te_watch attr with
       | None -> ()
-      | Some l ->
-          List.iter
-            (fun { w_sid = sid; w_slot = slot; w_test } ->
-              if Bytes.get st.dead sid = '\000' then
-                if w_test vid value then satisfy st sid slot
-                else begin
-                  record st (U_dead sid);
-                  Bytes.set st.dead sid '\001'
-                  (* te is write-once: this step can never fire *)
-                end)
-            l)
+      | Some l -> List.iter fire l);
+      (* Watchers attached during this very event's materialization
+         are not in the list fetched here — their slots were already
+         settled against the live instance at attach time. *)
+      (match Hashtbl.find_opt st.x_te attr with
+      | None -> ()
+      | Some l -> List.iter fire l);
+      if Array.length st.c.templates > 0 then
+        maybe_materialize st inst attr value vid
 
 (* Reverse everything logged since [logging] was switched on,
    restoring the exact pre-delta state. The queue is simply cleared:
@@ -233,16 +446,32 @@ let rollback st inst =
    partial result because the chase state is monotone. *)
 let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
   let stat () =
-    {
-      ground_steps = Array.length c.actions;
-      fired_steps = !fired;
-      changed_steps = !changed;
-    }
+    { ground_steps = st.n; fired_steps = !fired; changed_steps = !changed }
   in
   let charge =
     match budget with
     | None -> fun () -> None
     | Some b -> fun () -> Robust.Budget.step b
+  in
+  (* Materialized sids live past the compiled arrays; their action,
+     rule name and trace record come from the run's arena instead. *)
+  let eager_n = Array.length c.actions in
+  let action_of sid =
+    if sid < eager_n then c.actions.(sid)
+    else
+      match st.arena with Some a -> Ground.arena_action a sid | None -> assert false
+  in
+  let rule_name_of sid =
+    if sid < eager_n then Ground.packed_rule_name c.packed sid
+    else
+      match st.arena with
+      | Some a -> Ground.arena_rule_name a sid
+      | None -> assert false
+  in
+  let step_of sid =
+    if sid < eager_n then (Lazy.force c.steps).(sid)
+    else
+      match st.arena with Some a -> Ground.arena_step a sid | None -> assert false
   in
   let rec go () =
     match Queue.take_opt st.queue with
@@ -262,23 +491,19 @@ let drain_budgeted ?trace ?budget c st inst ~fired ~changed =
           | None -> (
               incr fired;
               Obs.Counter.incr m_fired;
-              match Instance.apply inst c.actions.(sid) with
+              match Instance.apply inst (action_of sid) with
               | Instance.Unchanged -> go ()
               | Instance.Changed events ->
                   incr changed;
                   Obs.Counter.incr m_changed;
-                  (match trace with
-                  | Some f -> f (Lazy.force c.steps).(sid)
-                  | None -> ());
+                  (match trace with Some f -> f (step_of sid) | None -> ());
                   List.iter (fun e -> record st (U_event e)) events;
-                  List.iter (handle_event st) events;
+                  List.iter (handle_event st inst) events;
                   go ()
               | Instance.Invalid { reason; applied } ->
                   Obs.Counter.incr m_conflicts;
                   List.iter (fun e -> record st (U_event e)) applied;
-                  ( `Done
-                      (Not_church_rosser
-                         { rule = Ground.packed_rule_name c.packed sid; reason }),
+                  ( `Done (Not_church_rosser { rule = rule_name_of sid; reason }),
                     stat () ))
         end
   in
@@ -302,7 +527,7 @@ let prepare ?template c =
   Array.iteri
     (fun attr value ->
       if not (Relational.Value.is_null value) then
-        handle_event st
+        handle_event st inst
           (Instance.Te_set { attr; value; vid = Instance.te_id inst attr }))
     (Instance.te inst);
   (inst, st)
@@ -376,6 +601,12 @@ let snapshot c =
     | Church_rosser _, _ -> true
     | Not_church_rosser _, _ -> false
   in
+  (* Demand mode: steps materialized during a {e delta} must settle
+     their residuals as of this drained base (un-logged, surviving
+     rollback) — keep a frozen copy to evaluate them against. *)
+  (match st.arena with
+  | Some _ -> st.base_inst <- Some (Instance.copy inst)
+  | None -> ());
   { zc = c; zst = st; zinst = inst; base_cr; base_te = Instance.te inst }
 
 let snapshot_compiled z = z.zc
@@ -412,7 +643,7 @@ let delta_run ?budget z tuple =
           | Instance.Unchanged -> ()
           | Instance.Changed events ->
               List.iter (fun e -> record st (U_event e)) events;
-              List.iter (handle_event st) events
+              List.iter (handle_event st inst) events
           | Instance.Invalid { applied; _ } ->
               List.iter (fun e -> record st (U_event e)) applied;
               conflict := true)
@@ -482,7 +713,7 @@ let session_fill s fills =
         match Instance.apply s.sinst (Ground.Assign { attr; value }) with
         | Instance.Unchanged -> apply_fills rest
         | Instance.Changed events ->
-            List.iter (handle_event s.sst) events;
+            List.iter (handle_event s.sst s.sinst) events;
             apply_fills rest
         | Instance.Invalid { reason; _ } -> fail "user-fill" reason)
   in
@@ -500,25 +731,38 @@ let session_fill s fills =
    counters for the appended suffix. *)
 let extend_state c' st =
   let n = Array.length c'.actions in
-  let old_n = Array.length st.c.actions in
+  let old_n = st.n in
   let remaining =
     Array.init n (fun sid ->
         if sid < old_n then st.remaining.(sid)
         else Ground.packed_pred_count c'.packed sid)
   in
   let sat = Bytes.make c'.total_slots '\000' in
-  Bytes.blit st.sat 0 sat 0 (Bytes.length st.sat);
+  Bytes.blit st.sat 0 sat 0 st.nslots;
   let dead = Bytes.make n '\000' in
   Bytes.blit st.dead 0 dead 0 old_n;
   let queued = Bytes.make n '\000' in
   Bytes.blit st.queued 0 queued 0 old_n;
+  let demand = Array.length c'.templates > 0 in
   {
     c = c';
+    n;
     remaining;
+    slot_base = (if demand then Array.copy c'.slot_base else c'.slot_base);
+    nslots = c'.total_slots;
     sat;
     dead;
     queued;
     queue = Queue.copy st.queue;
+    arena =
+      (if demand then Some (Ground.arena_create c'.packed c'.templates)
+       else None);
+    (* Probe marks survive: template ids and value ids are stable,
+       and a marked key's steps are all in the frozen prefix now. *)
+    probed = st.probed;
+    x_ord = Hashtbl.create 8;
+    x_te = Hashtbl.create 8;
+    base_inst = None;
     logging = false;
     log = [];
   }
@@ -534,11 +778,21 @@ let session_extend_spec s spec delta =
     Ok 0
   end
   else begin
-    let packed = Ground.packed_append s.sc.packed delta in
-    let c' = compile_packed spec packed in
+    (* A live run may hold steps materialized past the compiled
+       prefix: freeze them into the packed numbering first, so the
+       append — and the rebuilt compiled form's watch tables — cover
+       them. Slot order is attach order, so the existing state
+       arrays carry over unchanged. *)
+    let base_packed =
+      match s.sst.arena with
+      | Some a when Ground.arena_ext_count a > 0 -> Ground.arena_freeze a
+      | _ -> s.sc.packed
+    in
+    let packed = Ground.packed_append base_packed delta in
+    let c' = compile_packed ~templates:s.sc.templates spec packed in
     let st' = extend_state c' s.sst in
     let inst = s.sinst in
-    let old_n = Array.length s.sc.actions in
+    let old_n = s.sst.n in
     s.sc <- c';
     s.sst <- st';
     (* Evaluate each appended step's residuals against the live
@@ -556,7 +810,7 @@ let session_extend_spec s spec delta =
               if Ordering.Attr_order.lt_classes (Instance.order inst attr) c1 c2
               then satisfy st' sid slot
           | Ground.P_te { attr; op; value } ->
-              let cur = (Instance.te inst).(attr) in
+              let cur = Instance.te_value inst attr in
               if not (Relational.Value.is_null cur) then
                 if compile_te_test intern op value (Instance.te_id inst attr) cur
                 then satisfy st' sid slot

@@ -35,11 +35,34 @@ type compiled
 (** A specification with its ground steps Γ precomputed. Γ does not
     depend on the initial template (target attributes ground to
     pending predicates), so one compilation serves every
-    [check(t, S)] call of the top-k algorithms (§6). *)
+    [check(t, S)] call of the top-k algorithms (§6). Immutable and
+    safely shared across runs, entities and domains — in demand mode
+    the growth happens in per-run state, never here. *)
 
-val compile : Specification.t -> compiled
+type grounding = [ `Eager | `Demand ]
+(** How form-(2) rules ground. [`Eager]: one step per master row, up
+    front — Γ is O(|Im|) per entity (the paper's literal reading, and
+    the reference for equivalence tests). [`Demand] (the default):
+    such rules compile to {!Rules.Ground.template}s and their steps
+    materialize during the chase, only when a [te] write produces a
+    join value that hits the shared master value index
+    ({!Rules.Master_index}) — per-entity work then scales with the
+    entity's {e reachable} master slice. The two modes compute
+    byte-identical verdicts, targets and traces (property-tested):
+    a deferred step whose join key never appears could never have
+    fired, and materialization on a chase-null attribute taking an
+    active-domain value during a top-k check happens exactly when
+    the eager step's residual would first be satisfied. *)
+
+val compile : ?grounding:grounding -> Specification.t -> compiled
 val compiled_spec : compiled -> Specification.t
+
 val ground_size : compiled -> int
+(** Eagerly-ground steps (the compiled prefix — demand-materialized
+    steps are per-run and not counted). *)
+
+val compiled_template_count : compiled -> int
+(** Deferred form-(2) templates ([0] in eager mode). *)
 
 val compiled_packed : compiled -> Rules.Ground.packed
 (** The packed Γ the compiled form was built from — what the

@@ -198,18 +198,22 @@ let delta_of t e =
           (* Γ over the CURRENT inputs: the spec's intern/numbering are
              entity-derived and extensible, so grounding the current
              rule set and master through them yields exactly the Γ the
-             next recompute would see. *)
-          let packed =
-            Rules.Ground.instantiate_packed
+             next recompute would see. Demand grounding keeps this
+             probe sublinear in |Im|: form-(2) rules defer to
+             templates, which the index folds into its rule-name
+             over-approximation instead of their |Im| steps. *)
+          let dg =
+            Rules.Ground.instantiate_demand
               ~intern:(Core.Specification.intern spec)
               ~ruleset:t.ruleset ~entity:e.e_instance ~master:t.master
               ~orders:(Core.Specification.numbering spec)
+              ()
           in
           let d =
-            Rules.Delta.of_packed
+            Rules.Delta.of_packed ~templates:dg.Rules.Ground.d_templates
               ~intern:(Core.Specification.intern spec)
               ~orders:(Core.Specification.numbering spec)
-              packed
+              dg.Rules.Ground.d_packed
           in
           e.e_delta <- Some d;
           Some d)
@@ -236,6 +240,66 @@ let assign_into t =
             (Rules.Ruleset.rules t.ruleset));
       t.assign_into <- Some h;
       h
+
+(* The rule-level variant of the Master_fix reachability argument
+   (see [master_fix] below): the deduplicated [Te_master] residual
+   vectors a form-(2) rule grounds over the selected master rows.
+   [None] for form-(1) rules — their grounding probe is already
+   entity-level. Computed once per update, probed per entity. *)
+let f2_residual_rows t = function
+  | Rules.Ar.Form1 _ -> None
+  | Rules.Ar.Form2 f2 ->
+      let rows =
+        match t.master with
+        | None -> []
+        | Some m ->
+            let sel tu =
+              List.for_all
+                (function
+                  | Rules.Ar.Master_const (b, op, c) ->
+                      Rules.Ar.eval_op op (Tuple.get tu b) c
+                  | _ -> true)
+                f2.Rules.Ar.f2_lhs
+            in
+            List.filter_map
+              (fun tu ->
+                if
+                  sel tu
+                  && not (Value.is_null (Tuple.get tu f2.Rules.Ar.f2_tm_attr))
+                then
+                  Some
+                    (List.filter_map
+                       (function
+                         | Rules.Ar.Te_master (al, b) ->
+                             Some (al, Tuple.get tu b)
+                         | _ -> None)
+                       f2.Rules.Ar.f2_lhs)
+                else None)
+              (Relation.tuples m)
+      in
+      Some (List.sort_uniq compare rows)
+
+(* Can any of the residual vectors ever be satisfied by this entity's
+   [te]? Reachable values are the entity's own cells (λ-refresh only
+   promotes column values), anything a rule can copy from master, or
+   anything at all on an attribute still null at the chase fixpoint
+   (top-1 completion tries arbitrary active-domain values there).
+   Entities whose outcome is not decided by the fixpoint are
+   provenance-sensitive — always affected. *)
+let entity_reaches t e residual_rows =
+  match e.e_result.Cleaner.r_outcome with
+  | Cleaner.Quarantined _ | Cleaner.Not_church_rosser _ -> true
+  | _ ->
+      let vals = vals_of t e in
+      let nulls = e.e_result.Cleaner.r_chase_nulls in
+      let reachable al v =
+        (not (Value.is_null v))
+        && (List.mem al nulls
+           ||
+           let key = pack_av al (Intern.intern t.sintern v) in
+           mem_sorted vals key || Hashtbl.mem (assign_into t) key)
+      in
+      List.exists (List.for_all (fun (al, v) -> reachable al v)) residual_rows
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                       *)
@@ -577,23 +641,36 @@ let rule_add t rule =
           t.assign_into <- None;
           List.iter (fun e -> e.e_delta <- None) t.clusters;
           let prune = Robust.Budget.is_unlimited t.budget in
+          (* A form-(2) rule grounds one step per selected master row
+             {e whatever the entity} — a bare "did it ground?" probe
+             would dirty the whole session on every such rule-add.
+             Probe reachability instead: the new steps can influence
+             an entity only if some row's every [Te_master] residual
+             value is one its [te] can ever hold. The reachable set
+             must be the post-add one ([assign_into] was invalidated
+             above, so it rebuilds over the enlarged rule set — the
+             new rule's own copies count). *)
+          let f2_residuals = f2_residual_rows t rule in
           let affected e =
             (not prune)
             ||
-            match e.e_spec with
-            | None -> true
-            | Some spec ->
-                (* Ground just the new rule against this entity: zero
-                   steps means Γ is provably unchanged (the filtered
-                   pass can only over-approximate), so the cached
-                   result stands. *)
-                Rules.Ground.packed_count
-                  (Rules.Ground.instantiate_packed_only
-                     ~only:(fun r -> r == rule)
-                     ~intern:(Core.Specification.intern spec)
-                     ~ruleset:rs ~entity:e.e_instance ~master:t.master
-                     ~orders:(Core.Specification.numbering spec))
-                > 0
+            match f2_residuals with
+            | Some residual_rows -> entity_reaches t e residual_rows
+            | None -> (
+                match e.e_spec with
+                | None -> true
+                | Some spec ->
+                    (* Ground just the new rule against this entity:
+                       zero steps means Γ is provably unchanged (the
+                       filtered pass can only over-approximate), so
+                       the cached result stands. *)
+                    Rules.Ground.packed_count
+                      (Rules.Ground.instantiate_packed_only
+                         ~only:(fun r -> r == rule)
+                         ~intern:(Core.Specification.intern spec)
+                         ~ruleset:rs ~entity:e.e_instance ~master:t.master
+                         ~orders:(Core.Specification.numbering spec))
+                    > 0)
           in
           let dirty, clean = List.partition affected t.clusters in
           List.iter (fun e -> reclean e t) dirty;
@@ -618,18 +695,41 @@ let rule_retire t name =
     (* Probe the rule-level index BEFORE swapping the rule set: an
        entity whose current Γ carries no step of this rule (every
        candidate step lost first-provenance dedup or never grounded)
-       keeps an identical Γ after the retire. *)
+       keeps an identical Γ after the retire. Under demand grounding
+       the index answers [true] for every templated form-(2) rule, so
+       refine with the Master_fix reachability probe: steps whose
+       [Te_master] residuals this entity's [te] can never satisfy
+       could never have fired, and removing never-fired steps cannot
+       change a fixpoint-decided result (re-attributing their dedup
+       twins to another rule changes provenance only). *)
+    let f2_residuals =
+      match
+        List.find_opt
+          (fun r -> Rules.Ar.name r = name)
+          (Rules.Ruleset.user_rules t.ruleset)
+      with
+      | None -> None
+      | Some rule -> f2_residual_rows t rule
+    in
     let affected e =
       (not prune)
-      ||
-      match delta_of t e with
-      | None -> true
-      | Some d -> Rules.Delta.mentions_rule d name
+      || (match delta_of t e with
+         | None -> true
+         | Some d -> Rules.Delta.mentions_rule d name)
+         &&
+         match f2_residuals with
+         | None -> true
+         | Some residual_rows -> entity_reaches t e residual_rows
     in
     let dirty, clean = List.partition affected t.clusters in
     t.ruleset <- Rules.Ruleset.remove t.ruleset name;
     t.assign_into <- None;
-    List.iter (fun e -> e.e_delta <- None) dirty;
+    (* Every index was built against the pre-retire rule set; the
+       reachability refinement means even "clean" entries may hold a Γ
+       that mentions the removed rule's (never-fired) steps. Stale
+       indexes only over-approximate, but rebuilding lazily is cheap —
+       drop them all. *)
+    List.iter (fun e -> e.e_delta <- None) t.clusters;
     List.iter (fun e -> reclean e t) dirty;
     List.iter (fun _ -> Obs.Counter.incr m_unaffected) clean;
     Ok

@@ -9,6 +9,10 @@ type t = {
   d_by_rule : (string, int list) Hashtbl.t;
   d_rule_order : string list;  (** first-appearance order *)
   d_by_vid : (int, int list) Hashtbl.t;
+  d_deferred : (string, unit) Hashtbl.t;
+      (** rule names held behind demand templates: their steps are not
+          in the packed Γ, so rule-level probes must treat them as
+          possibly contributing *)
 }
 
 let push tbl key sid =
@@ -17,7 +21,7 @@ let push tbl key sid =
   | Some l -> Hashtbl.replace tbl key (sid :: l)
   | None -> Hashtbl.replace tbl key [ sid ]
 
-let of_packed ~intern ~orders pk =
+let of_packed ?(templates = [||]) ~intern ~orders pk =
   let n = Ground.packed_count pk in
   let by_rule = Hashtbl.create 32 in
   let by_vid = Hashtbl.create 256 in
@@ -43,16 +47,23 @@ let of_packed ~intern ~orders pk =
         push by_vid (class_vid attr c2) sid
     | Ground.Refresh _ -> ()
   done;
+  let deferred = Hashtbl.create (max 1 (Array.length templates)) in
+  Array.iter
+    (fun tpl -> Hashtbl.replace deferred (Ground.template_name tpl) ())
+    templates;
   {
     d_steps = n;
     d_by_rule = by_rule;
     d_rule_order = List.rev !rule_order;
     d_by_vid = by_vid;
+    d_deferred = deferred;
   }
 
 let steps t = t.d_steps
 let rules t = t.d_rule_order
-let mentions_rule t name = Hashtbl.mem t.d_by_rule name
+
+let mentions_rule t name =
+  Hashtbl.mem t.d_by_rule name || Hashtbl.mem t.d_deferred name
 
 let steps_of_rule t name =
   match Hashtbl.find_opt t.d_by_rule name with

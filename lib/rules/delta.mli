@@ -23,6 +23,7 @@
 type t
 
 val of_packed :
+  ?templates:Ground.template array ->
   intern:Relational.Intern.t ->
   orders:Ordering.Attr_order.numbering array ->
   Ground.packed ->
@@ -30,7 +31,13 @@ val of_packed :
 (** Index a packed Γ. [intern] must be the table Γ was grounded with
     (the specification's — ids must agree) and [orders] the entity's
     value-class numbering, used to resolve [P_ord]/[Add_order] class
-    ids back to the values they stand for. *)
+    ids back to the values they stand for. [templates] are the
+    deferred form-(2) rules of a demand grounding
+    ({!Ground.instantiate_demand}): their steps are not in [pk], so
+    {!mentions_rule} over-approximates by answering [true] for any
+    templated rule name — retiring such a rule must re-clean, since
+    whether any of its steps would survive dedup is unknown without
+    materializing them. *)
 
 val steps : t -> int
 (** |Γ|. *)

@@ -12,6 +12,12 @@ let m_form2 = Obs.Counter.make ~help:"ground steps emitted from form (2) rules" 
 let m_dedup = Obs.Counter.make ~help:"duplicate ground steps discarded" "instantiation_dedup_skipped_total"
 let m_mrows = Obs.Counter.make ~help:"master rows visited by form (2) grounding" "instantiation_master_rows_visited_total"
 
+(* Demand-driven grounding: candidate steps a template stands in for
+   (master rows NOT visited eagerly), and how many of those the
+   residual index later materialized on an actual join-key hit. *)
+let m_deferred = Obs.Counter.make ~help:"form (2) candidate steps deferred behind templates" "instantiation_steps_deferred_total"
+let m_materialized = Obs.Counter.make ~help:"deferred steps materialized on residual index hits" "instantiation_steps_materialized_total"
+
 type action =
   | Add_order of { attr : int; c1 : int; c2 : int }
   | Refresh of int
@@ -437,6 +443,42 @@ type cform1 = {
    array (0 = null, which never interns to a live id). *)
 type f2_item = T_static of int | T_master of { attr : int; vids : int array }
 
+(* ------------------------------------------------------------------ *)
+(* Form-(2) step templates (demand-driven grounding)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A template is one form-(2) rule held back from eager grounding: it
+   compresses the rule's |Im| candidate steps into the rule itself
+   plus a designated join binding. The chase materializes concrete
+   steps from it only when a [te] write produces a value that hits
+   the rule's join column in the master value index
+   ({!Master_index}) — which is the only way any of its deferred
+   steps could ever fire, since a [Te_master] residual is an equality
+   against a concrete master cell. Rules with no [Te_master] conjunct
+   never defer: their steps have no join key to wait on. *)
+type titem = I_static of int | I_join of { attr : int; col : int }
+
+type template = {
+  t_id : int;
+  t_name : string;
+  t_tests : (int * Ar.op * Value.t) list; (* Master_const selections *)
+  t_items : titem array; (* residual recipe, f2_lhs order *)
+  t_te_attr : int;
+  t_tm_attr : int;
+  t_join_attr : int; (* first Te_master conjunct: the trigger *)
+  t_join_col : int;
+}
+
+let template_id t = t.t_id
+let template_name t = t.t_name
+let template_join_attr t = t.t_join_attr
+let template_join_col t = t.t_join_col
+
+(* Probe marks pack (vid, template id) into one word; 2^12 templates
+   per ruleset is far beyond any real Σ, and the guard in the
+   deferral path falls back to eager grounding rather than overflow. *)
+let max_templates = 1 lsl 12
+
 (* The per-pair evaluators: capture-free recursion over the compiled
    guard and residual arrays (see the note in {!Key_set}). *)
 let rec guards_pass (gs : guard array) ng i j k =
@@ -533,11 +575,13 @@ type packed = {
   pk_avals : Value.t array; (* Assign spellings, in emission order *)
 }
 
-let instantiate_packed_only ~only ~intern ~ruleset ~entity ~master ~orders =
+let instantiate_gen ~demand ~only ~intern ~ruleset ~entity ~master ~orders =
   (* [only] restricts which rules of Σ are instantiated — the delta
      path: when a rule is added to a live session, only its own
      ground steps are needed to decide whether the entity's Γ grows
-     at all. The filter runs once per rule, outside the hot loops. *)
+     at all. The filter runs once per rule, outside the hot loops.
+     [demand] holds form-(2) rules with a [Te_master] conjunct back
+     as templates instead of grounding them per master row. *)
   let rules = List.filter only (Ruleset.rules ruleset) in
   let n = Relation.size entity in
   let arity = Array.length orders in
@@ -611,7 +655,8 @@ let instantiate_packed_only ~only ~intern ~ruleset ~entity ~master ~orders =
      emission loop runs ~|Γ| + dedup times and an atomic RMW per
      candidate is measurable. *)
   let n_form1 = ref 0 and n_form2 = ref 0 in
-  let n_dedup = ref 0 and n_mrows = ref 0 in
+  let n_dedup = ref 0 and n_mrows = ref 0 and n_deferred = ref 0 in
+  let templates = ref [] and n_templates = ref 0 in
   (* Dedup tables partitioned by the action's attribute: every key
      embeds its attribute in the action word, so partitioning is
      semantically invisible, but a rule's probes all land in its own
@@ -1088,18 +1133,65 @@ let instantiate_packed_only ~only ~intern ~ruleset ~entity ~master ~orders =
             end)
           (master_rows_for im r)
   in
+  (* Demand mode: a form-(2) rule with a [Te_master] conjunct becomes
+     one template instead of |Im| candidate steps. The first such
+     conjunct is the trigger binding — any satisfying master row must
+     match the entity's [te] on that attribute, so a value written
+     there is the earliest (and only) signal under which the rule's
+     steps can become relevant. Rules without one (pure
+     selection-plus-assign) keep eager grounding: nothing joins the
+     entity, so there is no key to wait on. *)
+  let defer_form2 (r : Ar.form2) im =
+    let tests = ref [] and items_rev = ref [] and join = ref None in
+    List.iter
+      (function
+        | Ar.Master_const (b, op, c) -> tests := (b, op, c) :: !tests
+        | Ar.Te_const (a, op, c) ->
+            items_rev :=
+              I_static
+                (pack ~tag:tag_te ~attr:a ~x:(op_tag op)
+                   ~y:(Intern.intern intern c))
+              :: !items_rev
+        | Ar.Te_master (a, b) ->
+            if !join = None then join := Some (a, b);
+            items_rev := I_join { attr = a; col = b } :: !items_rev)
+      r.f2_lhs;
+    match !join with
+    | None -> ground_form2 r
+    | Some (ja, jc) ->
+        let t =
+          {
+            t_id = !n_templates;
+            t_name = r.f2_name;
+            t_tests = List.rev !tests;
+            t_items = Array.of_list (List.rev !items_rev);
+            t_te_attr = r.f2_te_attr;
+            t_tm_attr = r.f2_tm_attr;
+            t_join_attr = ja;
+            t_join_col = jc;
+          }
+        in
+        incr n_templates;
+        templates := t :: !templates;
+        n_deferred := !n_deferred + Relation.size im
+  in
   let flush_metrics () =
     Obs.Counter.add m_form1 !n_form1;
     Obs.Counter.add m_form2 !n_form2;
     Obs.Counter.add m_dedup !n_dedup;
-    Obs.Counter.add m_mrows !n_mrows
+    Obs.Counter.add m_mrows !n_mrows;
+    Obs.Counter.add m_deferred !n_deferred
   in
   Fun.protect ~finally:flush_metrics (fun () ->
       List.iter
         (function
           | Ar.Form1 r -> (
               match compile_form1 r with None -> () | Some c -> run_form1 c)
-          | Ar.Form2 r -> ground_form2 r)
+          | Ar.Form2 r -> (
+              match master with
+              | Some im when demand && !n_templates < max_templates ->
+                  defer_form2 r im
+              | _ -> ground_form2 r))
         rules);
   (* Copy the arenas into a caller-owned packed result (flat int
      blits, no per-step boxing), then drop the scratch references to
@@ -1117,7 +1209,19 @@ let instantiate_packed_only ~only ~intern ~ruleset ~entity ~master ~orders =
   in
   Array.fill sc.s_names 0 !count "";
   Array.fill sc.s_avals 0 !navals Value.null;
-  pk
+  (pk, Array.of_list (List.rev !templates))
+
+let instantiate_packed_only ~only ~intern ~ruleset ~entity ~master ~orders =
+  fst (instantiate_gen ~demand:false ~only ~intern ~ruleset ~entity ~master ~orders)
+
+type demand = { d_packed : packed; d_templates : template array }
+
+let instantiate_demand ?(only = fun _ -> true) ~intern ~ruleset ~entity ~master
+    ~orders () =
+  let d_packed, d_templates =
+    instantiate_gen ~demand:true ~only ~intern ~ruleset ~entity ~master ~orders
+  in
+  { d_packed; d_templates }
 
 let packed_count pk = pk.pk_count
 let packed_rule_name pk sid = pk.pk_names.(sid)
@@ -1251,6 +1355,245 @@ let steps_of_packed pk =
   Imap.clear pl1;
   Imap.clear act_cache;
   steps
+
+(* ------------------------------------------------------------------ *)
+(* Demand-materialization arena                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The growable tail of a packed arena: a frozen eager prefix plus
+   steps materialized from templates during a chase. Step ids extend
+   the packed numbering densely, so every consumer of a sid — slot
+   tables, the undo log, provenance traces — is oblivious to whether
+   the step was eager or materialized. All ext steps are [Assign]s
+   (form-(2) conclusions), so the aval arrays line up one-to-one.
+
+   Not thread-safe, and deliberately so: an arena belongs to one
+   [Is_cr] run state, never to the shared compiled artifact — that is
+   what keeps [compiled] immutable under the compile cache and the
+   domain pool. *)
+type arena = {
+  a_pk : packed;
+  a_templates : template array;
+  mutable x_rec : int array; (* stride 3, offsets into x_preds *)
+  mutable x_count : int;
+  mutable x_preds : int array;
+  mutable x_plen : int;
+  mutable x_names : string array;
+  mutable x_avals : Value.t array; (* one per ext step, emission order *)
+  a_seen : Key_set.t;
+  mutable a_enc : int array;
+  mutable a_srt : int array;
+}
+
+(* Seed the dedup set with the eager prefix's [Assign] keys: a
+   materialized step can only collide with another assign (all ext
+   steps are assigns, and keys embed the action word), so replaying
+   just those reproduces the eager path's first-provenance-wins dedup
+   exactly. In demand mode the eager prefix holds few or no assigns,
+   so this sweep is near-free. *)
+let arena_create pk templates =
+  let nassign = ref 0 in
+  for sid = 0 to pk.pk_count - 1 do
+    if unpack_tag pk.pk_rec.(3 * sid) = tag_assign then incr nassign
+  done;
+  let seen = Key_set.create (max 64 (2 * !nassign)) in
+  let enc = ref (Array.make 32 0) in
+  for sid = 0 to pk.pk_count - 1 do
+    let action = pk.pk_rec.(3 * sid) in
+    if unpack_tag action = tag_assign then begin
+      let off = pk.pk_rec.((3 * sid) + 1) and len = pk.pk_rec.((3 * sid) + 2) in
+      if Array.length !enc < len then enc := Array.make (2 * len) 0;
+      Array.blit pk.pk_preds off !enc 0 len;
+      let dlen = sort_dedup !enc len in
+      ignore (Key_set.test_and_add seen ~action !enc dlen : bool)
+    end
+  done;
+  {
+    a_pk = pk;
+    a_templates = templates;
+    x_rec = Array.make 48 0;
+    x_count = 0;
+    x_preds = Array.make 64 0;
+    x_plen = 0;
+    x_names = Array.make 16 "";
+    x_avals = Array.make 16 Value.null;
+    a_seen = seen;
+    a_enc = Array.make 32 0;
+    a_srt = Array.make 32 0;
+  }
+
+let arena_base a = a.a_pk.pk_count
+let arena_ext_count a = a.x_count
+let arena_count a = a.a_pk.pk_count + a.x_count
+let arena_templates a = a.a_templates
+let arena_template a tid = a.a_templates.(tid)
+
+(* Materialize the steps of template [tid] over the given master
+   rows (a residual-index hit for one join value). Each surviving
+   step is appended and reported through [on_new] with its fresh sid;
+   duplicates — rows another template or the eager prefix already
+   covered — are dropped by the shared key set, mirroring the eager
+   path bit for bit. *)
+let arena_materialize a ~master ~rows tid ~on_new =
+  let t = a.a_templates.(tid) in
+  let intern = a.a_pk.pk_intern in
+  let nitems = Array.length t.t_items in
+  if Array.length a.a_enc < nitems then begin
+    a.a_enc <- Array.make (2 * nitems) 0;
+    a.a_srt <- Array.make (2 * nitems) 0
+  end;
+  let enc = a.a_enc in
+  let n_mat = ref 0 and n_dup = ref 0 and n_rows = ref 0 in
+  List.iter
+    (fun m ->
+      incr n_rows;
+      let tm b = Relation.get master m b in
+      if List.for_all (fun (b, op, c) -> Ar.eval_op op (tm b) c) t.t_tests
+      then begin
+        let len = ref 0 and alive = ref true in
+        Array.iter
+          (fun item ->
+            if !alive then
+              match item with
+              | I_static p ->
+                  enc.(!len) <- p;
+                  incr len
+              | I_join { attr; col } ->
+                  let v = tm col in
+                  if Value.is_null v then alive := false
+                  else begin
+                    enc.(!len) <-
+                      pack ~tag:tag_te ~attr ~x:(op_tag Ar.Eq)
+                        ~y:(Intern.intern intern v);
+                    incr len
+                  end)
+          t.t_items;
+        if !alive then begin
+          let av = tm t.t_tm_attr in
+          if not (Value.is_null av) then begin
+            let avid = Intern.intern intern av in
+            let packed_action =
+              pack ~tag:tag_assign ~attr:t.t_te_attr ~x:0 ~y:avid
+            in
+            let dup =
+              if !len <= 1 then
+                Key_set.test_and_add a.a_seen ~action:packed_action enc !len
+              else begin
+                let srt = a.a_srt in
+                Array.blit enc 0 srt 0 !len;
+                let dlen = sort_dedup srt !len in
+                Key_set.test_and_add a.a_seen ~action:packed_action srt dlen
+              end
+            in
+            if dup then incr n_dup
+            else begin
+              let i = a.x_count in
+              if 3 * (i + 1) > Array.length a.x_rec then begin
+                let grown = Array.make (2 * Array.length a.x_rec) 0 in
+                Array.blit a.x_rec 0 grown 0 (3 * i);
+                a.x_rec <- grown
+              end;
+              if i = Array.length a.x_names then begin
+                let grown = Array.make (2 * i) "" in
+                Array.blit a.x_names 0 grown 0 i;
+                a.x_names <- grown;
+                let grownv = Array.make (2 * i) Value.null in
+                Array.blit a.x_avals 0 grownv 0 i;
+                a.x_avals <- grownv
+              end;
+              if a.x_plen + !len > Array.length a.x_preds then begin
+                let grown = Array.make (2 * (a.x_plen + !len)) 0 in
+                Array.blit a.x_preds 0 grown 0 a.x_plen;
+                a.x_preds <- grown
+              end;
+              a.x_rec.(3 * i) <- packed_action;
+              a.x_rec.((3 * i) + 1) <- a.x_plen;
+              a.x_rec.((3 * i) + 2) <- !len;
+              Array.blit enc 0 a.x_preds a.x_plen !len;
+              a.x_plen <- a.x_plen + !len;
+              a.x_names.(i) <- t.t_name;
+              (* The row's own spelling, as in the eager path. *)
+              a.x_avals.(i) <- av;
+              a.x_count <- i + 1;
+              incr n_mat;
+              on_new (a.a_pk.pk_count + i)
+            end
+          end
+        end
+      end)
+    rows;
+  Obs.Counter.add m_materialized !n_mat;
+  Obs.Counter.add m_form2 !n_mat;
+  Obs.Counter.add m_dedup !n_dup;
+  Obs.Counter.add m_mrows !n_rows
+
+let arena_rule_name a sid =
+  if sid < a.a_pk.pk_count then a.a_pk.pk_names.(sid)
+  else a.x_names.(sid - a.a_pk.pk_count)
+
+let arena_pred_count a sid =
+  if sid < a.a_pk.pk_count then packed_pred_count a.a_pk sid
+  else a.x_rec.((3 * (sid - a.a_pk.pk_count)) + 2)
+
+let arena_iter_predi a sid f =
+  if sid < a.a_pk.pk_count then packed_iter_predi a.a_pk sid f
+  else begin
+    let i = sid - a.a_pk.pk_count in
+    let off = a.x_rec.((3 * i) + 1) and len = a.x_rec.((3 * i) + 2) in
+    for k = 0 to len - 1 do
+      f k (gpred_of_pack a.a_pk.pk_intern a.x_preds.(off + k))
+    done
+  end
+
+(* Ext steps are all assigns, so the action decodes from the packed
+   word plus the step's stored spelling. The eager prefix keeps its
+   decoded action array in [Is_cr.compiled]; routing base sids here
+   would need an O(sid) aval scan, so callers must not. *)
+let arena_action a sid =
+  let i = sid - a.a_pk.pk_count in
+  Assign { attr = unpack_attr a.x_rec.(3 * i); value = a.x_avals.(i) }
+
+(* Cold path: a provenance trace or conflict report naming a
+   materialized step. Preds decode in encounter order with
+   first-encounter dedup, exactly like [steps_of_packed]. *)
+let arena_step a sid =
+  let i = sid - a.a_pk.pk_count in
+  let off = a.x_rec.((3 * i) + 1) and len = a.x_rec.((3 * i) + 2) in
+  let preds = ref [] in
+  for k = len - 1 downto 0 do
+    let p = a.x_preds.(off + k) in
+    if not (pred_seen a.x_preds p off (off + k - 1)) then
+      preds := gpred_of_pack a.a_pk.pk_intern p :: !preds
+  done;
+  {
+    sid;
+    rule_name = a.x_names.(i);
+    preds = !preds;
+    action = arena_action a sid;
+  }
+
+(* Freeze the arena into one self-contained packed block — the
+   session-extension path compiles against packed arenas, so a live
+   run's materialized tail folds back into the eager numbering before
+   any append. Sid order, and hence every slot table, is preserved. *)
+let arena_freeze a =
+  if a.x_count = 0 then a.a_pk
+  else begin
+    let pk = a.a_pk in
+    let off = Array.length pk.pk_preds in
+    let rec2 = Array.sub a.x_rec 0 (3 * a.x_count) in
+    for i = 0 to a.x_count - 1 do
+      rec2.((3 * i) + 1) <- rec2.((3 * i) + 1) + off
+    done;
+    {
+      pk_intern = pk.pk_intern;
+      pk_count = pk.pk_count + a.x_count;
+      pk_rec = Array.append pk.pk_rec rec2;
+      pk_preds = Array.append pk.pk_preds (Array.sub a.x_preds 0 a.x_plen);
+      pk_names = Array.append pk.pk_names (Array.sub a.x_names 0 a.x_count);
+      pk_avals = Array.append pk.pk_avals (Array.sub a.x_avals 0 a.x_count);
+    }
+  end
 
 let instantiate_packed ~intern ~ruleset ~entity ~master ~orders =
   instantiate_packed_only ~only:(fun _ -> true) ~intern ~ruleset ~entity ~master

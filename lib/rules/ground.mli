@@ -83,6 +83,111 @@ val instantiate_packed_only :
     full instantiation would have deduplicated it — callers treat a
     non-empty delta as "possibly affected", which stays sound. *)
 
+type template
+(** One form-(2) rule held back from eager grounding (demand mode):
+    the rule's selections, residual recipe and conclusion, plus its
+    {e join binding} — the first [Te_master] conjunct. It stands in
+    for one candidate step per master row; the chase materializes
+    those only when a [te] write on the join attribute produces a
+    value present in the master join column ({!Master_index}), which
+    is the only event under which any of them could fire. Rules with
+    no [Te_master] conjunct never defer. *)
+
+val template_id : template -> int
+(** Dense per-grounding id, [0 .. n_templates-1] — stable under
+    session extension (templates are never re-numbered). *)
+
+val template_name : template -> string
+(** Provenance: the rule's name. *)
+
+val template_join_attr : template -> int
+(** The [te] attribute whose writes can wake this template. *)
+
+val template_join_col : template -> int
+(** The master column the join attribute must match. *)
+
+type demand = {
+  d_packed : packed;  (** the eagerly-ground steps *)
+  d_templates : template array;  (** deferred form-(2) rules, by id *)
+}
+(** A demand-mode grounding: eager steps plus deferred templates. *)
+
+val instantiate_demand :
+  ?only:(Ar.t -> bool) ->
+  intern:Relational.Intern.t ->
+  ruleset:Ruleset.t ->
+  entity:Relational.Relation.t ->
+  master:Relational.Relation.t option ->
+  orders:Ordering.Attr_order.numbering array ->
+  unit ->
+  demand
+(** Demand-driven grounding: form-(2) rules with a [Te_master]
+    conjunct emit one {!template} each instead of |Im| candidate
+    steps; everything else grounds exactly as {!instantiate_packed}.
+    Together with {!arena_materialize} this produces the same step
+    set, with the same dedup classes and first-provenance-wins
+    spellings, as the eager path — restricted to steps whose join
+    keys the run actually produced (no other deferred step can ever
+    fire). [only] restricts the rule set as in
+    {!instantiate_packed_only}. *)
+
+type arena
+(** The growable tail of a packed Γ: a frozen eager prefix plus steps
+    materialized from templates mid-chase. Sids extend the packed
+    numbering densely, so slot tables, undo logs and traces are
+    oblivious to a step's provenance. Owned by a single run state —
+    never shared, never part of the immutable compiled artifact. *)
+
+val arena_create : packed -> template array -> arena
+(** A fresh arena over an eager prefix. Seeds the dedup key set with
+    the prefix's [Assign] keys, so materialization reproduces the
+    eager path's first-provenance-wins dedup exactly. *)
+
+val arena_base : arena -> int
+(** Size of the frozen eager prefix. *)
+
+val arena_ext_count : arena -> int
+(** Materialized steps so far. *)
+
+val arena_count : arena -> int
+(** Total steps: [arena_base + arena_ext_count]. *)
+
+val arena_templates : arena -> template array
+val arena_template : arena -> int -> template
+
+val arena_materialize :
+  arena ->
+  master:Relational.Relation.t ->
+  rows:int list ->
+  int ->
+  on_new:(int -> unit) ->
+  unit
+(** [arena_materialize a ~master ~rows tid ~on_new] instantiates
+    template [tid] over the given master rows (a residual-index hit
+    for one join value), appending each new step and reporting its
+    sid through [on_new]; rows whose step the arena (or the eager
+    prefix) already holds are deduplicated silently. *)
+
+val arena_rule_name : arena -> int -> string
+val arena_pred_count : arena -> int -> int
+val arena_iter_predi : arena -> int -> (int -> gpred -> unit) -> unit
+(** Total over both the eager prefix and the materialized tail. *)
+
+val arena_action : arena -> int -> action
+(** The action of a {e materialized} step (always an [Assign] with
+    the master row's own spelling). Eager-prefix sids must use the
+    compiled action table instead. *)
+
+val arena_step : arena -> int -> step
+(** Decoded record of a {e materialized} step — the cold provenance/
+    trace path. *)
+
+val arena_freeze : arena -> packed
+(** The whole arena as one self-contained packed block, sid order
+    preserved — the session-extension path folds a live run's
+    materialized tail back into the eager numbering before appending
+    a delta. Returns the prefix itself when nothing materialized. *)
+
 val packed_count : packed -> int
 (** |Γ|. *)
 

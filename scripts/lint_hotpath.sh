@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 
 offenders=$(grep -rnE \
   '(^|[^._[:alnum:]])(Printf\.sprintf|String\.concat)([^_[:alnum:]]|$)' \
-  lib/rules/ground.ml lib/core/is_cr.ml lib/rules/delta.ml || true)
+  lib/rules/ground.ml lib/rules/master_index.ml lib/core/is_cr.ml \
+  lib/rules/delta.ml || true)
 
 if [ -n "$offenders" ]; then
   echo "string allocation on a chase hot path (key structurally instead):" >&2
@@ -34,8 +35,8 @@ fi
 # back through Value.t traversals.
 interning=$(grep -rnE \
   '(^|[^._[:alnum:]])(Hashtbl\.hash|Value\.hash|Hashtbl\.Make \(Value\))' \
-  lib/rules/ground.ml lib/core/is_cr.ml lib/core/instance.ml \
-  lib/rules/delta.ml lib/framework/session.ml || true)
+  lib/rules/ground.ml lib/rules/master_index.ml lib/core/is_cr.ml \
+  lib/core/instance.ml lib/rules/delta.ml lib/framework/session.ml || true)
 
 if [ -n "$interning" ]; then
   echo "structural Value.t hashing on an interned hot path (use interned ids):" >&2
